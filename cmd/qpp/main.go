@@ -1,0 +1,309 @@
+// Command qpp solves a Quorum Placement Problem instance built from flags
+// and reports the placement, its delay, and its load profile.
+//
+// Usage examples:
+//
+//	qpp -graph geometric -nodes 20 -system grid:3 -alpha 2
+//	qpp -graph tree -nodes 15 -system majority:5:3 -objective total
+//	qpp -graph path -nodes 12 -system fpp:2 -cap 1.5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	qp "quorumplace"
+	"quorumplace/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qpp: ")
+	var (
+		graphKind = flag.String("graph", "geometric", "topology: geometric|path|cycle|tree|erdos|hypercube|cliques")
+		graphFile = flag.String("graphfile", "", "read the topology from an edge-list file instead of generating one")
+		nodes     = flag.Int("nodes", 16, "number of network nodes")
+		system    = flag.String("system", "grid:2", "quorum system: grid:k | majority:n:t | fpp:q | star:n | wheel:n")
+		alpha     = flag.Float64("alpha", 2, "filtering parameter α > 1 (Theorem 3.7 knob)")
+		capFlag   = flag.Float64("cap", 0, "uniform node capacity; 0 = auto (just enough for a balanced placement)")
+		objective = flag.String("objective", "max", "delay objective: max (Theorem 1.2) or total (Theorem 1.4)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		specArg   = flag.Bool("specialized", false, "use the capacity-respecting §4 layout (grid/majority systems only)")
+		saveSpec  = flag.String("savespec", "", "write the built instance as a JSON spec to this file and exit")
+		loadSpec  = flag.String("loadspec", "", "load the instance from a JSON spec file (overrides -graph/-system/-cap)")
+		audit     = flag.Bool("audit", true, "print the placement audit report")
+		simN      = flag.Int("sim", 0, "simulate N accesses per client and print the latency distribution")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *qp.Graph
+	var err error
+	if *graphFile != "" {
+		f, ferr := os.Open(*graphFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		g, err = qp.ParseEdgeList(f)
+		f.Close()
+		if err == nil {
+			*nodes = g.N()
+			*graphKind = *graphFile
+		}
+	} else {
+		g, err = buildGraph(*graphKind, *nodes, rng)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := qp.NewMetricFromGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, threshold, err := buildSystem(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := qp.Uniform(sys.NumQuorums())
+
+	caps := make([]float64, *nodes)
+	capVal := *capFlag
+	if capVal <= 0 {
+		// Auto: total load spread evenly with 30% headroom.
+		tmp, err := qp.NewInstance(m, make([]float64, *nodes), sys, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		capVal = tmp.TotalLoad() / float64(*nodes) * 1.3
+		// Never below the largest element load, or nothing fits anywhere.
+		for u := 0; u < sys.Universe(); u++ {
+			if l := tmp.Load(u); l > capVal {
+				capVal = l
+			}
+		}
+	}
+	for i := range caps {
+		caps[i] = capVal
+	}
+	ins, err := qp.NewInstance(m, caps, sys, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *loadSpec != "" {
+		f, err := os.Open(*loadSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := qp.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, ins, err = buildFromSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys = ins.Sys
+		st = ins.Strat
+		*nodes = g.N()
+		*graphKind = *loadSpec
+		capVal = ins.Cap[0]
+		caps = ins.Cap
+	}
+	if *saveSpec != "" {
+		spec, err := qp.Spec(sys.Name(), g, ins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*saveSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := qp.WriteSpec(f, spec); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote instance spec to %s\n", *saveSpec)
+		return
+	}
+
+	fmt.Printf("instance: %s on %s (%d nodes), cap(v)=%.4g, total load %.4g\n",
+		sys.Name(), *graphKind, *nodes, capVal, ins.TotalLoad())
+
+	var pl qp.Placement
+	switch {
+	case *objective == "total":
+		res, err := qp.SolveTotalDelay(ins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl = res.Placement
+		fmt.Printf("total-delay solver (Thm 1.4): AvgΓ = %.4g (LP lower bound %.4g), guarantee: ≤ OPT at ≤ 2·cap\n",
+			res.AvgDelay, res.LPBound)
+	case *specArg && strings.HasPrefix(*system, "grid:"):
+		res, avg, err := qp.SolveGridQPP(ins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl = res.Placement
+		fmt.Printf("grid layout (Thm 1.3): AvgΔ = %.4g via v0=%d, capacities respected exactly\n", avg, res.V0)
+	case *specArg && strings.HasPrefix(*system, "majority:"):
+		res, avg, err := qp.SolveMajorityQPP(ins, threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl = res.Placement
+		fmt.Printf("majority layout (Thm 1.3): AvgΔ = %.4g via v0=%d (Eq.19 single-source value %.4g)\n",
+			avg, res.V0, res.Formula)
+	default:
+		res, err := qp.SolveQPP(ins, *alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl = res.Placement
+		fmt.Printf("LP-rounding solver (Thm 1.2, α=%.3g): AvgΔ = %.4g via v0=%d\n", *alpha, res.AvgMaxDelay, res.BestV0)
+		fmt.Printf("guarantee: delay ≤ %.4g×OPT, load ≤ %.3g×cap; relay certificate %.4g\n",
+			5**alpha/(*alpha-1), *alpha+1, res.RelayBound)
+	}
+
+	fmt.Printf("capacity violation factor: %.4g\n", ins.CapacityViolation(pl))
+	fmt.Println("placement (element -> node):")
+	for u := 0; u < sys.Universe(); u++ {
+		fmt.Printf("  e%-3d -> v%d\n", u, pl.Node(u))
+	}
+	loads := ins.NodeLoads(pl)
+	fmt.Println("node loads:")
+	for v, l := range loads {
+		if l > 0 {
+			fmt.Printf("  v%-3d load %.4g / cap %.4g\n", v, l, caps[v])
+		}
+	}
+
+	if *audit {
+		report, err := ins.Audit(pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\naudit:")
+		fmt.Print(report.String())
+	}
+	if *simN > 0 {
+		stats, err := qp.RunSim(qp.SimConfig{
+			Instance:          ins,
+			Placement:         pl,
+			Mode:              qp.SimParallel,
+			AccessesPerClient: *simN,
+			Seed:              *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsimulated %d accesses: mean %.4g, p50 %.4g, p95 %.4g, p99 %.4g\n",
+			stats.Accesses, stats.AvgLatency,
+			stats.Percentile(0.5), stats.Percentile(0.95), stats.Percentile(0.99))
+		fmt.Print(viz.Histogram(stats.Latencies(), 10, 40))
+	}
+}
+
+func buildGraph(kind string, n int, rng *rand.Rand) (*qp.Graph, error) {
+	switch kind {
+	case "geometric":
+		return qp.RandomGeometric(n, 0.4, rng), nil
+	case "path":
+		return qp.Path(n), nil
+	case "cycle":
+		return qp.Cycle(n), nil
+	case "tree":
+		return qp.RandomTree(n, 1, 4, rng), nil
+	case "erdos":
+		return qp.ErdosRenyiConnected(n, 0.3, 0.5, 3, rng), nil
+	case "hypercube":
+		d := 0
+		for 1<<uint(d+1) <= n {
+			d++
+		}
+		return qp.Hypercube(d), nil
+	case "cliques":
+		size := 4
+		k := n / size
+		if k < 2 {
+			k = 2
+		}
+		return qp.RingOfCliques(k, size, 5), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+// buildSystem parses a system spec; for majority systems it also returns
+// the threshold (needed by the specialized solver).
+func buildSystem(spec string) (*qp.System, int, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(s string) (int, error) { return strconv.Atoi(s) }
+	switch parts[0] {
+	case "grid":
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("grid spec must be grid:k")
+		}
+		k, err := atoi(parts[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		return qp.Grid(k), 0, nil
+	case "majority":
+		if len(parts) != 3 {
+			return nil, 0, fmt.Errorf("majority spec must be majority:n:t")
+		}
+		n, err := atoi(parts[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		t, err := atoi(parts[2])
+		if err != nil {
+			return nil, 0, err
+		}
+		return qp.Majority(n, t), t, nil
+	case "fpp":
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("fpp spec must be fpp:q")
+		}
+		q, err := atoi(parts[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		return qp.FPP(q), 0, nil
+	case "star":
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("star spec must be star:n")
+		}
+		n, err := atoi(parts[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		return qp.StarSystem(n), 0, nil
+	case "wheel":
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("wheel spec must be wheel:n")
+		}
+		n, err := atoi(parts[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		return qp.Wheel(n), 0, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown system %q", spec)
+	}
+}
+
+// buildFromSpec rebuilds a graph and instance from a JSON spec.
+func buildFromSpec(spec *qp.InstanceSpec) (*qp.Graph, *qp.Instance, error) {
+	return spec.Build()
+}

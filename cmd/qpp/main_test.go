@@ -1,0 +1,64 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []string{"geometric", "path", "cycle", "tree", "erdos", "hypercube", "cliques"} {
+		g, err := buildGraph(kind, 12, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s: empty graph", kind)
+		}
+		if !g.Connected() {
+			t.Fatalf("%s: disconnected", kind)
+		}
+	}
+	if _, err := buildGraph("bogus", 5, rng); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildSystem(t *testing.T) {
+	cases := []struct {
+		spec     string
+		universe int
+		wantErr  bool
+	}{
+		{"grid:3", 9, false},
+		{"majority:5:3", 5, false},
+		{"fpp:2", 7, false},
+		{"star:4", 4, false},
+		{"wheel:5", 5, false},
+		{"grid", 0, true},
+		{"majority:5", 0, true},
+		{"majority:x:3", 0, true},
+		{"grid:x", 0, true},
+		{"fpp", 0, true},
+		{"unknown:1", 0, true},
+	}
+	for _, tc := range cases {
+		sys, th, err := buildSystem(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: accepted", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if sys.Universe() != tc.universe {
+			t.Errorf("%s: universe %d, want %d", tc.spec, sys.Universe(), tc.universe)
+		}
+		if tc.spec == "majority:5:3" && th != 3 {
+			t.Errorf("majority threshold %d, want 3", th)
+		}
+	}
+}

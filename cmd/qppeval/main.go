@@ -1,0 +1,53 @@
+// Command qppeval runs the paper-reproduction experiment suite (E1–E11 of
+// DESIGN.md) and prints one table per experiment, pairing each paper bound
+// with the measured quantity. EXPERIMENTS.md is generated from its output.
+//
+// Usage:
+//
+//	qppeval [-seed N] [-quick] [-csv] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"quorumplace/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qppeval: ")
+	seed := flag.Int64("seed", 1, "random seed for instance generation")
+	quick := flag.Bool("quick", false, "run reduced instance counts (seconds instead of minutes)")
+	csv := flag.Bool("csv", false, "emit CSV bodies instead of aligned tables")
+	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E7)")
+	flag.Parse()
+
+	s := &eval.Suite{Seed: *seed, Quick: *quick}
+	ran := 0
+	for _, e := range eval.Experiments() {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		t, err := e.Run(s)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		switch {
+		case *csv:
+			fmt.Printf("# %s %s\n%s\n", t.ID, t.Title, t.CSV())
+		case *md:
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.Render())
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Printf("no experiment matches -only=%s", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,85 @@
+// Command qpprecommend runs the configuration planner: given a network and
+// operator requirements, it evaluates the built-in quorum-system portfolio
+// and prints the configurations ranked by delay, with load and availability
+// columns.
+//
+// Usage:
+//
+//	qpprecommend -graphfile data/wan12.edges -cap 0.8 -maxload 1 -crashp 0.1 -maxfail 0.05
+//	qpprecommend -nodes 20 -cap 0.6 -maxdelay 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	qp "quorumplace"
+	"quorumplace/internal/recommend"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qpprecommend: ")
+	var (
+		graphFile = flag.String("graphfile", "", "edge-list topology file (default: random geometric)")
+		nodes     = flag.Int("nodes", 16, "network size when generating")
+		seed      = flag.Int64("seed", 1, "random seed for generated topologies")
+		capFlag   = flag.Float64("cap", 0.8, "uniform node capacity")
+		maxDelay  = flag.Float64("maxdelay", 0, "average max-delay budget (0 = none)")
+		maxLoad   = flag.Float64("maxload", 0, "tolerated load factor (0 = respect capacities)")
+		crashP    = flag.Float64("crashp", 0, "per-node crash probability for the availability check")
+		maxFail   = flag.Float64("maxfail", 0, "max tolerated P(no live quorum) (0 = no check)")
+	)
+	flag.Parse()
+
+	var g *qp.Graph
+	if *graphFile != "" {
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g2, err := qp.ParseEdgeList(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = g2
+	} else {
+		g = qp.RandomGeometric(*nodes, 0.4, rand.New(rand.NewSource(*seed)))
+	}
+	m, err := qp.NewMetricFromGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := make([]float64, m.N())
+	for i := range caps {
+		caps[i] = *capFlag
+	}
+	recs, err := recommend.Recommend(m, caps, recommend.Requirements{
+		MaxAvgDelay:    *maxDelay,
+		MaxLoadFactor:  *maxLoad,
+		CrashProb:      *crashP,
+		MaxFailureProb: *maxFail,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s  %-10s  %-8s  %-10s  %-28s  %s\n",
+		"system", "avg Δ", "load×", "P(fail)", "method", "verdict")
+	for _, r := range recs {
+		fail := "-"
+		if !math.IsNaN(r.FailureProb) {
+			fail = fmt.Sprintf("%.4f", r.FailureProb)
+		}
+		verdict := "OK"
+		if !r.Feasible {
+			verdict = "rejected: " + r.Reason
+		}
+		fmt.Printf("%-16s  %-10.4f  %-8.3f  %-10s  %-28s  %s\n",
+			r.SystemName, r.AvgMaxDelay, r.LoadFactor, fail, r.Method, verdict)
+	}
+}

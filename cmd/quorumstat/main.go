@@ -1,0 +1,162 @@
+// Command quorumstat prints the classical quality measures of the built-in
+// quorum-system constructions: size, minimum quorum cardinality, optimal
+// (Naor–Wool LP) load next to its lower bound, resilience, and the failure
+// probability at selected element-failure rates.
+//
+// Usage:
+//
+//	quorumstat [-p 0.1,0.2,0.3] [-system grid:3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	qp "quorumplace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quorumstat: ")
+	probs := flag.String("p", "0.05,0.1,0.2,0.3", "comma-separated element failure probabilities")
+	only := flag.String("system", "", "show a single system (grid:k | majority:n:t | fpp:q | wheel:n | recmajority:h | cwall:w1,w2,...)")
+	flag.Parse()
+
+	ps, err := parseProbs(*probs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	systems := defaultSystems()
+	if *only != "" {
+		s, err := parseSystem(*only)
+		if err != nil {
+			log.Fatal(err)
+		}
+		systems = []*qp.System{s}
+	}
+
+	fmt.Printf("%-18s  %5s  %7s  %6s  %9s  %9s  %10s  %3s", "system", "n", "quorums", "c(S)", "opt load", "load LB", "resilience", "ND")
+	for _, p := range ps {
+		fmt.Printf("  %9s", fmt.Sprintf("F(%.2g)", p))
+	}
+	fmt.Println()
+	for _, s := range systems {
+		_, load, err := qp.OptimalStrategy(s)
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name(), err)
+		}
+		nd := "no"
+		if qp.IsNonDominated(s) {
+			nd = "yes"
+		}
+		fmt.Printf("%-18s  %5d  %7d  %6d  %9.4f  %9.4f  %10d  %3s",
+			s.Name(), s.Universe(), s.NumQuorums(), qp.MinQuorumSize(s), load, qp.LoadLowerBound(s), qp.Resilience(s), nd)
+		for _, p := range ps {
+			f, err := qp.FailureProbability(s, p)
+			if err != nil {
+				fmt.Printf("  %9s", "n/a")
+				continue
+			}
+			fmt.Printf("  %9.4f", f)
+		}
+		fmt.Println()
+	}
+}
+
+func defaultSystems() []*qp.System {
+	return []*qp.System{
+		qp.SingletonSystem(),
+		qp.Majority(5, 3),
+		qp.Majority(7, 4),
+		qp.Grid(2),
+		qp.Grid(3),
+		qp.Grid(4),
+		qp.FPP(2),
+		qp.FPP(3),
+		qp.Wheel(6),
+		qp.StarSystem(6),
+		qp.TreeSystem(2),
+		qp.CrumblingWalls([]int{2, 3, 2}),
+		qp.RecursiveMajority(2),
+		qp.WeightedMajority([]int{3, 2, 2, 1, 1}),
+	}
+}
+
+func parseProbs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := strconv.ParseFloat(part, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad probability %q", part)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no probabilities given")
+	}
+	return out, nil
+}
+
+func parseSystem(spec string) (*qp.System, error) {
+	parts := strings.Split(spec, ":")
+	atoi := strconv.Atoi
+	switch parts[0] {
+	case "grid":
+		k, err := atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return qp.Grid(k), nil
+	case "majority":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("majority spec must be majority:n:t")
+		}
+		n, err := atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		t, err := atoi(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		return qp.Majority(n, t), nil
+	case "fpp":
+		q, err := atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return qp.FPP(q), nil
+	case "wheel":
+		n, err := atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return qp.Wheel(n), nil
+	case "recmajority":
+		h, err := atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return qp.RecursiveMajority(h), nil
+	case "cwall":
+		var widths []int
+		for _, w := range strings.Split(parts[1], ",") {
+			x, err := atoi(w)
+			if err != nil {
+				return nil, err
+			}
+			widths = append(widths, x)
+		}
+		return qp.CrumblingWalls(widths), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", spec)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseProbs(t *testing.T) {
+	ps, err := parseProbs("0.1, 0.5,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[0] != 0.1 || ps[2] != 0.9 {
+		t.Fatalf("parseProbs = %v", ps)
+	}
+	for _, bad := range []string{"", "x", "-0.1", "1.5", ","} {
+		if _, err := parseProbs(bad); err == nil {
+			t.Errorf("parseProbs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	ok := []string{"grid:2", "majority:5:3", "fpp:2", "wheel:5", "recmajority:1", "cwall:2,2"}
+	for _, spec := range ok {
+		if _, err := parseSystem(spec); err != nil {
+			t.Errorf("parseSystem(%q) = %v", spec, err)
+		}
+	}
+	bad := []string{"bogus:1", "grid:x", "majority:5", "cwall:x"}
+	for _, spec := range bad {
+		if _, err := parseSystem(spec); err == nil {
+			t.Errorf("parseSystem(%q) accepted", spec)
+		}
+	}
+}
+
+func TestDefaultSystemsVerify(t *testing.T) {
+	for _, s := range defaultSystems() {
+		if err := s.VerifyIntersection(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}

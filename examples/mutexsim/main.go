@@ -1,0 +1,78 @@
+// mutexsim: Maekawa-style distributed mutual exclusion.
+//
+// Maekawa's algorithm grants the lock to a process once it collects votes
+// from every member of its quorum; the quorums form a finite projective
+// plane so any two requests conflict at some voter. Lock acquisition
+// latency is therefore the max-delay quorum access cost the paper
+// minimizes. This example places an FPP(2) system (7 voters, quorums of 3)
+// on a 25-node tree WAN, compares the Theorem 1.2 placement with a greedy
+// baseline, and simulates lock acquisitions under both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	qp "quorumplace"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(3))
+
+	const hosts = 25
+	g := qp.RandomTree(hosts, 1, 10, rng) // WAN latencies 1–10 ms per hop
+	m, err := qp.NewMetricFromGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys := qp.FPP(2) // the 7-point Fano plane: Maekawa quorums of size 3
+	strat, optLoad, err := qp.OptimalStrategy(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system %s: %d voters, %d quorums, optimal load %.4f\n",
+		sys.Name(), sys.Universe(), sys.NumQuorums(), optLoad)
+
+	caps := make([]float64, hosts)
+	for i := range caps {
+		caps[i] = 0.5
+	}
+	ins, err := qp.NewInstance(m, caps, sys, strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lp, err := qp.SolveQPP(ins, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := qp.BestGreedyPlacement(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name string
+		p    qp.Placement
+	}{
+		{"LP rounding (Thm 1.2)", lp.Placement},
+		{"greedy closest", greedy},
+	} {
+		stats, err := qp.RunSim(qp.SimConfig{
+			Instance:          ins,
+			Placement:         c.p,
+			Mode:              qp.SimParallel, // vote requests fan out in parallel
+			AccessesPerClient: 1000,
+			InterAccessTime:   50,
+			Seed:              5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s  mean lock latency %.3f ms  (analytic %.3f)  worst voter load %.2f×cap\n",
+			c.name, stats.AvgLatency, ins.AvgMaxDelay(c.p), ins.CapacityViolation(c.p))
+	}
+}

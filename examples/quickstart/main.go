@@ -1,0 +1,61 @@
+// Quickstart: place a 3×3 Grid quorum system on a random wide-area network
+// with the Theorem 1.2 solver and inspect delay, load, and the Lemma 3.1
+// relay factor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	qp "quorumplace"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(42))
+
+	// A 20-host WAN: points in the unit square, link latency = distance.
+	g := qp.RandomGeometric(20, 0.4, rng)
+	m, err := qp.NewMetricFromGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The 3×3 Grid quorum system under its optimal (uniform) strategy.
+	sys := qp.Grid(3)
+	strat := qp.Uniform(sys.NumQuorums())
+
+	// Each host can serve at most 60% of one quorum access per client
+	// access on average.
+	caps := make([]float64, 20)
+	for i := range caps {
+		caps[i] = 0.6
+	}
+	ins, err := qp.NewInstance(m, caps, sys, strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Theorem 1.2 with α = 2: delay within 10× of optimal, loads within
+	// 3× of capacity.
+	res, err := qp.SolveQPP(ins, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("average max-delay:      %.4f\n", res.AvgMaxDelay)
+	fmt.Printf("best source v0:         %d\n", res.BestV0)
+	fmt.Printf("capacity violation:     %.2f× (bound %.0f×)\n", ins.CapacityViolation(res.Placement), res.Alpha+1)
+
+	factor, v0 := qp.RelayFactor(ins, res.Placement)
+	fmt.Printf("relay factor (Lem 3.1): %.3f via v0=%d (bound 5)\n", factor, v0)
+
+	// Compare with the specialized capacity-respecting Grid layout
+	// (Theorem 1.3).
+	gres, avg, err := qp.SolveGridQPP(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid layout delay:      %.4f at load factor %.2f (≤ 1)\n",
+		avg, ins.CapacityViolation(gres.Placement))
+}

@@ -1,0 +1,3 @@
+module quorumplace
+
+go 1.22

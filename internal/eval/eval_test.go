@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:       "T",
+		Title:    "demo",
+		PaperRef: "Theorem X",
+		Columns:  []string{"a", "longcolumn"},
+		Notes:    []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	out := tab.Render()
+	for _, want := range []string{"T — demo", "reproduces: Theorem X", "a  longcolumn", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1", "x,y")
+	csv := tab.CSV()
+	if csv != "a,b\n1,\"x,y\"\n" {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456789) != "1.235" {
+		t.Fatalf("F(1.23456789) = %q", F(1.23456789))
+	}
+	if F(5) != "5" {
+		t.Fatalf("F(5) = %q", F(5))
+	}
+}
+
+// TestRunAllQuick runs the entire experiment suite in quick mode and
+// verifies the paper bounds that every experiment reports. This is the
+// repo's end-to-end reproduction smoke test.
+func TestRunAllQuick(t *testing.T) {
+	s := &Suite{Seed: 1, Quick: true}
+	tables, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Experiments()) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(Experiments()))
+	}
+	byID := map[string]*Table{}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s: row %v has %d cells, want %d", tab.ID, row, len(row), len(tab.Columns))
+			}
+		}
+		byID[tab.ID] = tab
+	}
+	// The verification experiments must report a clean match everywhere.
+	for _, id := range []string{"E6"} {
+		for _, row := range byID[id].Rows {
+			if row[len(row)-1] != "yes" {
+				t.Errorf("%s: row %v did not match", id, row)
+			}
+		}
+	}
+	for _, row := range byID["E8"].Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("E8: shell layout lost: %v", row)
+		}
+	}
+	for _, row := range byID["E9"].Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("E9: arrangement invariance failed: %v", row)
+		}
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		ID: "T", Title: "demo", PaperRef: "Thm X",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"n1"},
+	}
+	tab.AddRow("1", "x|y")
+	md := tab.Markdown()
+	for _, want := range []string{"### T — demo", "| a | b |", "| --- | --- |", `x\|y`, "*note: n1*"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

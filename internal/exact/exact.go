@@ -1,0 +1,192 @@
+// Package exact provides exponential-time exact solvers for the quorum
+// placement problems, used as ground truth when measuring the approximation
+// ratios of the polynomial-time algorithms on small instances.
+//
+// Both solvers branch over element→node assignments with capacity pruning
+// and an admissible lower bound: the delay objectives are monotone in the
+// partial assignment (adding an element can only raise a quorum's max
+// distance), so the current partial objective prunes safely.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"quorumplace/internal/placement"
+)
+
+// Limits protecting against accidentally launching an infeasible search.
+const (
+	maxUniverse = 12
+	maxNodes    = 16
+)
+
+func checkSize(ins *placement.Instance) error {
+	if u := ins.Sys.Universe(); u > maxUniverse {
+		return fmt.Errorf("exact: universe %d exceeds limit %d", u, maxUniverse)
+	}
+	if n := ins.M.N(); n > maxNodes {
+		return fmt.Errorf("exact: %d nodes exceed limit %d", n, maxNodes)
+	}
+	return nil
+}
+
+// SolveSSQPP finds a placement minimizing Δ_f(v0) subject to
+// load_f(v) ≤ cap(v), by branch and bound. It returns an error if the
+// instance is too large or no capacity-respecting placement exists.
+func SolveSSQPP(ins *placement.Instance, v0 int) (placement.Placement, float64, error) {
+	if err := checkSize(ins); err != nil {
+		return placement.Placement{}, 0, err
+	}
+	row := ins.M.Row(v0)
+	obj := func(f []int) float64 {
+		p := placement.NewPlacement(f)
+		return ins.MaxDelayFrom(v0, p)
+	}
+	// Partial lower bound: expected max over only the assigned elements.
+	lower := func(f []int, assigned int) float64 {
+		sum := 0.0
+		for qi := 0; qi < ins.Sys.NumQuorums(); qi++ {
+			pq := ins.Strat.P(qi)
+			if pq == 0 {
+				continue
+			}
+			max := 0.0
+			for _, u := range ins.Sys.Quorum(qi) {
+				if u < assigned {
+					if d := row[f[u]]; d > max {
+						max = d
+					}
+				}
+			}
+			sum += pq * max
+		}
+		return sum
+	}
+	f, val, err := branchAndBound(ins, obj, lower)
+	if err != nil {
+		return placement.Placement{}, 0, err
+	}
+	return placement.NewPlacement(f), val, nil
+}
+
+// SolveQPP finds a placement minimizing Avg_v Δ_f(v) subject to
+// load_f(v) ≤ cap(v), by branch and bound.
+func SolveQPP(ins *placement.Instance) (placement.Placement, float64, error) {
+	if err := checkSize(ins); err != nil {
+		return placement.Placement{}, 0, err
+	}
+	obj := func(f []int) float64 {
+		return ins.AvgMaxDelay(placement.NewPlacement(f))
+	}
+	lower := func(f []int, assigned int) float64 {
+		// Average over clients of the partial expected max.
+		n := ins.M.N()
+		sum := 0.0
+		for v := 0; v < n; v++ {
+			row := ins.M.Row(v)
+			dv := 0.0
+			for qi := 0; qi < ins.Sys.NumQuorums(); qi++ {
+				pq := ins.Strat.P(qi)
+				if pq == 0 {
+					continue
+				}
+				max := 0.0
+				for _, u := range ins.Sys.Quorum(qi) {
+					if u < assigned {
+						if d := row[f[u]]; d > max {
+							max = d
+						}
+					}
+				}
+				dv += pq * max
+			}
+			sum += dv
+		}
+		return sum / float64(n)
+	}
+	f, val, err := branchAndBound(ins, obj, lower)
+	if err != nil {
+		return placement.Placement{}, 0, err
+	}
+	return placement.NewPlacement(f), val, nil
+}
+
+// SolveTotalDelay finds a placement minimizing Avg_v Γ_f(v) subject to
+// capacities. Γ decomposes per element, so the partial objective is an
+// exact prefix sum and pruning is tight.
+func SolveTotalDelay(ins *placement.Instance) (placement.Placement, float64, error) {
+	if err := checkSize(ins); err != nil {
+		return placement.Placement{}, 0, err
+	}
+	obj := func(f []int) float64 {
+		return ins.AvgTotalDelay(placement.NewPlacement(f))
+	}
+	n := ins.M.N()
+	avgDist := make([]float64, n)
+	for v := 0; v < n; v++ {
+		sum := 0.0
+		for v2 := 0; v2 < n; v2++ {
+			sum += ins.M.D(v2, v)
+		}
+		avgDist[v] = sum / float64(n)
+	}
+	lower := func(f []int, assigned int) float64 {
+		sum := 0.0
+		for u := 0; u < assigned; u++ {
+			sum += ins.Load(u) * avgDist[f[u]]
+		}
+		return sum
+	}
+	if ins.Rates != nil {
+		return placement.Placement{}, 0, fmt.Errorf("exact: total-delay solver supports uniform rates only")
+	}
+	f, val, err := branchAndBound(ins, obj, lower)
+	if err != nil {
+		return placement.Placement{}, 0, err
+	}
+	return placement.NewPlacement(f), val, nil
+}
+
+// branchAndBound assigns elements 0..|U|-1 to nodes depth-first, pruning on
+// capacity and on the admissible partial bound.
+func branchAndBound(
+	ins *placement.Instance,
+	obj func(f []int) float64,
+	lower func(f []int, assigned int) float64,
+) ([]int, float64, error) {
+	nU := ins.Sys.Universe()
+	n := ins.M.N()
+	f := make([]int, nU)
+	best := math.Inf(1)
+	var bestF []int
+	remaining := append([]float64(nil), ins.Cap...)
+	const tol = 1e-9
+	var rec func(u int)
+	rec = func(u int) {
+		if u == nU {
+			if val := obj(f); val < best {
+				best = val
+				bestF = append([]int(nil), f...)
+			}
+			return
+		}
+		load := ins.Load(u)
+		for v := 0; v < n; v++ {
+			if remaining[v]+tol < load {
+				continue
+			}
+			f[u] = v
+			if lower(f, u+1) < best-tol {
+				remaining[v] -= load
+				rec(u + 1)
+				remaining[v] += load
+			}
+		}
+	}
+	rec(0)
+	if bestF == nil {
+		return nil, 0, fmt.Errorf("exact: no capacity-respecting placement exists")
+	}
+	return bestF, best, nil
+}

@@ -1,0 +1,290 @@
+// Package flow implements min-cost max-flow on directed networks and a
+// min-cost bipartite assignment solver built on top of it.
+//
+// The Shmoys–Tardos rounding step of the Generalized Assignment Problem
+// (Theorem 3.11 of the paper) requires finding a minimum-cost integral
+// matching in a bipartite "slot" graph whose fractional matching polytope is
+// integral. This package supplies that primitive using the successive
+// shortest path algorithm with Johnson potentials, which handles negative
+// edge costs (as long as the initial network has no negative cycles, which
+// bipartite assignment networks never do).
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a directed flow network on nodes 0..n-1 built incrementally
+// with AddEdge. Create one with NewNetwork.
+type Network struct {
+	n     int
+	head  []int   // head[v] = first arc index of v, -1 if none
+	next  []int   // next[a] = next arc of the same tail
+	to    []int   // arc target
+	cap   []int64 // residual capacity
+	cost  []float64
+	edges []int // indices of the original (non-reverse) arcs, in AddEdge order
+}
+
+// NewNetwork returns an empty network on n nodes.
+func NewNetwork(n int) *Network {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &Network{n: n, head: h}
+}
+
+// AddEdge adds a directed edge from u to v with the given capacity and
+// per-unit cost, returning an edge handle usable with Flow after solving.
+func (nw *Network) AddEdge(u, v int, capacity int64, cost float64) int {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range [0,%d)", u, v, nw.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %d", capacity))
+	}
+	id := len(nw.to)
+	nw.pushArc(u, v, capacity, cost)
+	nw.pushArc(v, u, 0, -cost)
+	nw.edges = append(nw.edges, id)
+	return len(nw.edges) - 1
+}
+
+func (nw *Network) pushArc(u, v int, capacity int64, cost float64) {
+	nw.to = append(nw.to, v)
+	nw.cap = append(nw.cap, capacity)
+	nw.cost = append(nw.cost, cost)
+	nw.next = append(nw.next, nw.head[u])
+	nw.head[u] = len(nw.to) - 1
+}
+
+// Flow returns the flow routed on edge handle e (valid after MinCostFlow).
+func (nw *Network) Flow(e int) int64 {
+	arc := nw.edges[e]
+	return nw.cap[arc^1] // reverse arc's residual capacity = pushed flow
+}
+
+// Result summarizes a MinCostFlow run.
+type Result struct {
+	Flow int64
+	Cost float64
+}
+
+// MinCostFlow pushes up to maxFlow units from s to t along successive
+// shortest (reduced-cost) paths, returning the total flow actually routed
+// and its cost. Pass math.MaxInt64 to compute a true min-cost max-flow.
+//
+// Costs may be negative on individual edges, but the network must not
+// contain a negative-cost cycle of positive capacity; the initial potentials
+// are computed with Bellman–Ford so negative edges are handled correctly.
+func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
+		panic(fmt.Sprintf("flow: terminal out of range: s=%d t=%d n=%d", s, t, nw.n))
+	}
+	pot := nw.bellmanFord(s)
+	var totalFlow int64
+	totalCost := 0.0
+	dist := make([]float64, nw.n)
+	inArc := make([]int, nw.n)
+	for totalFlow < maxFlow {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			inArc[i] = -1
+		}
+		dist[s] = 0
+		h := &pairHeap{}
+		h.push(s, 0)
+		for h.len() > 0 {
+			u, du := h.pop()
+			if du > dist[u] {
+				continue
+			}
+			for a := nw.head[u]; a >= 0; a = nw.next[a] {
+				if nw.cap[a] <= 0 {
+					continue
+				}
+				v := nw.to[a]
+				rc := nw.cost[a] + pot[u] - pot[v]
+				if rc < -1e-7 {
+					// Reduced costs are non-negative by induction; tiny
+					// negatives are floating-point noise.
+					rc = 0
+				}
+				if nd := du + rc; nd < dist[v]-1e-12 {
+					dist[v] = nd
+					inArc[v] = a
+					h.push(v, nd)
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no augmenting path
+		}
+		for v := 0; v < nw.n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				pot[v] += dist[v]
+			}
+		}
+		// Find bottleneck along the path.
+		push := maxFlow - totalFlow
+		for v := t; v != s; {
+			a := inArc[v]
+			if nw.cap[a] < push {
+				push = nw.cap[a]
+			}
+			v = nw.to[a^1]
+		}
+		for v := t; v != s; {
+			a := inArc[v]
+			nw.cap[a] -= push
+			nw.cap[a^1] += push
+			totalCost += float64(push) * nw.cost[a]
+			v = nw.to[a^1]
+		}
+		totalFlow += push
+	}
+	return Result{Flow: totalFlow, Cost: totalCost}
+}
+
+// bellmanFord computes shortest path potentials from s over positive-capacity
+// arcs, tolerating negative costs. Unreachable nodes get potential 0, which
+// is safe because they can only become reachable after an augmentation that
+// passes through reachable nodes first.
+func (nw *Network) bellmanFord(s int) []float64 {
+	pot := make([]float64, nw.n)
+	reach := make([]bool, nw.n)
+	for i := range pot {
+		pot[i] = math.Inf(1)
+	}
+	pot[s] = 0
+	reach[s] = true
+	for iter := 0; iter < nw.n; iter++ {
+		changed := false
+		for u := 0; u < nw.n; u++ {
+			if !reach[u] {
+				continue
+			}
+			for a := nw.head[u]; a >= 0; a = nw.next[a] {
+				if nw.cap[a] <= 0 {
+					continue
+				}
+				v := nw.to[a]
+				if nd := pot[u] + nw.cost[a]; nd < pot[v]-1e-12 {
+					pot[v] = nd
+					reach[v] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range pot {
+		if math.IsInf(pot[i], 1) {
+			pot[i] = 0
+		}
+	}
+	return pot
+}
+
+// pairHeap is a tiny binary min-heap of (node, dist) pairs.
+type pairHeap struct {
+	node []int
+	dist []float64
+}
+
+func (h *pairHeap) len() int { return len(h.node) }
+
+func (h *pairHeap) push(v int, d float64) {
+	h.node = append(h.node, v)
+	h.dist = append(h.dist, d)
+	i := len(h.node) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dist[p] <= h.dist[i] {
+			break
+		}
+		h.node[p], h.node[i] = h.node[i], h.node[p]
+		h.dist[p], h.dist[i] = h.dist[i], h.dist[p]
+		i = p
+	}
+}
+
+func (h *pairHeap) pop() (int, float64) {
+	v, d := h.node[0], h.dist[0]
+	last := len(h.node) - 1
+	h.node[0], h.dist[0] = h.node[last], h.dist[last]
+	h.node, h.dist = h.node[:last], h.dist[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && h.dist[l] < h.dist[m] {
+			m = l
+		}
+		if r < last && h.dist[r] < h.dist[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.node[m], h.node[i] = h.node[i], h.node[m]
+		h.dist[m], h.dist[i] = h.dist[i], h.dist[m]
+		i = m
+	}
+	return v, d
+}
+
+// Assign solves a min-cost bipartite assignment: left items 0..nl-1 must
+// each be matched to exactly one right item 0..nr-1; right item j can host
+// at most rightCap[j] left items; allowed[i][j] gives the cost of pairing i
+// with j, with NaN marking a forbidden pair. It returns match[i] = j for
+// every left item and the total cost, or an error if no complete assignment
+// exists.
+func Assign(costs [][]float64, rightCap []int64) ([]int, float64, error) {
+	nl := len(costs)
+	nr := len(rightCap)
+	// Nodes: 0 = source, 1..nl = left, nl+1..nl+nr = right, nl+nr+1 = sink.
+	src, snk := 0, nl+nr+1
+	nw := NewNetwork(nl + nr + 2)
+	// Costs can be negative; shift is unnecessary because SSP with
+	// Bellman–Ford initial potentials handles them.
+	type pair struct{ i, j int }
+	handles := map[pair]int{}
+	for i := 0; i < nl; i++ {
+		if len(costs[i]) != nr {
+			return nil, 0, fmt.Errorf("flow: costs row %d has %d entries, want %d", i, len(costs[i]), nr)
+		}
+		nw.AddEdge(src, 1+i, 1, 0)
+		for j := 0; j < nr; j++ {
+			if !math.IsNaN(costs[i][j]) {
+				handles[pair{i, j}] = nw.AddEdge(1+i, 1+nl+j, 1, costs[i][j])
+			}
+		}
+	}
+	for j := 0; j < nr; j++ {
+		nw.AddEdge(1+nl+j, snk, rightCap[j], 0)
+	}
+	res := nw.MinCostFlow(src, snk, int64(nl))
+	if res.Flow != int64(nl) {
+		return nil, 0, fmt.Errorf("flow: assignment infeasible: matched %d of %d items", res.Flow, nl)
+	}
+	match := make([]int, nl)
+	for i := range match {
+		match[i] = -1
+	}
+	for pr, h := range handles {
+		if nw.Flow(h) > 0 {
+			match[pr.i] = pr.j
+		}
+	}
+	for i, j := range match {
+		if j < 0 {
+			return nil, 0, fmt.Errorf("flow: internal error: item %d unmatched after full flow", i)
+		}
+	}
+	return match, res.Cost, nil
+}

@@ -1,0 +1,261 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowBasic(t *testing.T) {
+	// Classic 4-node diamond: s=0, t=3; capacity limited to 2+3=5 out of s,
+	// but inner edges limit to 4.
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 2, 0)
+	nw.AddEdge(0, 2, 3, 0)
+	nw.AddEdge(1, 3, 3, 0)
+	nw.AddEdge(2, 3, 2, 0)
+	res := nw.MinCostFlow(0, 3, math.MaxInt64)
+	if res.Flow != 4 {
+		t.Fatalf("max flow = %d, want 4", res.Flow)
+	}
+}
+
+func TestMinCostChoosesCheapPath(t *testing.T) {
+	// Two parallel paths s->a->t (cost 1) and s->b->t (cost 10), capacity 1
+	// each; pushing 1 unit must use the cheap path.
+	nw := NewNetwork(4)
+	ea := nw.AddEdge(0, 1, 1, 1)
+	nw.AddEdge(1, 3, 1, 0)
+	eb := nw.AddEdge(0, 2, 1, 10)
+	nw.AddEdge(2, 3, 1, 0)
+	res := nw.MinCostFlow(0, 3, 1)
+	if res.Flow != 1 || res.Cost != 1 {
+		t.Fatalf("flow=%d cost=%v, want 1, 1", res.Flow, res.Cost)
+	}
+	if nw.Flow(ea) != 1 || nw.Flow(eb) != 0 {
+		t.Fatalf("edge flows: cheap=%d expensive=%d, want 1, 0", nw.Flow(ea), nw.Flow(eb))
+	}
+}
+
+func TestMinCostFullFlow(t *testing.T) {
+	// Same network, push max flow: both paths used; cost 11.
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 1, 1)
+	nw.AddEdge(1, 3, 1, 0)
+	nw.AddEdge(0, 2, 1, 10)
+	nw.AddEdge(2, 3, 1, 0)
+	res := nw.MinCostFlow(0, 3, math.MaxInt64)
+	if res.Flow != 2 || res.Cost != 11 {
+		t.Fatalf("flow=%d cost=%v, want 2, 11", res.Flow, res.Cost)
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	// An edge with negative cost must be preferred.
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 1, -5)
+	nw.AddEdge(1, 3, 1, 1)
+	nw.AddEdge(0, 2, 1, 0)
+	nw.AddEdge(2, 3, 1, 0)
+	res := nw.MinCostFlow(0, 3, 1)
+	if res.Cost != -4 {
+		t.Fatalf("cost = %v, want -4", res.Cost)
+	}
+}
+
+func TestRerouting(t *testing.T) {
+	// Flow must reroute through the residual network: the greedy first path
+	// blocks the only s->t cut unless the algorithm can push back.
+	// s=0, a=1, b=2, t=3: s->a (1, cost 1), a->t (1, cost 1),
+	// s->b (1, cost 1), b->a (1, cost -10), a... classic zigzag:
+	// edges: s->a cap1 cost0, a->b cap1 cost0, b->t cap1 cost0,
+	//        s->b cap1 cost2, a->t cap1 cost2.
+	// Max flow 2 uses both cross edges; SSP must send first unit s->a->b->t
+	// then reroute via residual b->a.
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 1, 0)
+	nw.AddEdge(1, 2, 1, 0)
+	nw.AddEdge(2, 3, 1, 0)
+	nw.AddEdge(0, 2, 1, 2)
+	nw.AddEdge(1, 3, 1, 2)
+	res := nw.MinCostFlow(0, 3, math.MaxInt64)
+	if res.Flow != 2 || res.Cost != 4 {
+		t.Fatalf("flow=%d cost=%v, want 2, 4", res.Flow, res.Cost)
+	}
+}
+
+func TestAssignSquare(t *testing.T) {
+	costs := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	match, cost, err := Assign(costs, []int64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal assignment: 0->1 (1), 1->0 (2), 2->2 (2) = 5.
+	if cost != 5 {
+		t.Fatalf("cost = %v, want 5", cost)
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if match[i] != want[i] {
+			t.Fatalf("match = %v, want %v", match, want)
+		}
+	}
+}
+
+func TestAssignForbiddenPairs(t *testing.T) {
+	nan := math.NaN()
+	costs := [][]float64{
+		{nan, 1},
+		{1, nan},
+	}
+	match, cost, err := Assign(costs, []int64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match[0] != 1 || match[1] != 0 || cost != 2 {
+		t.Fatalf("match=%v cost=%v, want [1 0], 2", match, cost)
+	}
+}
+
+func TestAssignInfeasible(t *testing.T) {
+	nan := math.NaN()
+	costs := [][]float64{
+		{nan, nan},
+		{1, 1},
+	}
+	if _, _, err := Assign(costs, []int64{1, 1}); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestAssignCapacities(t *testing.T) {
+	// Three items, one machine with capacity 3: everything lands there.
+	costs := [][]float64{{1, 9}, {2, 9}, {3, 9}}
+	match, cost, err := Assign(costs, []int64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 6 {
+		t.Fatalf("cost = %v, want 6", cost)
+	}
+	for i, j := range match {
+		if j != 0 {
+			t.Fatalf("item %d assigned to %d, want 0", i, j)
+		}
+	}
+}
+
+func TestAssignCapacityForcing(t *testing.T) {
+	// Machine 0 is cheap but can take only 1 item; the other must go to 1.
+	costs := [][]float64{{0, 5}, {0, 7}}
+	match, cost, err := Assign(costs, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 {
+		t.Fatalf("cost = %v, want 5 (send item 1... item with higher alt cost to cheap slot)", cost)
+	}
+	if match[0] == match[1] {
+		t.Fatalf("both items on machine %d despite capacity 1", match[0])
+	}
+}
+
+func TestAssignNegativeCosts(t *testing.T) {
+	costs := [][]float64{{-3, 0}, {0, -4}}
+	match, cost, err := Assign(costs, []int64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != -7 || match[0] != 0 || match[1] != 1 {
+		t.Fatalf("match=%v cost=%v, want [0 1], -7", match, cost)
+	}
+}
+
+// bruteAssign enumerates all assignments respecting capacities.
+func bruteAssign(costs [][]float64, caps []int64) float64 {
+	nl, nr := len(costs), len(caps)
+	best := math.Inf(1)
+	var rec func(i int, used []int64, acc float64)
+	rec = func(i int, used []int64, acc float64) {
+		if i == nl {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		for j := 0; j < nr; j++ {
+			if used[j] < caps[j] && !math.IsNaN(costs[i][j]) {
+				used[j]++
+				rec(i+1, used, acc+costs[i][j])
+				used[j]--
+			}
+		}
+	}
+	rec(0, make([]int64, nr), 0)
+	return best
+}
+
+func TestAssignAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nl := 1 + rng.Intn(5)
+		nr := 1 + rng.Intn(4)
+		costs := make([][]float64, nl)
+		for i := range costs {
+			costs[i] = make([]float64, nr)
+			for j := range costs[i] {
+				if rng.Float64() < 0.15 {
+					costs[i][j] = math.NaN()
+				} else {
+					costs[i][j] = math.Round(rng.Float64()*20 - 5)
+				}
+			}
+		}
+		caps := make([]int64, nr)
+		for j := range caps {
+			caps[j] = int64(1 + rng.Intn(3))
+		}
+		want := bruteAssign(costs, caps)
+		match, cost, err := Assign(costs, caps)
+		if math.IsInf(want, 1) {
+			if err == nil {
+				t.Fatalf("trial %d: Assign succeeded (%v) but brute force says infeasible", trial, match)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: Assign failed but brute force found %v", trial, want)
+		}
+		if math.Abs(cost-want) > 1e-6 {
+			t.Fatalf("trial %d: Assign cost=%v, brute=%v", trial, cost, want)
+		}
+		// Verify the reported matching is consistent with the cost.
+		sum := 0.0
+		used := make([]int64, nr)
+		for i, j := range match {
+			sum += costs[i][j]
+			used[j]++
+		}
+		if math.Abs(sum-cost) > 1e-6 {
+			t.Fatalf("trial %d: matching sums to %v, reported %v", trial, sum, cost)
+		}
+		for j := range used {
+			if used[j] > caps[j] {
+				t.Fatalf("trial %d: machine %d capacity exceeded: %d > %d", trial, j, used[j], caps[j])
+			}
+		}
+	}
+}
+
+func TestFlowHandleTracksEdge(t *testing.T) {
+	nw := NewNetwork(2)
+	e := nw.AddEdge(0, 1, 5, 1)
+	res := nw.MinCostFlow(0, 1, 3)
+	if res.Flow != 3 || nw.Flow(e) != 3 {
+		t.Fatalf("flow=%d edgeFlow=%d, want 3, 3", res.Flow, nw.Flow(e))
+	}
+}

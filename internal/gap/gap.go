@@ -1,0 +1,280 @@
+// Package gap implements the Generalized Assignment Problem machinery the
+// paper builds on (Definition 3.10): the LP relaxation (15)–(18) of Lenstra–
+// Shmoys–Tardos, and the Shmoys–Tardos rounding theorem (Theorem 3.11),
+// which converts any fractional solution into an integral assignment of cost
+// no more than the fractional cost, loading each machine i by at most
+// T_i + p_i^max (the largest load of any job fractionally assigned to i).
+//
+// The paper uses this twice: to round the filtered SSQPP LP solution
+// (Theorem 3.12) and to solve the total-delay placement problem directly
+// (Theorem 5.1).
+package gap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"quorumplace/internal/flow"
+	"quorumplace/internal/lp"
+)
+
+// Instance is a GAP instance: jobs must each be assigned to one machine;
+// assigning job j to machine i costs Cost[i][j] and consumes Load[i][j] of
+// machine i's capacity T[i]. A Load entry of +Inf forbids the pair.
+type Instance struct {
+	Cost [][]float64 // [machine][job]
+	Load [][]float64 // [machine][job]; +Inf = forbidden
+	T    []float64   // machine capacities
+}
+
+// NumMachines returns the number of machines.
+func (ins *Instance) NumMachines() int { return len(ins.T) }
+
+// NumJobs returns the number of jobs (0 for an empty instance).
+func (ins *Instance) NumJobs() int {
+	if len(ins.Cost) == 0 {
+		return 0
+	}
+	return len(ins.Cost[0])
+}
+
+// Validate checks dimensional consistency and value sanity.
+func (ins *Instance) Validate() error {
+	m := len(ins.T)
+	if len(ins.Cost) != m || len(ins.Load) != m {
+		return fmt.Errorf("gap: %d machines but %d cost rows and %d load rows", m, len(ins.Cost), len(ins.Load))
+	}
+	n := ins.NumJobs()
+	for i := 0; i < m; i++ {
+		if len(ins.Cost[i]) != n || len(ins.Load[i]) != n {
+			return fmt.Errorf("gap: machine %d has %d costs and %d loads, want %d", i, len(ins.Cost[i]), len(ins.Load[i]), n)
+		}
+		if ins.T[i] < 0 || math.IsNaN(ins.T[i]) {
+			return fmt.Errorf("gap: machine %d capacity %v", i, ins.T[i])
+		}
+		for j := 0; j < n; j++ {
+			if math.IsNaN(ins.Cost[i][j]) {
+				return fmt.Errorf("gap: cost[%d][%d] is NaN", i, j)
+			}
+			if l := ins.Load[i][j]; l < 0 || math.IsNaN(l) {
+				return fmt.Errorf("gap: load[%d][%d] = %v", i, j, l)
+			}
+		}
+	}
+	return nil
+}
+
+// SolveLP solves the LP relaxation (15)–(18): minimize Σ c_ij y_ij subject
+// to Σ_i y_ij = 1 for each job, Σ_j p_ij y_ij ≤ T_i for each machine, and
+// y ≥ 0 with forbidden pairs fixed to zero. It returns the fractional
+// solution y[machine][job] and its objective value.
+func SolveLP(ins *Instance) ([][]float64, float64, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, 0, err
+	}
+	m, n := ins.NumMachines(), ins.NumJobs()
+	prob := lp.NewProblem()
+	vars := make([][]int, m)
+	for i := 0; i < m; i++ {
+		vars[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			vars[i][j] = -1
+			if !math.IsInf(ins.Load[i][j], 1) {
+				vars[i][j] = prob.AddVar(ins.Cost[i][j], fmt.Sprintf("y_%d_%d", i, j))
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		var terms []lp.Term
+		for i := 0; i < m; i++ {
+			if vars[i][j] >= 0 {
+				terms = append(terms, lp.Term{Var: vars[i][j], Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			return nil, 0, fmt.Errorf("gap: job %d has no allowed machine", j)
+		}
+		prob.AddConstraint(terms, lp.EQ, 1)
+	}
+	for i := 0; i < m; i++ {
+		var terms []lp.Term
+		for j := 0; j < n; j++ {
+			if vars[i][j] >= 0 && ins.Load[i][j] > 0 {
+				terms = append(terms, lp.Term{Var: vars[i][j], Coef: ins.Load[i][j]})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, ins.T[i])
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, 0, fmt.Errorf("gap: LP relaxation: %w", err)
+	}
+	y := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		y[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if vars[i][j] >= 0 {
+				y[i][j] = sol.X[vars[i][j]]
+			}
+		}
+	}
+	return y, sol.Objective, nil
+}
+
+// fracTol is the threshold below which fractional assignments are treated
+// as zero during rounding (LP roundoff noise).
+const fracTol = 1e-9
+
+// Round applies the Shmoys–Tardos rounding (Theorem 3.11) to the fractional
+// solution y[machine][job]: each job j must have Σ_i y_ij ≈ 1. It returns
+// assign[job] = machine with:
+//
+//   - total cost ≤ the fractional cost Σ c_ij y_ij, and
+//   - for each machine i, Σ_{j assigned to i} p_ij ≤ Σ_j p_ij y_ij + p_i^max,
+//     where p_i^max is the largest load among jobs with y_ij > 0.
+//
+// Jobs are only ever assigned to machines they were fractionally assigned
+// to, which is what the SSQPP filtering argument (Lemma 3.9) relies on.
+func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, 0, err
+	}
+	m, n := ins.NumMachines(), ins.NumJobs()
+	if len(y) != m {
+		return nil, 0, fmt.Errorf("gap: fractional solution has %d machines, want %d", len(y), m)
+	}
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			if len(y[i]) != n {
+				return nil, 0, fmt.Errorf("gap: fractional row %d has %d jobs, want %d", i, len(y[i]), n)
+			}
+			if y[i][j] < -fracTol {
+				return nil, 0, fmt.Errorf("gap: y[%d][%d] = %v is negative", i, j, y[i][j])
+			}
+			if y[i][j] > fracTol && math.IsInf(ins.Load[i][j], 1) {
+				return nil, 0, fmt.Errorf("gap: y[%d][%d] = %v but the pair is forbidden", i, j, y[i][j])
+			}
+			sum += y[i][j]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return nil, 0, fmt.Errorf("gap: job %d has fractional mass %v, want 1", j, sum)
+		}
+	}
+
+	// Slot construction: for each machine, order its fractionally assigned
+	// jobs by nonincreasing load and pack them greedily into slots of unit
+	// fractional mass. A job split across two consecutive slots appears in
+	// both. The resulting job×slot bipartite graph admits the fractional
+	// solution as a fractional matching, so a min-cost integral matching
+	// costs no more; because slots are filled in load order, machine i
+	// receives at most one job "extra" beyond its fractional load.
+	type slot struct {
+		machine int
+	}
+	var slots []slot
+	// edge costs: jobCost[j][s] for slot s, NaN if job j not in slot s.
+	edges := make([]map[int]float64, n)
+	for j := range edges {
+		edges[j] = make(map[int]float64)
+	}
+	for i := 0; i < m; i++ {
+		jobs := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			if y[i][j] > fracTol {
+				jobs = append(jobs, j)
+			}
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		sort.SliceStable(jobs, func(a, b int) bool {
+			return ins.Load[i][jobs[a]] > ins.Load[i][jobs[b]]
+		})
+		cur := len(slots)
+		slots = append(slots, slot{machine: i})
+		room := 1.0
+		for _, j := range jobs {
+			rem := y[i][j]
+			for rem > fracTol {
+				edges[j][cur] = ins.Cost[i][j]
+				if rem <= room+fracTol {
+					room -= rem
+					rem = 0
+				} else {
+					rem -= room
+					room = 0
+				}
+				if room <= fracTol && rem > fracTol {
+					cur = len(slots)
+					slots = append(slots, slot{machine: i})
+					room = 1.0
+				}
+			}
+		}
+	}
+
+	costs := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		costs[j] = make([]float64, len(slots))
+		for s := range costs[j] {
+			costs[j][s] = math.NaN()
+		}
+		for s, c := range edges[j] {
+			costs[j][s] = c
+		}
+	}
+	caps := make([]int64, len(slots))
+	for s := range caps {
+		caps[s] = 1
+	}
+	match, cost, err := flow.Assign(costs, caps)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gap: rounding matching failed: %w", err)
+	}
+	assign := make([]int, n)
+	for j, s := range match {
+		assign[j] = slots[s].machine
+	}
+	return assign, cost, nil
+}
+
+// Solve runs SolveLP followed by Round, returning the integral assignment,
+// its cost, and the LP lower bound.
+func Solve(ins *Instance) (assign []int, cost, lpBound float64, err error) {
+	y, lpObj, err := SolveLP(ins)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	assign, cost, err = Round(ins, y)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return assign, cost, lpObj, nil
+}
+
+// Loads returns the per-machine load of an integral assignment.
+func Loads(ins *Instance, assign []int) []float64 {
+	loads := make([]float64, ins.NumMachines())
+	for j, i := range assign {
+		loads[i] += ins.Load[i][j]
+	}
+	return loads
+}
+
+// MaxFractionalLoad returns, for each machine, the largest load among jobs
+// fractionally assigned to it (p_i^max in Theorem 3.11), zero if none.
+func MaxFractionalLoad(ins *Instance, y [][]float64) []float64 {
+	out := make([]float64, ins.NumMachines())
+	for i := range y {
+		for j, v := range y[i] {
+			if v > fracTol && ins.Load[i][j] > out[i] {
+				out[i] = ins.Load[i][j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeList checks that the parser never panics and that every
+// accepted graph round-trips through WriteEdgeList. (Seeds run as ordinary
+// unit tests; `go test -fuzz=FuzzParseEdgeList ./internal/graph` explores
+// further.)
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("nodes 3\n0 1 1\n1 2 2.5\n")
+	f.Add("nodes 0\n")
+	f.Add("# comment\nnodes 2\n\n0 1 0.001\n")
+	f.Add("nodes 2\n0 1 1\n0 1 2\n") // parallel edges are allowed
+	f.Add("nodes 1000000000\n")
+	f.Add("nodes 2\n0 1 NaN\n")
+	f.Add("nodes 2\n0 1 -5\n")
+	f.Add("nodes 2\n0 1 1e999\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Guard against absurd allocations from the node-count header.
+		if idx := strings.Index(input, "nodes "); idx >= 0 {
+			rest := input[idx+6:]
+			end := strings.IndexAny(rest, "\n \t")
+			if end < 0 {
+				end = len(rest)
+			}
+			if len(rest[:end]) > 6 { // > 999999 nodes
+				t.Skip("node count too large for fuzzing")
+			}
+		}
+		g, err := ParseEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("WriteEdgeList on accepted graph: %v", err)
+		}
+		g2, err := ParseEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal input: %q", err, input)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}

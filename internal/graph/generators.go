@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file contains the topology generators used by the tests, examples and
+// experiment harness. Deterministic generators take explicit parameters;
+// random generators take a *rand.Rand so experiments are reproducible.
+
+// Path returns the path graph v0 - v1 - ... - v_{n-1} with unit edge
+// lengths. This is the topology of the Theorem 3.6 hardness construction.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle with unit edge lengths (n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+// Complete returns the complete graph on n vertices with unit edge lengths.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+// Star returns a star with center 0 and n-1 leaves at unit distance.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i, 1)
+	}
+	return g
+}
+
+// Grid2D returns the rows×cols grid graph with unit edge lengths. Vertex
+// (r, c) has index r*cols + c.
+func Grid2D(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices
+// (via a random Prüfer-like attachment) with edge lengths drawn uniformly
+// from [minLen, maxLen].
+func RandomTree(n int, minLen, maxLen float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		parent := rng.Intn(i)
+		g.MustAddEdge(i, parent, randLen(minLen, maxLen, rng))
+	}
+	return g
+}
+
+// ErdosRenyiConnected returns a connected Erdős–Rényi graph G(n, p): it
+// first builds a random spanning tree (guaranteeing connectivity) and then
+// adds each remaining pair independently with probability p. Edge lengths
+// are uniform in [minLen, maxLen].
+func ErdosRenyiConnected(n int, p, minLen, maxLen float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	attached := make(map[[2]int]bool, n*2)
+	for i := 1; i < n; i++ {
+		u, v := perm[i], perm[rng.Intn(i)]
+		g.MustAddEdge(u, v, randLen(minLen, maxLen, rng))
+		attached[edgeKey(u, v)] = true
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !attached[edgeKey(u, v)] && rng.Float64() < p {
+				g.MustAddEdge(u, v, randLen(minLen, maxLen, rng))
+			}
+		}
+	}
+	return g
+}
+
+// RandomGeometric places n points uniformly in the unit square and connects
+// every pair within Euclidean distance radius, using the Euclidean distance
+// as the edge length; if the result is disconnected it augments it with the
+// shortest missing inter-component edges. This is the standard synthetic
+// stand-in for a WAN topology (hosts spread over a geographic area).
+func RandomGeometric(n int, radius float64, rng *rand.Rand) *Graph {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	g := New(n)
+	dist := func(i, j int) float64 {
+		return math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d <= radius && d > 0 {
+				g.MustAddEdge(i, j, d)
+			}
+		}
+	}
+	// Stitch components together with their closest cross pairs so the
+	// metric is always defined.
+	for !g.Connected() {
+		comp := components(g)
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if comp[i] != comp[j] {
+					if d := dist(i, j); d < bd && d > 0 {
+						bi, bj, bd = i, j, d
+					}
+				}
+			}
+		}
+		if bi < 0 {
+			// All points coincide; fall back to a unit edge.
+			g.MustAddEdge(0, 1, 1)
+			continue
+		}
+		g.MustAddEdge(bi, bj, bd)
+	}
+	return g
+}
+
+// Broom returns the Figure-1 graph from Appendix A for parameter k: a
+// center v0 (index 0) with n-k pendant unit-length leaves plus a path of
+// k-1 additional vertices hanging off v0, where n = k². The resulting
+// distance profile from v0 is 1 (repeated n-k times) followed by 1, 2, ..., k
+// along the path — exactly the d_i sequence of Claim A.1, on which the LP
+// relaxation has integrality gap Θ(√n).
+func Broom(k int) *Graph {
+	if k < 2 {
+		panic(fmt.Sprintf("graph: broom needs k >= 2, got %d", k))
+	}
+	n := k * k
+	g := New(n)
+	// Leaves 1..n-k at distance 1 from v0.
+	for i := 1; i <= n-k; i++ {
+		g.MustAddEdge(0, i, 1)
+	}
+	// Path v0 - (n-k+1) - (n-k+2) - ... - (n-1), giving distances 1..k-1;
+	// note vertex n-k is already a leaf at distance 1, so together the
+	// distances from v0 are: 0, 1×(n-k), then 2, 3, ..., k as in the paper
+	// (the path contributes k-1 vertices at distances 1..k-1 plus one leaf
+	// reused; we follow the paper's profile d_{n-k+2}=2, ..., d_n=k by
+	// hanging a path of length k-1 off one leaf).
+	prev := 1 // extend the path from leaf 1 (distance 1 from v0)
+	for i := n - k + 1; i < n; i++ {
+		g.MustAddEdge(prev, i, 1)
+		prev = i
+	}
+	return g
+}
+
+// StarWithLongEdge returns the Appendix-A general-metric gap instance: a
+// star on n vertices with unit spokes, except one spoke of length m. The
+// only capacity-feasible placement of a single n-element quorum must use the
+// far node, so the integral optimum is m while the LP spreads mass and pays
+// about (n-1+m)/n.
+func StarWithLongEdge(n int, m float64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: star needs n >= 2, got %d", n))
+	}
+	g := New(n)
+	for i := 1; i < n-1; i++ {
+		g.MustAddEdge(0, i, 1)
+	}
+	g.MustAddEdge(0, n-1, m)
+	return g
+}
+
+func randLen(minLen, maxLen float64, rng *rand.Rand) float64 {
+	if maxLen < minLen {
+		panic(fmt.Sprintf("graph: invalid length range [%v,%v]", minLen, maxLen))
+	}
+	if maxLen == minLen {
+		return minLen
+	}
+	return minLen + rng.Float64()*(maxLen-minLen)
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// components labels each vertex with a component id and returns the labels.
+func components(g *Graph) []int {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		stack := []int{s}
+		comp[s] = next
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.adj[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = next
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}

@@ -1,0 +1,63 @@
+package graph
+
+// indexedHeap is a simple binary min-heap of (vertex, priority) pairs used
+// by Dijkstra. It allows duplicate entries for the same vertex (lazy
+// deletion), which keeps the implementation small while preserving the
+// O((n+m) log n) bound for the graphs in this library.
+type indexedHeap struct {
+	vert []int
+	prio []float64
+}
+
+func newIndexedHeap(capHint int) *indexedHeap {
+	return &indexedHeap{
+		vert: make([]int, 0, capHint),
+		prio: make([]float64, 0, capHint),
+	}
+}
+
+func (h *indexedHeap) len() int { return len(h.vert) }
+
+func (h *indexedHeap) push(v int, p float64) {
+	h.vert = append(h.vert, v)
+	h.prio = append(h.prio, p)
+	i := len(h.vert) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *indexedHeap) pop() (v int, p float64) {
+	v, p = h.vert[0], h.prio[0]
+	last := len(h.vert) - 1
+	h.swap(0, last)
+	h.vert = h.vert[:last]
+	h.prio = h.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < last && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return v, p
+}
+
+func (h *indexedHeap) swap(i, j int) {
+	h.vert[i], h.vert[j] = h.vert[j], h.vert[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list serialization. The format is line-oriented text:
+//
+//	# comment
+//	nodes <n>
+//	<u> <v> <length>
+//	...
+//
+// Vertex ids are 0-based. Blank lines and #-comments are ignored. The
+// format round-trips exactly through WriteEdgeList / ParseEdgeList and is
+// what cmd/qpp's -graphfile flag consumes, so real topologies (e.g.
+// measured WAN latencies) can be fed to the solvers.
+
+// WriteEdgeList serializes g in the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "nodes %d\n", g.N()); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if u < e.To {
+				if _, err := fmt.Fprintf(bw, "%d %d %s\n", u, e.To, strconv.FormatFloat(e.Length, 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseEdgeList reads a graph in the edge-list format.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil {
+			if len(fields) != 2 || fields[0] != "nodes" {
+				return nil, fmt.Errorf("graph: line %d: expected \"nodes <n>\" header, got %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			g = New(n)
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected \"u v length\", got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		length, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad length %q", lineNo, fields[2])
+		}
+		if err := g.AddEdge(u, v, length); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return g, nil
+}
+
+// Hypercube returns the d-dimensional hypercube graph on 2^d vertices with
+// unit edge lengths (vertices adjacent iff their ids differ in one bit).
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 20 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of range [0,20]", d))
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// RingOfCliques returns k cliques of the given size arranged in a ring:
+// within-clique edges have length 1 and consecutive cliques are joined by a
+// single length-bridge edge. It models geographically clustered data
+// centers connected by WAN links.
+func RingOfCliques(k, size int, bridge float64) *Graph {
+	if k < 2 || size < 1 {
+		panic(fmt.Sprintf("graph: ring of cliques needs k >= 2, size >= 1; got %d, %d", k, size))
+	}
+	if bridge <= 0 {
+		panic(fmt.Sprintf("graph: bridge length %v must be positive", bridge))
+	}
+	g := New(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				g.MustAddEdge(base+i, base+j, 1)
+			}
+		}
+		next := ((c + 1) % k) * size
+		g.MustAddEdge(base, next, bridge)
+	}
+	return g
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	g := ErdosRenyiConnected(10, 0.4, 1, 5, rng)
+	s := Scale(g, 2.5)
+	if s.N() != g.N() || s.M() != g.M() {
+		t.Fatalf("scale changed shape")
+	}
+	m1, err := NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMetricFromGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if math.Abs(m2.D(i, j)-2.5*m1.D(i, j)) > 1e-9 {
+				t.Fatalf("d(%d,%d): %v != 2.5·%v", i, j, m2.D(i, j), m1.D(i, j))
+			}
+		}
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(g, 0) did not panic")
+		}
+	}()
+	Scale(Path(3), 0)
+}
+
+func TestSubdividePreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	g := ErdosRenyiConnected(8, 0.4, 1, 4, rng)
+	for _, k := range []int{1, 2, 3} {
+		sub := Subdivide(g, k)
+		wantN := g.N() + (k-1)*g.M()
+		if sub.N() != wantN {
+			t.Fatalf("k=%d: n=%d, want %d", k, sub.N(), wantN)
+		}
+		if sub.M() != k*g.M() {
+			t.Fatalf("k=%d: m=%d, want %d", k, sub.M(), k*g.M())
+		}
+		m1, err := NewMetricFromGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := NewMetricFromGraph(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Distances between ORIGINAL vertices are preserved.
+		for i := 0; i < g.N(); i++ {
+			for j := 0; j < g.N(); j++ {
+				if math.Abs(m2.D(i, j)-m1.D(i, j)) > 1e-9 {
+					t.Fatalf("k=%d: d(%d,%d) changed: %v vs %v", k, i, j, m2.D(i, j), m1.D(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	a, b := Path(3), Cycle(4)
+	d := Disjoint(a, b)
+	if d.N() != 7 || d.M() != a.M()+b.M() {
+		t.Fatalf("disjoint shape n=%d m=%d", d.N(), d.M())
+	}
+	if d.Connected() {
+		t.Fatal("disjoint union reported connected")
+	}
+	// Bridging reconnects.
+	d.MustAddEdge(0, 3, 1)
+	if !d.Connected() {
+		t.Fatal("bridged union disconnected")
+	}
+}

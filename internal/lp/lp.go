@@ -1,0 +1,433 @@
+// Package lp implements a general-purpose linear-programming solver: a
+// two-phase dense simplex method with Bland's anti-cycling rule.
+//
+// The quorum-placement algorithms need two LPs solved exactly enough to
+// carry the paper's guarantees: the Single-Source Quorum Placement LP
+// (Eqs. 9–14 of the paper) and the Generalized Assignment LP (Eqs. 15–18,
+// Shmoys–Tardos). Go has no stdlib LP solver, so this package provides one.
+//
+// All variables are non-negative; constraints may be ≤, = or ≥; the
+// objective is minimized. Problems are built incrementally:
+//
+//	p := lp.NewProblem()
+//	x := p.AddVar(3.0, "x")         // cost coefficient 3
+//	y := p.AddVar(2.0, "y")
+//	p.AddConstraint([]lp.Term{{x, 1}, {y, 1}}, lp.GE, 4)
+//	sol, err := p.Solve()
+//
+// The implementation favors robustness over speed: a dense tableau with
+// Dantzig pricing, falling back to Bland's rule when cycling is suspected.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a linear constraint.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ aᵢxᵢ ≤ b
+	GE            // Σ aᵢxᵢ ≥ b
+	EQ            // Σ aᵢxᵢ = b
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Term is one coefficient of a linear constraint: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Status describes the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrInfeasible and ErrUnbounded are returned by Solve for abnormal
+// terminations; the Solution carries the matching Status as well.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+type constraint struct {
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create problems with NewProblem.
+type Problem struct {
+	costs []float64
+	names []string
+	cons  []constraint
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// AddVar adds a non-negative variable with the given objective (cost)
+// coefficient and returns its index. The name is used in error messages and
+// debugging output only; it may be empty.
+func (p *Problem) AddVar(cost float64, name string) int {
+	p.costs = append(p.costs, cost)
+	p.names = append(p.names, name)
+	return len(p.costs) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.costs) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddConstraint adds the constraint Σ term ≤/=/≥ rhs. Terms referring to the
+// same variable are summed. It panics on out-of-range variable indices,
+// which always indicate a programming error in the model builder.
+func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.costs) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d (have %d)", t.Var, len(p.costs)))
+		}
+	}
+	cp := append([]Term(nil), terms...)
+	p.cons = append(p.cons, constraint{terms: cp, rel: rel, rhs: rhs})
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64 // values of the variables, in AddVar order
+}
+
+// solver tolerances. eps is the general feasibility/pivot tolerance; any
+// tableau entry smaller in magnitude is treated as zero.
+const (
+	eps          = 1e-9
+	phase1Tol    = 1e-7
+	blandTrigger = 5000 // iterations of Dantzig pricing before switching to Bland
+)
+
+// Solve runs the two-phase simplex method. On Status != Optimal the
+// returned error is ErrInfeasible or ErrUnbounded and Solution.X is nil.
+func (p *Problem) Solve() (*Solution, error) {
+	n := len(p.costs)
+	m := len(p.cons)
+	if m == 0 {
+		// Minimizing c·x over x ≥ 0: bounded iff all costs ≥ 0, optimum 0.
+		for j, c := range p.costs {
+			if c < -eps {
+				_ = j
+				return &Solution{Status: Unbounded}, ErrUnbounded
+			}
+		}
+		return &Solution{Status: Optimal, X: make([]float64, n)}, nil
+	}
+
+	// Count extra columns: one slack per LE, one surplus per GE,
+	// one artificial per GE or EQ row (and per LE row with negative rhs,
+	// handled by pre-normalizing rhs to be non-negative).
+	type rowKind struct {
+		rel Rel
+		rhs float64
+		neg bool // row was multiplied by -1 to make rhs ≥ 0
+	}
+	kinds := make([]rowKind, m)
+	slackCount, artCount := 0, 0
+	for i, c := range p.cons {
+		rel, rhs, neg := c.rel, c.rhs, false
+		if rhs < 0 {
+			rhs, neg = -rhs, true
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		kinds[i] = rowKind{rel: rel, rhs: rhs, neg: neg}
+		switch rel {
+		case LE:
+			slackCount++
+		case GE:
+			slackCount++ // surplus
+			artCount++
+		case EQ:
+			artCount++
+		}
+	}
+
+	total := n + slackCount + artCount
+	// Tableau: m rows of total+1 (last column = rhs), plus two objective
+	// rows (phase-1 and phase-2 reduced costs) handled separately.
+	tab := make([][]float64, m)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+
+	slackAt := n
+	artAt := n + slackCount
+	for i, c := range p.cons {
+		k := kinds[i]
+		sign := 1.0
+		if k.neg {
+			sign = -1
+		}
+		for _, t := range c.terms {
+			tab[i][t.Var] += sign * t.Coef
+		}
+		tab[i][total] = k.rhs
+		switch k.rel {
+		case LE:
+			tab[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			tab[i][slackAt] = -1
+			slackAt++
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	s := &simplex{tab: tab, basis: basis, m: m, total: total, names: p.names}
+
+	if artCount > 0 {
+		// Phase 1: minimize the sum of artificial variables.
+		obj := make([]float64, total+1)
+		for j := n + slackCount; j < total; j++ {
+			obj[j] = 1
+		}
+		s.setObjective(obj)
+		if status := s.run(total); status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded means a bug.
+			return nil, fmt.Errorf("lp: internal error: phase-1 unbounded")
+		}
+		if s.objValue() > phase1Tol {
+			return &Solution{Status: Infeasible}, ErrInfeasible
+		}
+		// Drive any remaining artificial variables out of the basis.
+		s.evictArtificials(n + slackCount)
+	}
+
+	// Phase 2: original objective over structural + slack columns only.
+	obj := make([]float64, total+1)
+	copy(obj, p.costs)
+	s.setObjective(obj)
+	// Forbid artificial columns from re-entering.
+	s.maxCol = n + slackCount
+	if status := s.run(n + slackCount); status == Unbounded {
+		return &Solution{Status: Unbounded}, ErrUnbounded
+	}
+
+	x := make([]float64, n)
+	for i, b := range s.basis {
+		if b < n {
+			x[b] = s.tab[i][total]
+		}
+	}
+	// Clamp tiny negatives introduced by roundoff.
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+	}
+	objVal := 0.0
+	for j := range x {
+		objVal += p.costs[j] * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: objVal, X: x}, nil
+}
+
+// simplex holds the dense tableau state shared by the two phases.
+type simplex struct {
+	tab    [][]float64 // m rows × (total+1); column `total` is the rhs
+	obj    []float64   // reduced-cost row, length total+1 (last entry = -objective value)
+	basis  []int
+	m      int
+	total  int
+	maxCol int // columns ≥ maxCol may not enter the basis (0 = no limit)
+	names  []string
+}
+
+// setObjective installs a fresh objective row and prices out the current
+// basis so all basic columns have reduced cost zero.
+func (s *simplex) setObjective(obj []float64) {
+	s.obj = make([]float64, s.total+1)
+	copy(s.obj, obj)
+	for i, b := range s.basis {
+		if c := s.obj[b]; c != 0 {
+			for j := 0; j <= s.total; j++ {
+				s.obj[j] -= c * s.tab[i][j]
+			}
+		}
+	}
+}
+
+func (s *simplex) objValue() float64 { return -s.obj[s.total] }
+
+// run iterates pivots until optimality or unboundedness. Columns with index
+// ≥ limit never enter the basis.
+func (s *simplex) run(limit int) Status {
+	if s.maxCol > 0 && s.maxCol < limit {
+		limit = s.maxCol
+	}
+	for iter := 0; ; iter++ {
+		bland := iter >= blandTrigger
+		enter := s.chooseEntering(limit, bland)
+		if enter < 0 {
+			return Optimal
+		}
+		leave := s.chooseLeaving(enter, bland)
+		if leave < 0 {
+			return Unbounded
+		}
+		s.pivot(leave, enter)
+	}
+}
+
+// chooseEntering picks the entering column: the most negative reduced cost
+// under Dantzig pricing, or the lowest-index negative column under Bland.
+func (s *simplex) chooseEntering(limit int, bland bool) int {
+	best, bestVal := -1, -eps
+	for j := 0; j < limit; j++ {
+		if s.obj[j] < bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, s.obj[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum-ratio test on column enter. Under Bland's
+// rule ties are broken by the smallest basis variable index, which together
+// with Bland's entering rule guarantees termination.
+func (s *simplex) chooseLeaving(enter int, bland bool) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < s.m; i++ {
+		a := s.tab[i][enter]
+		if a <= eps {
+			continue
+		}
+		ratio := s.tab[i][s.total] / a
+		if ratio < bestRatio-eps {
+			best, bestRatio = i, ratio
+			continue
+		}
+		if ratio <= bestRatio+eps && best >= 0 {
+			if bland {
+				if s.basis[i] < s.basis[best] {
+					best = i
+				}
+			} else if a > s.tab[best][enter] {
+				// Prefer larger pivots for numerical stability.
+				best, bestRatio = i, ratio
+			}
+		}
+	}
+	return best
+}
+
+// pivot performs a full Gauss–Jordan pivot on (row, col).
+func (s *simplex) pivot(row, col int) {
+	pr := s.tab[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= s.total; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // kill roundoff
+	for i := 0; i < s.m; i++ {
+		if i == row {
+			continue
+		}
+		if f := s.tab[i][col]; f != 0 {
+			ri := s.tab[i]
+			for j := 0; j <= s.total; j++ {
+				ri[j] -= f * pr[j]
+			}
+			ri[col] = 0
+		}
+	}
+	if f := s.obj[col]; f != 0 {
+		for j := 0; j <= s.total; j++ {
+			s.obj[j] -= f * pr[j]
+		}
+		s.obj[col] = 0
+	}
+	s.basis[row] = col
+}
+
+// evictArtificials pivots any artificial variable that remains basic at
+// value zero out of the basis (or drops its row as redundant) so that
+// phase 2 can proceed on structural and slack columns alone.
+func (s *simplex) evictArtificials(firstArt int) {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < firstArt {
+			continue
+		}
+		// Find a non-artificial column with a usable pivot in this row.
+		pivoted := false
+		for j := 0; j < firstArt; j++ {
+			if math.Abs(s.tab[i][j]) > 1e-7 {
+				s.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: every structural coefficient is ~0 and the
+			// rhs is ~0 (phase 1 succeeded). Zero it so it never pivots.
+			for j := 0; j <= s.total; j++ {
+				s.tab[i][j] = 0
+			}
+		}
+	}
+}

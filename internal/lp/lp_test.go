@@ -1,0 +1,514 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const tol = 1e-6
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSimpleLE(t *testing.T) {
+	// min -x - y s.t. x + y <= 4, x <= 3, y <= 2  =>  x=3, y=1? No:
+	// maximize x+y: optimum x=3? x+y<=4 binds with x=3,y=1 or x=2,y=2; both
+	// give objective -4.
+	p := NewProblem()
+	x := p.AddVar(-1, "x")
+	y := p.AddVar(-1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 4)
+	p.AddConstraint([]Term{{x, 1}}, LE, 3)
+	p.AddConstraint([]Term{{y, 1}}, LE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.Objective, -4) {
+		t.Fatalf("objective = %v, want -4", sol.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min 3x + 2y s.t. x + y = 10, x >= 0, y >= 0  =>  y=10, obj 20.
+	p := NewProblem()
+	x := p.AddVar(3, "x")
+	y := p.AddVar(2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 10)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.Objective, 20) || !approxEq(sol.X[y], 10) || !approxEq(sol.X[x], 0) {
+		t.Fatalf("got obj=%v x=%v y=%v, want 20, 0, 10", sol.Objective, sol.X[x], sol.X[y])
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 5, x - y >= -2 (i.e. y - x <= 2).
+	// Optimum: push everything to x: x=5, y=0 satisfies both; obj 10.
+	p := NewProblem()
+	x := p.AddVar(2, "x")
+	y := p.AddVar(3, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 5)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, GE, -2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.Objective, 10) {
+		t.Fatalf("objective = %v, want 10", sol.Objective)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x - y <= -5 is x + y >= 5; min x + 2y  =>  x=5, obj 5.
+	p := NewProblem()
+	x := p.AddVar(1, "x")
+	y := p.AddVar(2, "y")
+	p.AddConstraint([]Term{{x, -1}, {y, -1}}, LE, -5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.Objective, 5) {
+		t.Fatalf("objective = %v, want 5", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	sol, err := p.Solve()
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want Infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-1, "x")
+	y := p.AddVar(0, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want Unbounded", sol.Status)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(1, "x")
+	p.AddVar(0, "y")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 0 {
+		t.Fatalf("objective = %v, want 0", sol.Objective)
+	}
+
+	q := NewProblem()
+	q.AddVar(-1, "x")
+	if _, err := q.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDuplicateTermsSummed(t *testing.T) {
+	// x + x = 2x >= 4 => x >= 2, min x = 2.
+	p := NewProblem()
+	x := p.AddVar(1, "x")
+	p.AddConstraint([]Term{{x, 1}, {x, 1}}, GE, 4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.X[x], 2) {
+		t.Fatalf("x = %v, want 2", sol.X[x])
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP (multiple constraints active at the optimum).
+	p := NewProblem()
+	x := p.AddVar(-1, "x")
+	y := p.AddVar(-1, "y")
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 1)
+	p.AddConstraint([]Term{{y, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.Objective, -1) {
+		t.Fatalf("objective = %v, want -1", sol.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 2 stated twice; min x  =>  x=0, y=2.
+	p := NewProblem()
+	x := p.AddVar(1, "x")
+	y := p.AddVar(0, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.X[x], 0) || !approxEq(sol.X[y], 2) {
+		t.Fatalf("x=%v y=%v, want 0, 2", sol.X[x], sol.X[y])
+	}
+}
+
+func TestTransportation(t *testing.T) {
+	// 2 supplies (3, 5), 2 demands (4, 4), costs [[1,4],[2,1]].
+	// Optimal: ship 3 from s0->d0 (cost 3), 1 from s1->d0 (cost 2),
+	// 4 from s1->d1 (cost 4); total 9.
+	p := NewProblem()
+	x := make([][]int, 2)
+	costs := [][]float64{{1, 4}, {2, 1}}
+	for i := range x {
+		x[i] = make([]int, 2)
+		for j := range x[i] {
+			x[i][j] = p.AddVar(costs[i][j], "")
+		}
+	}
+	supply := []float64{3, 5}
+	demand := []float64{4, 4}
+	for i := 0; i < 2; i++ {
+		p.AddConstraint([]Term{{x[i][0], 1}, {x[i][1], 1}}, EQ, supply[i])
+	}
+	for j := 0; j < 2; j++ {
+		p.AddConstraint([]Term{{x[0][j], 1}, {x[1][j], 1}}, EQ, demand[j])
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sol.Objective, 9) {
+		t.Fatalf("objective = %v, want 9", sol.Objective)
+	}
+}
+
+// feasible reports whether x satisfies every constraint of p within tol.
+func feasible(p *Problem, x []float64) bool {
+	for _, xi := range x {
+		if xi < -tol {
+			return false
+		}
+	}
+	for _, c := range p.cons {
+		lhs := 0.0
+		for _, t := range c.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch c.rel {
+		case LE:
+			if lhs > c.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.rhs) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bruteForceLP enumerates all basic solutions of the standard-form LP (after
+// adding slacks) and returns the best feasible objective, or NaN if none.
+// Only usable for tiny problems; serves as ground truth in the random test.
+func bruteForceLP(costs []float64, cons []constraint) float64 {
+	n := len(costs)
+	m := len(cons)
+	// Standard form columns: n structural + one slack per inequality.
+	slack := 0
+	for _, c := range cons {
+		if c.rel != EQ {
+			slack++
+		}
+	}
+	total := n + slack
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	si := n
+	for i, c := range cons {
+		a[i] = make([]float64, total)
+		for _, t := range c.terms {
+			a[i][t.Var] += t.Coef
+		}
+		b[i] = c.rhs
+		switch c.rel {
+		case LE:
+			a[i][si] = 1
+			si++
+		case GE:
+			a[i][si] = -1
+			si++
+		}
+	}
+	best := math.NaN()
+	idx := make([]int, m)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == m {
+			x := solveSquare(a, b, idx)
+			if x == nil {
+				return
+			}
+			full := make([]float64, total)
+			ok := true
+			for j, v := range x {
+				if v < -tol {
+					ok = false
+					break
+				}
+				full[idx[j]] = v
+			}
+			if !ok {
+				return
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				obj += costs[j] * full[j]
+			}
+			if math.IsNaN(best) || obj < best {
+				best = obj
+			}
+			return
+		}
+		for j := start; j < total; j++ {
+			idx[k] = j
+			rec(j+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// solveSquare solves the m×m system formed by the chosen columns, returning
+// nil if singular.
+func solveSquare(a [][]float64, b []float64, cols []int) []float64 {
+	m := len(b)
+	mat := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		mat[i] = make([]float64, m+1)
+		for j, c := range cols {
+			mat[i][j] = a[i][c]
+		}
+		mat[i][m] = b[i]
+	}
+	for col := 0; col < m; col++ {
+		piv, pv := -1, 1e-9
+		for r := col; r < m; r++ {
+			if math.Abs(mat[r][col]) > pv {
+				piv, pv = r, math.Abs(mat[r][col])
+			}
+		}
+		if piv < 0 {
+			return nil
+		}
+		mat[col], mat[piv] = mat[piv], mat[col]
+		inv := 1 / mat[col][col]
+		for j := col; j <= m; j++ {
+			mat[col][j] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r != col && mat[r][col] != 0 {
+				f := mat[r][col]
+				for j := col; j <= m; j++ {
+					mat[r][j] -= f * mat[col][j]
+				}
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = mat[i][m]
+	}
+	return x
+}
+
+// TestRandomAgainstBruteForce generates small random LPs with a guaranteed
+// feasible region (constraints are satisfied by a known random point) and
+// checks the simplex optimum matches basic-solution enumeration.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3) // variables
+		m := 1 + rng.Intn(3) // constraints
+		feasPt := make([]float64, n)
+		for j := range feasPt {
+			feasPt[j] = rng.Float64() * 3
+		}
+		p := NewProblem()
+		costs := make([]float64, n)
+		for j := 0; j < n; j++ {
+			costs[j] = math.Round((rng.Float64()*4-1)*4) / 4
+			p.AddVar(costs[j], "")
+		}
+		// Add a box so the LP is always bounded.
+		for j := 0; j < n; j++ {
+			p.AddConstraint([]Term{{j, 1}}, LE, 10)
+		}
+		for i := 0; i < m; i++ {
+			terms := make([]Term, 0, n)
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				coef := math.Round((rng.Float64()*2-1)*4) / 4
+				if coef != 0 {
+					terms = append(terms, Term{j, coef})
+					lhs += coef * feasPt[j]
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// Choose rhs so feasPt satisfies the constraint.
+			switch rng.Intn(3) {
+			case 0:
+				p.AddConstraint(terms, LE, lhs+rng.Float64())
+			case 1:
+				p.AddConstraint(terms, GE, lhs-rng.Float64())
+			default:
+				p.AddConstraint(terms, EQ, lhs)
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v (problem has feasible point %v)", trial, err, feasPt)
+		}
+		if !feasible(p, sol.X) {
+			t.Fatalf("trial %d: returned point %v violates constraints", trial, sol.X)
+		}
+		want := bruteForceLP(p.costs, p.cons)
+		if math.IsNaN(want) {
+			// Linearly dependent rows can make every square basis singular,
+			// in which case enumeration finds nothing; the feasibility check
+			// above still validates the simplex answer.
+			t.Logf("trial %d: degenerate row set, skipping brute-force comparison", trial)
+			continue
+		}
+		if math.Abs(sol.Objective-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex=%v bruteforce=%v", trial, sol.Objective, want)
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Rel.String() mismatch")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status.String() mismatch")
+	}
+}
+
+func TestAddConstraintPanicsOnUnknownVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range variable")
+		}
+	}()
+	p := NewProblem()
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+}
+
+// TestBealeCycling runs Beale's classical cycling example, on which naive
+// Dantzig pivoting with careless tie-breaking can cycle forever; the solver
+// must terminate at the optimum (-1/20 with the standard formulation).
+//
+//	min -3/4 x4 + 150 x5 - 1/50 x6 + 6 x7
+//	s.t. 1/4 x4 - 60 x5 - 1/25 x6 + 9 x7 ≤ 0
+//	     1/2 x4 - 90 x5 - 1/50 x6 + 3 x7 ≤ 0
+//	     x6 ≤ 1
+func TestBealeCycling(t *testing.T) {
+	p := NewProblem()
+	x4 := p.AddVar(-0.75, "x4")
+	x5 := p.AddVar(150, "x5")
+	x6 := p.AddVar(-0.02, "x6")
+	x7 := p.AddVar(6, "x7")
+	p.AddConstraint([]Term{{x4, 0.25}, {x5, -60}, {x6, -1.0 / 25}, {x7, 9}}, LE, 0)
+	p.AddConstraint([]Term{{x4, 0.5}, {x5, -90}, {x6, -1.0 / 50}, {x7, 3}}, LE, 0)
+	p.AddConstraint([]Term{{x6, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-9 {
+		t.Fatalf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+// TestHighlyDegenerateAssignment exercises many equal ratio ties.
+func TestHighlyDegenerateAssignment(t *testing.T) {
+	// A 4x4 assignment polytope with all-equal costs: every vertex is
+	// optimal and every pivot is degenerate after the first few.
+	p := NewProblem()
+	n := 4
+	x := make([][]int, n)
+	for i := range x {
+		x[i] = make([]int, n)
+		for j := range x[i] {
+			x[i][j] = p.AddVar(1, "")
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowTerms := make([]Term, n)
+		colTerms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			rowTerms[j] = Term{x[i][j], 1}
+			colTerms[j] = Term{x[j][i], 1}
+		}
+		p.AddConstraint(rowTerms, EQ, 1)
+		p.AddConstraint(colTerms, EQ, 1)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-float64(n)) > 1e-9 {
+		t.Fatalf("objective = %v, want %d", sol.Objective, n)
+	}
+}
+
+// TestLargeSparseLP sanity-checks solver behavior at the scale the SSQPP
+// experiments use (hundreds of rows).
+func TestLargeSparseLP(t *testing.T) {
+	// min Σ x_i subject to chained constraints x_i + x_{i+1} ≥ 1:
+	// optimum alternates 0,1,0,1,... giving ⌈(k)/2⌉ for k constraints.
+	p := NewProblem()
+	n := 201
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVar(1, "")
+	}
+	for i := 0; i+1 < n; i++ {
+		p.AddConstraint([]Term{{vars[i], 1}, {vars[i+1], 1}}, GE, 1)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-100) > 1e-6 {
+		t.Fatalf("objective = %v, want 100", sol.Objective)
+	}
+}

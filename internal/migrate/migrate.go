@@ -1,0 +1,135 @@
+// Package migrate plans placement changes: when client rates, capacities,
+// or the network change, a new placement trades access delay against the
+// cost of moving replica state between nodes. Because both the total-delay
+// objective (§5 of the paper) and the movement cost decompose per element,
+// their weighted sum is still a Generalized Assignment Problem, so the
+// Theorem 5.1 machinery applies verbatim: the planned placement's combined
+// objective is no worse than that of any capacity-respecting placement,
+// with node loads within 2·cap.
+//
+// Sweeping the movement weight λ traces the delay/migration Pareto
+// frontier; λ = 0 recovers placement.SolveTotalDelay, λ → ∞ freezes the
+// old placement (when it is still capacity-feasible).
+package migrate
+
+import (
+	"fmt"
+	"math"
+
+	"quorumplace/internal/gap"
+	"quorumplace/internal/placement"
+)
+
+// Cost returns the movement cost of switching from the old to the new
+// placement: Σ_u load(u) · d(old(u), new(u)). Element load is the proxy
+// for state size (heavily used elements hold proportionally more state in
+// the paper's load model).
+func Cost(ins *placement.Instance, oldP, newP placement.Placement) (float64, error) {
+	if err := ins.Validate(oldP); err != nil {
+		return 0, fmt.Errorf("migrate: old placement: %w", err)
+	}
+	if err := ins.Validate(newP); err != nil {
+		return 0, fmt.Errorf("migrate: new placement: %w", err)
+	}
+	sum := 0.0
+	for u := 0; u < oldP.Len(); u++ {
+		sum += ins.Load(u) * ins.M.D(oldP.Node(u), newP.Node(u))
+	}
+	return sum, nil
+}
+
+// Plan is the outcome of Solve.
+type Plan struct {
+	Placement placement.Placement
+	AvgDelay  float64 // Avg_v Γ of the new placement
+	Moved     float64 // movement cost from the old placement
+	Lambda    float64
+	LPBound   float64 // lower bound on delay + λ·movement over capacity-respecting placements
+}
+
+// Solve computes a placement minimizing AvgΓ + λ·movement-from-oldP via the
+// GAP reduction, with node loads within 2·cap (Theorem 5.1's guarantee
+// applied to the combined objective). λ must be non-negative.
+func Solve(ins *placement.Instance, oldP placement.Placement, lambda float64) (*Plan, error) {
+	if err := ins.Validate(oldP); err != nil {
+		return nil, fmt.Errorf("migrate: %w", err)
+	}
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("migrate: lambda = %v must be a finite non-negative value", lambda)
+	}
+	n := ins.M.N()
+	nU := ins.Sys.Universe()
+	// Rate-weighted average client distance to each node, matching the
+	// Avg_v Γ objective under Instance.Rates (the §6 extension).
+	avgDist := make([]float64, n)
+	wsum := 0.0
+	for v2 := 0; v2 < n; v2++ {
+		w := 1.0
+		if ins.Rates != nil {
+			w = ins.Rates[v2]
+		}
+		wsum += w
+	}
+	for v := 0; v < n; v++ {
+		sum := 0.0
+		for v2 := 0; v2 < n; v2++ {
+			w := 1.0
+			if ins.Rates != nil {
+				w = ins.Rates[v2]
+			}
+			sum += w * ins.M.D(v2, v)
+		}
+		avgDist[v] = sum / wsum
+	}
+	g := &gap.Instance{
+		Cost: make([][]float64, n),
+		Load: make([][]float64, n),
+		T:    append([]float64(nil), ins.Cap...),
+	}
+	for v := 0; v < n; v++ {
+		g.Cost[v] = make([]float64, nU)
+		g.Load[v] = make([]float64, nU)
+		for u := 0; u < nU; u++ {
+			l := ins.Load(u)
+			g.Cost[v][u] = l*avgDist[v] + lambda*l*ins.M.D(oldP.Node(u), v)
+			if l > ins.Cap[v]*(1+1e-9) {
+				g.Load[v][u] = math.Inf(1)
+			} else {
+				g.Load[v][u] = l
+			}
+		}
+	}
+	assign, _, lpObj, err := gap.Solve(g)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: GAP: %w", err)
+	}
+	pl := placement.NewPlacement(assign)
+	moved, err := Cost(ins, oldP, pl)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Placement: pl,
+		AvgDelay:  ins.AvgTotalDelay(pl),
+		Moved:     moved,
+		Lambda:    lambda,
+		LPBound:   lpObj,
+	}, nil
+}
+
+// ParetoSweep solves Plan for each λ and returns the plans in order. Use it
+// to chart the delay/movement frontier after a workload shift.
+func ParetoSweep(ins *placement.Instance, oldP placement.Placement, lambdas []float64) ([]*Plan, error) {
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("migrate: no lambda values")
+	}
+	plans := make([]*Plan, 0, len(lambdas))
+	for _, l := range lambdas {
+		p, err := Solve(ins, oldP, l)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}

@@ -1,0 +1,177 @@
+package migrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+func buildInstance(t *testing.T, rng *rand.Rand) (*placement.Instance, placement.Placement) {
+	t.Helper()
+	n := 8
+	g := graph.ErdosRenyiConnected(n, 0.4, 1, 4, rng)
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := quorum.Majority(4, 3)
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 1.6
+	}
+	ins, err := placement.NewInstance(m, caps, sys, quorum.Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := placement.RandomFeasiblePlacement(ins, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, old
+}
+
+func TestCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	ins, old := buildInstance(t, rng)
+	// Identity migration costs nothing.
+	c, err := Cost(ins, old, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("self-migration cost %v, want 0", c)
+	}
+	// Moving one element by distance d costs load(u)·d.
+	f := old.Map()
+	from := f[0]
+	to := (from + 1) % ins.M.N()
+	f[0] = to
+	moved := placement.NewPlacement(f)
+	c, err = Cost(ins, old, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ins.Load(0) * ins.M.D(from, to)
+	if math.Abs(c-want) > 1e-12 {
+		t.Fatalf("cost %v, want %v", c, want)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	ins, old := buildInstance(t, rng)
+	if _, err := Cost(ins, old, placement.NewPlacement([]int{0})); err == nil {
+		t.Fatal("short new placement accepted")
+	}
+	if _, err := Cost(ins, placement.NewPlacement([]int{0}), old); err == nil {
+		t.Fatal("short old placement accepted")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	ins, old := buildInstance(t, rng)
+	if _, err := Solve(ins, old, -1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := Solve(ins, old, math.Inf(1)); err == nil {
+		t.Fatal("infinite lambda accepted")
+	}
+}
+
+// TestLambdaZeroMatchesTotalDelay: λ=0 reduces to the Theorem 5.1 solver.
+func TestLambdaZeroMatchesTotalDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	ins, old := buildInstance(t, rng)
+	plan, err := Solve(ins, old, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := placement.SolveTotalDelay(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.AvgDelay-td.AvgDelay) > 1e-6 {
+		t.Fatalf("λ=0 delay %v != SolveTotalDelay %v", plan.AvgDelay, td.AvgDelay)
+	}
+}
+
+// TestLargeLambdaFreezes: with a huge movement weight and a feasible old
+// placement, the plan stays put.
+func TestLargeLambdaFreezes(t *testing.T) {
+	rng := rand.New(rand.NewSource(309))
+	ins, old := buildInstance(t, rng)
+	plan, err := Solve(ins, old, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Moved > 1e-9 {
+		t.Fatalf("λ=1e6 still moved %v", plan.Moved)
+	}
+	for u := 0; u < old.Len(); u++ {
+		if plan.Placement.Node(u) != old.Node(u) {
+			t.Fatalf("element %d moved from %d to %d despite huge λ", u, old.Node(u), plan.Placement.Node(u))
+		}
+	}
+}
+
+// TestParetoMonotone: along increasing λ, movement cost is non-increasing
+// and delay non-decreasing (standard Pareto behavior of a weighted-sum
+// scan, up to rounding noise from the GAP step).
+func TestParetoMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	ins, old := buildInstance(t, rng)
+	lambdas := []float64{0, 0.5, 1, 2, 5, 20, 100}
+	plans, err := ParetoSweep(ins, old, lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(lambdas) {
+		t.Fatalf("%d plans for %d lambdas", len(plans), len(lambdas))
+	}
+	const tol = 1e-6
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Moved > plans[i-1].Moved+tol {
+			t.Fatalf("movement increased along λ: %v -> %v (λ %v -> %v)",
+				plans[i-1].Moved, plans[i].Moved, lambdas[i-1], lambdas[i])
+		}
+		if plans[i].AvgDelay < plans[i-1].AvgDelay-tol {
+			t.Fatalf("delay decreased along λ: %v -> %v", plans[i-1].AvgDelay, plans[i].AvgDelay)
+		}
+	}
+}
+
+// TestLoadGuarantee: the planned placement keeps loads within 2·cap
+// (Theorem 5.1 applied to the combined objective).
+func TestLoadGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 5; trial++ {
+		ins, old := buildInstance(t, rng)
+		plan, err := Solve(ins, old, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, l := range ins.NodeLoads(plan.Placement) {
+			if l > 2*ins.Cap[v]+1e-6 {
+				t.Fatalf("trial %d: node %d load %v exceeds 2·cap %v", trial, v, l, 2*ins.Cap[v])
+			}
+		}
+		// Combined objective ≥ LP bound.
+		combined := plan.AvgDelay + plan.Lambda*plan.Moved
+		if combined < plan.LPBound-1e-6 {
+			t.Fatalf("trial %d: combined objective %v below LP bound %v", trial, combined, plan.LPBound)
+		}
+	}
+}
+
+func TestParetoSweepValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(315))
+	ins, old := buildInstance(t, rng)
+	if _, err := ParetoSweep(ins, old, nil); err == nil {
+		t.Fatal("empty lambda list accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quorumplace/internal/placement"
+)
+
+// Failure-injection simulation: nodes crash independently per access epoch,
+// and clients retry with freshly sampled quorums until one is fully alive
+// or the retry budget is exhausted. This measures the placed system's
+// availability (cf. Instance.NodeFailureProbability) together with the
+// latency cost of retries — the fault-tolerance dimension of the paper's
+// load-dispersion motivation (§1, §2).
+
+// FailureConfig describes a failure-injection run.
+type FailureConfig struct {
+	Instance  *placement.Instance
+	Placement placement.Placement
+	Mode      Mode
+	// NodeFailureProb is the per-access probability that a given node is
+	// down. Failures are resampled independently for every access (a
+	// memoryless crash/recovery model).
+	NodeFailureProb float64
+	// MaxRetries is the number of additional quorum samples a client tries
+	// after a failed attempt. 0 means one attempt only.
+	MaxRetries int
+	// RetryPenalty is the virtual-time latency charged for each failed
+	// attempt (e.g. a timeout). Charged per failed attempt on top of the
+	// successful attempt's latency.
+	RetryPenalty      float64
+	AccessesPerClient int
+	Seed              int64
+}
+
+// FailureStats is the outcome of a failure-injection run.
+type FailureStats struct {
+	Accesses         int
+	Succeeded        int
+	FailedOutright   int     // accesses that exhausted the retry budget
+	Retries          int     // total failed attempts that were retried
+	SuccessRate      float64 // Succeeded / Accesses
+	AvgLatency       float64 // mean latency of successful accesses (incl. penalties)
+	EmpiricalUnavail float64 // fraction of *first attempts* that found no live quorum in the sampled state
+}
+
+// RunWithFailures executes the failure-injection simulation.
+func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
+	ins := cfg.Instance
+	if ins == nil {
+		return nil, fmt.Errorf("netsim: nil instance")
+	}
+	if err := ins.Validate(cfg.Placement); err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	if cfg.AccessesPerClient <= 0 {
+		return nil, fmt.Errorf("netsim: AccessesPerClient = %d, want > 0", cfg.AccessesPerClient)
+	}
+	if cfg.NodeFailureProb < 0 || cfg.NodeFailureProb > 1 {
+		return nil, fmt.Errorf("netsim: NodeFailureProb = %v outside [0,1]", cfg.NodeFailureProb)
+	}
+	if cfg.MaxRetries < 0 || cfg.RetryPenalty < 0 {
+		return nil, fmt.Errorf("netsim: negative retry settings")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := ins.M.N()
+	nQ := ins.Sys.NumQuorums()
+
+	cdf := make([]float64, nQ)
+	acc := 0.0
+	for q := 0; q < nQ; q++ {
+		acc += ins.Strat.P(q)
+		cdf[q] = acc
+	}
+	sampleQuorum := func() int {
+		x := rng.Float64() * acc
+		lo, hi := 0, nQ-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	alive := make([]bool, n)
+	stats := &FailureStats{}
+	var latencySum float64
+	var noLiveQuorumFirstAttempt int
+
+	for v := 0; v < n; v++ {
+		row := ins.M.Row(v)
+		for a := 0; a < cfg.AccessesPerClient; a++ {
+			// Sample the crash state for this access epoch.
+			for i := range alive {
+				alive[i] = rng.Float64() >= cfg.NodeFailureProb
+			}
+			// Record whether any quorum is alive at all in this state
+			// (the quantity NodeFailureProbability predicts).
+			if !anyQuorumAlive(ins, cfg.Placement, alive) {
+				noLiveQuorumFirstAttempt++
+			}
+			stats.Accesses++
+			penalty := 0.0
+			success := false
+			for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+				qi := sampleQuorum()
+				ok := true
+				var latency float64
+				for _, u := range ins.Sys.Quorum(qi) {
+					node := cfg.Placement.Node(u)
+					if !alive[node] {
+						ok = false
+						break
+					}
+					d := row[node]
+					if cfg.Mode == Parallel {
+						if d > latency {
+							latency = d
+						}
+					} else {
+						latency += d
+					}
+				}
+				if ok {
+					stats.Succeeded++
+					latencySum += latency + penalty
+					success = true
+					break
+				}
+				if attempt < cfg.MaxRetries {
+					stats.Retries++
+					penalty += cfg.RetryPenalty
+				}
+			}
+			if !success {
+				stats.FailedOutright++
+			}
+		}
+	}
+	stats.SuccessRate = float64(stats.Succeeded) / float64(stats.Accesses)
+	if stats.Succeeded > 0 {
+		stats.AvgLatency = latencySum / float64(stats.Succeeded)
+	}
+	stats.EmpiricalUnavail = float64(noLiveQuorumFirstAttempt) / float64(stats.Accesses)
+	return stats, nil
+}
+
+func anyQuorumAlive(ins *placement.Instance, pl placement.Placement, alive []bool) bool {
+	for qi := 0; qi < ins.Sys.NumQuorums(); qi++ {
+		ok := true
+		for _, u := range ins.Sys.Quorum(qi) {
+			if !alive[pl.Node(u)] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

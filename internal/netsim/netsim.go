@@ -1,0 +1,248 @@
+// Package netsim provides a discrete-event simulator for quorum accesses
+// over a network, standing in for the wide-area deployments that motivate
+// the paper (§1). Clients issue quorum accesses according to an access
+// strategy; each access sends one message to every element of the sampled
+// quorum, with message latency equal to the shortest-path distance of the
+// hosting node. Two access modes mirror the paper's two cost models:
+//
+//   - Parallel: all messages are sent at once and the access completes when
+//     the last one arrives — the max-delay cost δ_f(v, Q) (Eq. 1);
+//   - Sequential: elements are contacted one after another and the access
+//     completes after the summed latencies — the total-delay cost γ_f(v, Q).
+//
+// The simulator records per-access completion latencies and per-node hit
+// counts, allowing empirical estimates of Avg Δ_f, Avg Γ_f, and load_f(v)
+// that the tests compare against the analytic evaluators in
+// internal/placement.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"quorumplace/internal/placement"
+)
+
+// Mode selects the access cost model.
+type Mode int
+
+// Access modes.
+const (
+	Parallel   Mode = iota // max-delay (Eq. 1)
+	Sequential             // total-delay (§5)
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Parallel:
+		return "parallel"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes a simulation run.
+type Config struct {
+	Instance  *placement.Instance
+	Placement placement.Placement
+	Mode      Mode
+	// AccessesPerClient is the number of quorum accesses each client
+	// issues. Clients are all nodes of the network (the paper's model);
+	// set Instance.Rates to weight them.
+	AccessesPerClient int
+	// InterAccessTime is the mean of the exponential think time between a
+	// client's accesses (virtual time units). Zero means back-to-back.
+	InterAccessTime float64
+	Seed            int64
+}
+
+// Stats is the outcome of a simulation run.
+type Stats struct {
+	Mode          Mode
+	Accesses      int
+	AvgLatency    float64   // mean access completion latency
+	PerClient     []float64 // mean latency per client
+	NodeHits      []int64   // messages received per node
+	EmpiricalLoad []float64 // NodeHits normalized by total accesses
+	Clock         float64   // virtual time at which the last access completed
+	latencies     []float64 // raw access latencies, for quantiles
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of the access latency
+// distribution, e.g. Percentile(0.99) for the p99. It panics if q is
+// outside [0, 1]; it returns 0 when no accesses were recorded.
+func (s *Stats) Percentile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("netsim: quantile %v outside [0,1]", q))
+	}
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.latencies...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Latencies returns a copy of the raw per-access latency samples.
+func (s *Stats) Latencies() []float64 {
+	return append([]float64(nil), s.latencies...)
+}
+
+// event is a pending message delivery or access start in the event queue.
+type event struct {
+	at             float64
+	seq            int // tie-breaker for determinism
+	client, access int
+}
+
+// eventQueue is a binary min-heap over (at, seq).
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*q).less(i, p) {
+			break
+		}
+		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	old := *q
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*q = old[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && (*q).less(l, m) {
+			m = l
+		}
+		if r < last && (*q).less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*q)[i], (*q)[m] = (*q)[m], (*q)[i]
+		i = m
+	}
+	return top
+}
+
+// Run executes the simulation and returns aggregate statistics.
+func Run(cfg Config) (*Stats, error) {
+	ins := cfg.Instance
+	if ins == nil {
+		return nil, fmt.Errorf("netsim: nil instance")
+	}
+	if err := ins.Validate(cfg.Placement); err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	if cfg.AccessesPerClient <= 0 {
+		return nil, fmt.Errorf("netsim: AccessesPerClient = %d, want > 0", cfg.AccessesPerClient)
+	}
+	if cfg.InterAccessTime < 0 {
+		return nil, fmt.Errorf("netsim: negative InterAccessTime %v", cfg.InterAccessTime)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := ins.M.N()
+	nQ := ins.Sys.NumQuorums()
+
+	// Precompute the quorum sampling CDF.
+	cdf := make([]float64, nQ)
+	acc := 0.0
+	for q := 0; q < nQ; q++ {
+		acc += ins.Strat.P(q)
+		cdf[q] = acc
+	}
+	sample := func() int {
+		x := rng.Float64() * acc
+		return sort.SearchFloat64s(cdf, x)
+	}
+
+	stats := &Stats{
+		Mode:      cfg.Mode,
+		PerClient: make([]float64, n),
+		NodeHits:  make([]int64, n),
+	}
+	perClientCount := make([]int, n)
+
+	var q eventQueue
+	seq := 0
+	for v := 0; v < n; v++ {
+		q.push(event{at: 0, seq: seq, client: v, access: 0})
+		seq++
+	}
+	for len(q) > 0 {
+		e := q.pop()
+		v := e.client
+		qi := sample()
+		if qi >= nQ {
+			qi = nQ - 1
+		}
+		row := ins.M.Row(v)
+		var latency float64
+		for _, u := range ins.Sys.Quorum(qi) {
+			node := cfg.Placement.Node(u)
+			d := row[node]
+			stats.NodeHits[node]++
+			switch cfg.Mode {
+			case Parallel:
+				if d > latency {
+					latency = d
+				}
+			case Sequential:
+				latency += d
+			}
+		}
+		done := e.at + latency
+		if done > stats.Clock {
+			stats.Clock = done
+		}
+		stats.Accesses++
+		stats.AvgLatency += latency
+		stats.latencies = append(stats.latencies, latency)
+		stats.PerClient[v] += latency
+		perClientCount[v]++
+		if e.access+1 < cfg.AccessesPerClient {
+			think := 0.0
+			if cfg.InterAccessTime > 0 {
+				think = rng.ExpFloat64() * cfg.InterAccessTime
+			}
+			q.push(event{at: done + think, seq: seq, client: v, access: e.access + 1})
+			seq++
+		}
+	}
+	stats.AvgLatency /= float64(stats.Accesses)
+	for v := 0; v < n; v++ {
+		if perClientCount[v] > 0 {
+			stats.PerClient[v] /= float64(perClientCount[v])
+		}
+	}
+	stats.EmpiricalLoad = make([]float64, n)
+	perClientAccesses := float64(cfg.AccessesPerClient)
+	for v := 0; v < n; v++ {
+		// Empirical load: fraction of a single client's accesses that hit
+		// node v, averaged over clients — the sampled analogue of
+		// load_f(v) = Σ_{u:f(u)=v} load(u).
+		stats.EmpiricalLoad[v] = float64(stats.NodeHits[v]) / (perClientAccesses * float64(n))
+	}
+	return stats, nil
+}

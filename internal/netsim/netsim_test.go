@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+func buildInstance(t *testing.T) (*placement.Instance, placement.Placement) {
+	t.Helper()
+	g := graph.Grid2D(3, 3)
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := quorum.Grid(2)
+	st := quorum.Uniform(sys.NumQuorums())
+	caps := make([]float64, 9)
+	for i := range caps {
+		caps[i] = 1
+	}
+	ins, err := placement.NewInstance(m, caps, sys, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.NewPlacement([]int{0, 1, 3, 4})
+	return ins, p
+}
+
+func TestRunValidation(t *testing.T) {
+	ins, p := buildInstance(t)
+	if _, err := Run(Config{Instance: nil, Placement: p, AccessesPerClient: 1}); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	if _, err := Run(Config{Instance: ins, Placement: placement.NewPlacement([]int{0}), AccessesPerClient: 1}); err == nil {
+		t.Fatal("short placement accepted")
+	}
+	if _, err := Run(Config{Instance: ins, Placement: p, AccessesPerClient: 0}); err == nil {
+		t.Fatal("zero accesses accepted")
+	}
+	if _, err := Run(Config{Instance: ins, Placement: p, AccessesPerClient: 1, InterAccessTime: -1}); err == nil {
+		t.Fatal("negative think time accepted")
+	}
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	ins, p := buildInstance(t)
+	const per = 50
+	stats, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: per, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accesses != per*9 {
+		t.Fatalf("accesses = %d, want %d", stats.Accesses, per*9)
+	}
+	// Every Grid(2) quorum has 3 elements, so total hits = 3 × accesses.
+	var hits int64
+	for _, h := range stats.NodeHits {
+		hits += h
+	}
+	if hits != int64(3*stats.Accesses) {
+		t.Fatalf("total hits = %d, want %d", hits, 3*stats.Accesses)
+	}
+	if stats.Clock <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	ins, p := buildInstance(t)
+	cfg := Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 20, Seed: 7}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgLatency != b.AvgLatency || a.Clock != b.Clock {
+		t.Fatalf("same seed produced different runs: %v vs %v", a.AvgLatency, b.AvgLatency)
+	}
+	cfg.Seed = 8
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgLatency == c.AvgLatency && a.Clock == c.Clock {
+		t.Log("different seeds produced identical stats (possible but unlikely)")
+	}
+}
+
+// TestParallelMatchesAnalytic: the sampled mean latency converges to the
+// analytic Avg Δ_f within a loose statistical tolerance.
+func TestParallelMatchesAnalytic(t *testing.T) {
+	ins, p := buildInstance(t)
+	want := ins.AvgMaxDelay(p)
+	stats, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(stats.AvgLatency-want) / want; rel > 0.05 {
+		t.Fatalf("sampled AvgΔ = %v, analytic %v (rel err %v)", stats.AvgLatency, want, rel)
+	}
+}
+
+func TestSequentialMatchesAnalytic(t *testing.T) {
+	ins, p := buildInstance(t)
+	want := ins.AvgTotalDelay(p)
+	stats, err := Run(Config{Instance: ins, Placement: p, Mode: Sequential, AccessesPerClient: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(stats.AvgLatency-want) / want; rel > 0.05 {
+		t.Fatalf("sampled AvgΓ = %v, analytic %v (rel err %v)", stats.AvgLatency, want, rel)
+	}
+}
+
+// TestEmpiricalLoadMatchesPlacementLoad: sampled node loads converge to
+// load_f(v).
+func TestEmpiricalLoadMatchesPlacementLoad(t *testing.T) {
+	ins, p := buildInstance(t)
+	want := ins.NodeLoads(p)
+	stats, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(stats.EmpiricalLoad[v]-want[v]) > 0.03 {
+			t.Fatalf("node %d: empirical load %v, analytic %v", v, stats.EmpiricalLoad[v], want[v])
+		}
+	}
+}
+
+// TestPerClientMatchesAnalytic: each client's sampled mean converges to
+// its own Δ_f(v).
+func TestPerClientMatchesAnalytic(t *testing.T) {
+	ins, p := buildInstance(t)
+	stats, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 6000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < ins.M.N(); v++ {
+		want := ins.MaxDelayFrom(v, p)
+		if want == 0 {
+			if stats.PerClient[v] != 0 {
+				t.Fatalf("client %d: sampled %v, analytic 0", v, stats.PerClient[v])
+			}
+			continue
+		}
+		if rel := math.Abs(stats.PerClient[v]-want) / want; rel > 0.08 {
+			t.Fatalf("client %d: sampled %v, analytic %v (rel %v)", v, stats.PerClient[v], want, rel)
+		}
+	}
+}
+
+func TestThinkTimeAdvancesClock(t *testing.T) {
+	ins, p := buildInstance(t)
+	fast, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 50, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 50, InterAccessTime: 10, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Clock <= fast.Clock {
+		t.Fatalf("think time did not extend the run: %v <= %v", slow.Clock, fast.Clock)
+	}
+	// Latency statistics must be unaffected by think time.
+	if math.Abs(slow.AvgLatency-fast.AvgLatency) > 0.2 {
+		t.Fatalf("think time changed latency distribution: %v vs %v", slow.AvgLatency, fast.AvgLatency)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Parallel.String() != "parallel" || Sequential.String() != "sequential" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	ins, p := buildInstance(t)
+	stats, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 500, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := stats.Percentile(0.5)
+	p99 := stats.Percentile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	if min, max := stats.Percentile(0), stats.Percentile(1); min > p50 || p99 > max {
+		t.Fatalf("quantiles out of order: min %v p50 %v p99 %v max %v", min, p50, p99, max)
+	}
+	if got := len(stats.Latencies()); got != stats.Accesses {
+		t.Fatalf("latency samples %d != accesses %d", got, stats.Accesses)
+	}
+	// Latencies() is a copy.
+	l := stats.Latencies()
+	l[0] = -1
+	if stats.Latencies()[0] == -1 {
+		t.Fatal("Latencies returned internal slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(2) did not panic")
+		}
+	}()
+	stats.Percentile(2)
+}

@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"quorumplace/internal/placement"
+)
+
+// Queueing simulation: the base simulator charges only propagation delay,
+// which is the paper's cost model (Eq. 1). In a deployed system a node that
+// is loaded near its capacity also queues requests, coupling the paper's
+// two separate concerns — load and delay — into one number. This simulator
+// adds FIFO service queues at the nodes: each quorum-element message is
+// served at its hosting node with exponential service time, and the access
+// completes when the last response returns. It demonstrates *why* the
+// capacity constraints matter: placements that violate capacities see
+// queueing delay blow up even though their propagation delay is optimal.
+
+// QueueConfig describes a queueing simulation run.
+type QueueConfig struct {
+	Instance  *placement.Instance
+	Placement placement.Placement
+	// ArrivalRate is each client's Poisson access rate (accesses per time
+	// unit, open loop).
+	ArrivalRate float64
+	// ServiceMean is the mean (exponential) service time per quorum-element
+	// message at a capacity-1 node; node v serves with mean
+	// ServiceMean/cap(v), so higher-capacity nodes are faster. Zero means
+	// instantaneous service (pure propagation delay).
+	ServiceMean       float64
+	AccessesPerClient int
+	Seed              int64
+}
+
+// QueueStats is the outcome of a queueing simulation.
+type QueueStats struct {
+	Accesses    int
+	AvgLatency  float64   // mean access latency incl. queueing and RTT propagation
+	AvgWait     float64   // mean queueing wait per message (excl. service)
+	Utilization []float64 // per-node busy fraction
+	Clock       float64
+}
+
+// queueEvent is an event in the queueing simulator.
+type queueEvent struct {
+	at   float64
+	seq  int
+	kind int // 0 = access issued, 1 = message arrives at node, 2 = service done
+	// access identity
+	client, access int
+	// message routing
+	node int
+}
+
+type queueEventHeap []queueEvent
+
+func (h queueEventHeap) Len() int { return len(h) }
+func (h queueEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h queueEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *queueEventHeap) Push(x any)   { *h = append(*h, x.(queueEvent)) }
+func (h *queueEventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// pendingMsg is a message waiting in or being served by a node queue.
+type pendingMsg struct {
+	client, access int
+	arrivedAt      float64
+}
+
+// RunQueueing executes the queueing simulation.
+func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
+	ins := cfg.Instance
+	if ins == nil {
+		return nil, fmt.Errorf("netsim: nil instance")
+	}
+	if err := ins.Validate(cfg.Placement); err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	if cfg.AccessesPerClient <= 0 {
+		return nil, fmt.Errorf("netsim: AccessesPerClient = %d, want > 0", cfg.AccessesPerClient)
+	}
+	if cfg.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("netsim: ArrivalRate = %v, want > 0", cfg.ArrivalRate)
+	}
+	if cfg.ServiceMean < 0 {
+		return nil, fmt.Errorf("netsim: negative ServiceMean %v", cfg.ServiceMean)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := ins.M.N()
+	nQ := ins.Sys.NumQuorums()
+
+	cdf := make([]float64, nQ)
+	acc := 0.0
+	for q := 0; q < nQ; q++ {
+		acc += ins.Strat.P(q)
+		cdf[q] = acc
+	}
+	sampleQuorum := func() int {
+		x := rng.Float64() * acc
+		lo, hi := 0, nQ-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	serviceMean := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if ins.Cap[v] > 0 {
+			serviceMean[v] = cfg.ServiceMean / ins.Cap[v]
+		}
+	}
+
+	type accessState struct {
+		remaining int
+		issuedAt  float64
+		lastResp  float64
+	}
+	states := map[[2]int]*accessState{}
+	queues := make([][]pendingMsg, n)
+	busy := make([]bool, n)
+	busyTime := make([]float64, n)
+
+	stats := &QueueStats{Utilization: make([]float64, n)}
+	var latencySum, waitSum float64
+	var msgCount int
+
+	h := &queueEventHeap{}
+	seq := 0
+	push := func(e queueEvent) {
+		e.seq = seq
+		seq++
+		heap.Push(h, e)
+	}
+	// Schedule all access issue times up front (open loop).
+	for v := 0; v < n; v++ {
+		t := 0.0
+		for a := 0; a < cfg.AccessesPerClient; a++ {
+			t += rng.ExpFloat64() / cfg.ArrivalRate
+			push(queueEvent{at: t, kind: 0, client: v, access: a})
+		}
+	}
+
+	startService := func(v int, now float64) {
+		if busy[v] || len(queues[v]) == 0 {
+			return
+		}
+		busy[v] = true
+		msg := queues[v][0]
+		waitSum += now - msg.arrivedAt
+		msgCount++
+		st := 0.0
+		if serviceMean[v] > 0 {
+			st = rng.ExpFloat64() * serviceMean[v]
+		}
+		busyTime[v] += st
+		push(queueEvent{at: now + st, kind: 2, client: msg.client, access: msg.access, node: v})
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(h).(queueEvent)
+		if e.at > stats.Clock {
+			stats.Clock = e.at
+		}
+		switch e.kind {
+		case 0: // client issues an access
+			qi := sampleQuorum()
+			row := ins.M.Row(e.client)
+			q := ins.Sys.Quorum(qi)
+			states[[2]int{e.client, e.access}] = &accessState{remaining: len(q), issuedAt: e.at}
+			for _, u := range q {
+				node := cfg.Placement.Node(u)
+				push(queueEvent{at: e.at + row[node], kind: 1, client: e.client, access: e.access, node: node})
+			}
+		case 1: // message arrives at a node queue
+			queues[e.node] = append(queues[e.node], pendingMsg{
+				client: e.client, access: e.access, arrivedAt: e.at,
+			})
+			startService(e.node, e.at)
+		case 2: // service completes; response propagates back
+			queues[e.node] = queues[e.node][1:]
+			busy[e.node] = false
+			startService(e.node, e.at)
+			respAt := e.at + ins.M.D(e.node, e.client)
+			key := [2]int{e.client, e.access}
+			st := states[key]
+			st.remaining--
+			if respAt > st.lastResp {
+				st.lastResp = respAt
+			}
+			if st.remaining == 0 {
+				stats.Accesses++
+				latencySum += st.lastResp - st.issuedAt
+				delete(states, key)
+			}
+		}
+	}
+	if stats.Accesses > 0 {
+		stats.AvgLatency = latencySum / float64(stats.Accesses)
+	}
+	if msgCount > 0 {
+		stats.AvgWait = waitSum / float64(msgCount)
+	}
+	if stats.Clock > 0 {
+		for v := 0; v < n; v++ {
+			stats.Utilization[v] = busyTime[v] / stats.Clock
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,141 @@
+package placement_test
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+func TestAuditBasics(t *testing.T) {
+	m := mustMetric(t, graph.Path(4))
+	sys := quorum.Majority(3, 2)
+	ins, err := placement.NewInstance(m, []float64{1, 1, 1, 1}, sys, quorum.Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.NewPlacement([]int{0, 1, 2})
+	r, err := ins.Audit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgMaxDelay != ins.AvgMaxDelay(p) {
+		t.Fatalf("AvgMaxDelay %v != %v", r.AvgMaxDelay, ins.AvgMaxDelay(p))
+	}
+	if r.AvgTotalDelay != ins.AvgTotalDelay(p) {
+		t.Fatalf("AvgTotalDelay mismatch")
+	}
+	if r.UsedNodes != 3 {
+		t.Fatalf("UsedNodes = %d, want 3", r.UsedNodes)
+	}
+	if len(r.HotNodes) != 0 {
+		t.Fatalf("unexpected hot nodes: %v", r.HotNodes)
+	}
+	if r.CapacityViolation > 1 {
+		t.Fatalf("feasible placement reports violation %v", r.CapacityViolation)
+	}
+	// Worst client on a path with elements at 0..2 is node 3.
+	if r.WorstClient != 3 {
+		t.Fatalf("WorstClient = %d, want 3", r.WorstClient)
+	}
+	if r.RelayFactor > 5 {
+		t.Fatalf("relay factor %v > 5", r.RelayFactor)
+	}
+	if r.NodeResilience != 1 { // Majority(3,2) spread bijectively
+		t.Fatalf("NodeResilience = %d, want 1", r.NodeResilience)
+	}
+	out := r.String()
+	for _, want := range []string{"avg max-delay", "relay factor", "node resilience"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditHotNodes(t *testing.T) {
+	m := mustMetric(t, graph.Path(4))
+	sys := quorum.Majority(3, 2)
+	ins, err := placement.NewInstance(m, []float64{0.7, 1, 0, 1}, sys, quorum.Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two elements (load 2/3 each) on node 0 (cap 0.7): load 4/3 > 0.7.
+	// One element on node 2 with cap 0: infinite violation.
+	p := placement.NewPlacement([]int{0, 0, 2})
+	r, err := ins.Audit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.HotNodes) != 2 {
+		t.Fatalf("hot nodes = %v, want 2 entries", r.HotNodes)
+	}
+	// Zero-capacity violation sorts first.
+	if r.HotNodes[0].Node != 2 || r.HotNodes[0].Factor >= 0 {
+		t.Fatalf("expected zero-capacity node first: %v", r.HotNodes)
+	}
+	if r.HotNodes[1].Node != 0 {
+		t.Fatalf("expected node 0 second: %v", r.HotNodes)
+	}
+	if !strings.Contains(r.String(), "zero-capacity node") {
+		t.Fatalf("report missing zero-capacity note:\n%s", r.String())
+	}
+}
+
+func TestAuditValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	ins := randomInstance(t, rng)
+	if _, err := ins.Audit(placement.NewPlacement([]int{0})); err == nil {
+		t.Fatal("short placement accepted")
+	}
+}
+
+// TestAuditOnBundledWAN is an end-to-end integration test: load the bundled
+// dataset, place a system, audit the result.
+func TestAuditOnBundledWAN(t *testing.T) {
+	g := loadBundledWAN(t)
+	m := mustMetric(t, g)
+	sys := quorum.FPP(2)
+	caps := make([]float64, g.N())
+	for i := range caps {
+		caps[i] = 0.5
+	}
+	ins, err := placement.NewInstance(m, caps, sys, quorum.Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := placement.SolveQPP(ins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ins.Audit(res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CapacityViolation > 3+1e-9 {
+		t.Fatalf("violation %v exceeds α+1", r.CapacityViolation)
+	}
+	if r.RelayFactor > 5+1e-9 {
+		t.Fatalf("relay factor %v exceeds 5", r.RelayFactor)
+	}
+	if r.AvgMaxDelay <= 0 || r.AvgMaxDelay > 200 {
+		t.Fatalf("implausible WAN delay %v ms", r.AvgMaxDelay)
+	}
+}
+
+func loadBundledWAN(t *testing.T) *graph.Graph {
+	t.Helper()
+	f, err := os.Open("../../data/wan12.edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ParseEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,128 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+)
+
+// Availability of a *placed* quorum system under node crashes. Element-level
+// availability (internal/quorum) assumes elements fail independently; once
+// elements are placed, all elements hosted by a crashed node fail together,
+// so a placement that clusters elements trades availability for delay. This
+// is the fault-tolerance side of the load-dispersion motivation in §1 and
+// §2 (the paper rejects Lin's single-node solution precisely because it
+// "eliminates the advantages, such as load dispersion and fault tolerance,
+// of any distributed quorum-based algorithm").
+
+// maxExactNodes bounds the 2^n node-failure enumeration.
+const maxExactNodes = 20
+
+// NodeFailureProbability returns the probability that no quorum of the
+// placed system is fully alive when every *node* fails independently with
+// probability p (all elements on a failed node become unavailable). The
+// 2^|V'| enumeration runs over only the nodes that actually host elements.
+func (ins *Instance) NodeFailureProbability(pl Placement, p float64) (float64, error) {
+	if err := ins.Validate(pl); err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("placement: node failure probability %v outside [0,1]", p)
+	}
+	// Compact the used nodes.
+	idx := map[int]int{}
+	for u := 0; u < pl.Len(); u++ {
+		v := pl.Node(u)
+		if _, ok := idx[v]; !ok {
+			idx[v] = len(idx)
+		}
+	}
+	k := len(idx)
+	if k > maxExactNodes {
+		return 0, fmt.Errorf("placement: %d used nodes exceed exact availability limit %d", k, maxExactNodes)
+	}
+	// Quorum masks over used-node indices: a quorum is alive iff every node
+	// hosting one of its elements is alive.
+	masks := make([]uint64, ins.Sys.NumQuorums())
+	for qi := 0; qi < ins.Sys.NumQuorums(); qi++ {
+		var m uint64
+		for _, u := range ins.Sys.Quorum(qi) {
+			m |= 1 << uint(idx[pl.Node(u)])
+		}
+		masks[qi] = m
+	}
+	total := 0.0
+	for alive := uint64(0); alive < 1<<uint(k); alive++ {
+		survives := false
+		for _, qm := range masks {
+			if alive&qm == qm {
+				survives = true
+				break
+			}
+		}
+		if survives {
+			continue
+		}
+		bits := 0
+		for x := alive; x != 0; x &= x - 1 {
+			bits++
+		}
+		total += math.Pow(1-p, float64(bits)) * math.Pow(p, float64(k-bits))
+	}
+	return total, nil
+}
+
+// PlacementResilience returns the largest number f of node crashes the
+// placed system always survives: for every set of f nodes, some quorum has
+// all its elements on other nodes. Computed as (minimum node hitting set
+// over placed quorums) − 1.
+func (ins *Instance) PlacementResilience(pl Placement) (int, error) {
+	if err := ins.Validate(pl); err != nil {
+		return 0, err
+	}
+	idx := map[int]int{}
+	for u := 0; u < pl.Len(); u++ {
+		v := pl.Node(u)
+		if _, ok := idx[v]; !ok {
+			idx[v] = len(idx)
+		}
+	}
+	k := len(idx)
+	if k > 63 {
+		return 0, fmt.Errorf("placement: resilience computation limited to 63 used nodes, got %d", k)
+	}
+	masks := make([]uint64, ins.Sys.NumQuorums())
+	for qi := 0; qi < ins.Sys.NumQuorums(); qi++ {
+		var m uint64
+		for _, u := range ins.Sys.Quorum(qi) {
+			m |= 1 << uint(idx[pl.Node(u)])
+		}
+		masks[qi] = m
+	}
+	best := k + 1
+	var rec func(hit uint64, count int)
+	rec = func(hit uint64, count int) {
+		if count >= best {
+			return
+		}
+		var missing uint64
+		found := false
+		for _, qm := range masks {
+			if qm&hit == 0 {
+				missing = qm
+				found = true
+				break
+			}
+		}
+		if !found {
+			best = count
+			return
+		}
+		for b := 0; b < k; b++ {
+			if missing&(1<<uint(b)) != 0 {
+				rec(hit|1<<uint(b), count+1)
+			}
+		}
+	}
+	rec(0, 0)
+	return best - 1, nil
+}

@@ -1,0 +1,121 @@
+package placement_test
+
+import (
+	"math"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+func availInstance(t *testing.T) *placement.Instance {
+	t.Helper()
+	m := mustMetric(t, graph.Path(6))
+	sys := quorum.Majority(4, 3)
+	ins, err := placement.NewInstance(m, uniformCaps(6, 3), sys, quorum.Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestNodeFailureProbabilityValidation(t *testing.T) {
+	ins := availInstance(t)
+	p := placement.NewPlacement([]int{0, 1, 2, 3})
+	if _, err := ins.NodeFailureProbability(p, -0.1); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := ins.NodeFailureProbability(p, 1.5); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := ins.NodeFailureProbability(placement.NewPlacement([]int{0}), 0.5); err == nil {
+		t.Fatal("short placement accepted")
+	}
+}
+
+func TestNodeFailureProbabilityEdgeCases(t *testing.T) {
+	ins := availInstance(t)
+	p := placement.NewPlacement([]int{0, 1, 2, 3})
+	f0, err := ins.NodeFailureProbability(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0 != 0 {
+		t.Fatalf("F_0 = %v, want 0", f0)
+	}
+	f1, err := ins.NodeFailureProbability(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != 1 {
+		t.Fatalf("F_1 = %v, want 1", f1)
+	}
+}
+
+// TestBijectiveMatchesElementLevel: when the placement is injective, node
+// failures are exactly element failures.
+func TestBijectiveMatchesElementLevel(t *testing.T) {
+	ins := availInstance(t)
+	p := placement.NewPlacement([]int{0, 1, 2, 3})
+	for _, prob := range []float64{0.1, 0.35, 0.6} {
+		want, err := quorum.FailureProbability(ins.Sys, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ins.NodeFailureProbability(p, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("p=%v: placed %v, element-level %v", prob, got, want)
+		}
+	}
+}
+
+// TestColocationExactValues pins the closed forms for the three placement
+// shapes of Majority(4,3). Colocation is not monotonically bad: with all
+// four elements on one node the system fails exactly when that node does
+// (F = p), which for p = 0.3 *beats* the spread placement (F ≈ 0.348, the
+// 2-of-4 failure tail) — availability depends on how failures correlate
+// with the quorum structure, which is exactly what this analysis exposes.
+func TestColocationExactValues(t *testing.T) {
+	ins := availInstance(t)
+	prob := 0.3
+	spread, _ := ins.NodeFailureProbability(placement.NewPlacement([]int{0, 1, 2, 3}), prob)
+	paired, _ := ins.NodeFailureProbability(placement.NewPlacement([]int{0, 0, 1, 1}), prob)
+	co, _ := ins.NodeFailureProbability(placement.NewPlacement([]int{0, 0, 0, 0}), prob)
+	// Spread: F = P(≥2 of 4 elements fail) = 1 - (1-p)^4 - 4p(1-p)^3.
+	q := 1 - prob
+	wantSpread := 1 - q*q*q*q - 4*prob*q*q*q
+	if math.Abs(spread-wantSpread) > 1e-12 {
+		t.Fatalf("spread failure probability %v, want %v", spread, wantSpread)
+	}
+	// Paired (2 nodes × 2 elements): any node crash kills 2 elements,
+	// leaving 2 < 3 alive → F = 1-(1-p)².
+	if want := 1 - q*q; math.Abs(paired-want) > 1e-12 {
+		t.Fatalf("paired failure probability %v, want %v", paired, want)
+	}
+	// Fully colocated: F = p.
+	if math.Abs(co-prob) > 1e-12 {
+		t.Fatalf("colocated failure probability %v, want %v", co, prob)
+	}
+	// Pairing is the worst of the three at p = 0.3.
+	if !(paired > spread && paired > co) {
+		t.Fatalf("expected paired (%v) to be worst; spread %v, colocated %v", paired, spread, co)
+	}
+}
+
+func TestPlacementResilienceDelayTradeoff(t *testing.T) {
+	// The delay-optimal placement may be brittle; verify the analysis
+	// exposes that: putting Majority(4,3)'s elements on a single node has
+	// resilience 0 while the spread placement has resilience 1.
+	ins := availInstance(t)
+	r, err := ins.PlacementResilience(placement.NewPlacement([]int{0, 1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("spread resilience = %d, want 1", r)
+	}
+}

@@ -1,0 +1,103 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Baseline placements used by the evaluation harness as comparison points
+// for the LP-based algorithms.
+
+// RandomFeasiblePlacement draws a random capacity-respecting placement:
+// elements are visited in random order (heaviest groups first within the
+// shuffle to improve packing success) and assigned to a uniformly random
+// node with enough remaining capacity. It retries up to attempts times and
+// returns an error if packing keeps failing, which can happen even for
+// feasible instances when capacities are tight.
+func RandomFeasiblePlacement(ins *Instance, rng *rand.Rand, attempts int) (Placement, error) {
+	nU := ins.Sys.Universe()
+	n := ins.M.N()
+	for try := 0; try < attempts; try++ {
+		remaining := append([]float64(nil), ins.Cap...)
+		f := make([]int, nU)
+		perm := rng.Perm(nU)
+		ok := true
+		for _, u := range perm {
+			cands := make([]int, 0, n)
+			for v := 0; v < n; v++ {
+				if remaining[v]+capTol >= ins.loads[u] {
+					cands = append(cands, v)
+				}
+			}
+			if len(cands) == 0 {
+				ok = false
+				break
+			}
+			v := cands[rng.Intn(len(cands))]
+			remaining[v] -= ins.loads[u]
+			f[u] = v
+		}
+		if ok {
+			return NewPlacement(f), nil
+		}
+	}
+	return Placement{}, fmt.Errorf("placement: failed to find a random feasible placement in %d attempts", attempts)
+}
+
+// GreedyClosestPlacement assigns elements (heaviest first) to the nearest
+// node from v0 with enough remaining capacity: a simple first-fit-decreasing
+// heuristic that respects capacities exactly but has no delay guarantee.
+func GreedyClosestPlacement(ins *Instance, v0 int) (Placement, error) {
+	nU := ins.Sys.Universe()
+	order := ins.M.NodesByDistance(v0)
+	elems := make([]int, nU)
+	for u := range elems {
+		elems[u] = u
+	}
+	sort.SliceStable(elems, func(a, b int) bool { return ins.loads[elems[a]] > ins.loads[elems[b]] })
+	remaining := append([]float64(nil), ins.Cap...)
+	f := make([]int, nU)
+	for _, u := range elems {
+		placed := false
+		for _, v := range order {
+			if remaining[v]+capTol >= ins.loads[u] {
+				remaining[v] -= ins.loads[u]
+				f[u] = v
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return Placement{}, fmt.Errorf("placement: greedy packing failed for element %d (load %v)", u, ins.loads[u])
+		}
+	}
+	return NewPlacement(f), nil
+}
+
+// BestGreedyPlacement runs GreedyClosestPlacement from every source and
+// returns the placement minimizing the average max-delay.
+func BestGreedyPlacement(ins *Instance) (Placement, error) {
+	var best Placement
+	bestAvg := math.Inf(1)
+	found := false
+	var firstErr error
+	for v0 := 0; v0 < ins.M.N(); v0++ {
+		p, err := GreedyClosestPlacement(ins, v0)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if avg := ins.AvgMaxDelay(p); avg < bestAvg {
+			best, bestAvg = p, avg
+			found = true
+		}
+	}
+	if !found {
+		return Placement{}, fmt.Errorf("placement: greedy failed from every source: %w", firstErr)
+	}
+	return best, nil
+}

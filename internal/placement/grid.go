@@ -1,0 +1,228 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the §4.1 optimal single-source layout for the k×k
+// Grid quorum system under the uniform access strategy, proven optimal in
+// Appendix B (Theorem B.1): sort the k² chosen node slots by distance from
+// v0 in decreasing order τ1 ≥ τ2 ≥ ... ≥ τ_{k²} and fill the k×k logical
+// matrix in L-shaped shells — the largest l² distances occupy the top-left
+// l×l square, the next l go down column l+1, and the following l+1 across
+// row l+1.
+
+// slotTol mirrors capTol for slot packing.
+const slotTol = 1e-9
+
+// capacitySlots expands the nodes into unit-load slots: node v contributes
+// ⌊cap(v)/unitLoad⌋ slots (§4.1's "multiple copies of nodes with a capacity
+// large enough"). It returns the node id of each slot sorted by increasing
+// distance from v0, or an error if fewer than want slots exist.
+func capacitySlots(ins *Instance, v0 int, unitLoad float64, want int) ([]int, error) {
+	if unitLoad <= 0 {
+		return nil, fmt.Errorf("placement: unit load %v must be positive", unitLoad)
+	}
+	var slots []int
+	for _, v := range ins.M.NodesByDistance(v0) {
+		copies := int(math.Floor(ins.Cap[v]/unitLoad + slotTol))
+		for c := 0; c < copies && len(slots) < want; c++ {
+			slots = append(slots, v)
+		}
+		if len(slots) == want {
+			break
+		}
+	}
+	if len(slots) < want {
+		return nil, fmt.Errorf("placement: only %d capacity slots of load %v available, need %d", len(slots), unitLoad, want)
+	}
+	return slots, nil
+}
+
+// uniformLoad returns the common element load, or an error if loads differ
+// (the §4 layouts assume the uniform strategy, under which all Grid and
+// Majority elements carry equal load).
+func uniformLoad(ins *Instance) (float64, error) {
+	l0 := ins.loads[0]
+	for u, l := range ins.loads {
+		if math.Abs(l-l0) > 1e-9*(1+l0) {
+			return 0, fmt.Errorf("placement: element loads are not uniform (load(0)=%v, load(%d)=%v); the §4 layouts require the uniform strategy", l0, u, l)
+		}
+	}
+	return l0, nil
+}
+
+// GridShellOrder returns the order in which matrix cells are filled by the
+// §4.1 strategy for a k×k grid: position i of the result is the (row, col)
+// cell that receives τ_{i+1} (the i-th largest distance).
+func GridShellOrder(k int) [][2]int {
+	order := make([][2]int, 0, k*k)
+	order = append(order, [2]int{0, 0})
+	for l := 1; l < k; l++ {
+		for r := 0; r < l; r++ {
+			order = append(order, [2]int{r, l}) // down column l
+		}
+		for c := 0; c <= l; c++ {
+			order = append(order, [2]int{l, c}) // across row l
+		}
+	}
+	return order
+}
+
+// GridLayoutCost returns the average max-delay of a k×k grid arrangement:
+// cell (i,j) of m holds the distance of the slot hosting element (i,j), and
+// the cost is the mean over all k² quorums Q_{ij} of the maximum distance
+// in row i ∪ column j.
+func GridLayoutCost(m [][]float64) float64 {
+	k := len(m)
+	rowMax := make([]float64, k)
+	colMax := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if m[i][j] > rowMax[i] {
+				rowMax[i] = m[i][j]
+			}
+			if m[i][j] > colMax[j] {
+				colMax[j] = m[i][j]
+			}
+		}
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			sum += math.Max(rowMax[i], colMax[j])
+		}
+	}
+	return sum / float64(k*k)
+}
+
+// GridResult is the outcome of SolveGridSSQPP.
+type GridResult struct {
+	Placement Placement
+	V0        int
+	Delay     float64     // Δ_f(v0), optimal by Theorem B.1
+	Taus      []float64   // slot distances in decreasing order (τ1 ≥ ...)
+	Matrix    [][]float64 // the filled k×k distance matrix (Figure 2 view)
+}
+
+// SolveGridSSQPP computes the optimal single-source placement of the k×k
+// Grid system (uniform strategy) for source v0, per §4.1/Appendix B. The
+// instance system must be a Grid (universe k² with element (r,c) at index
+// r*k+c and quorums Q_{ij} = row i ∪ column j); loads must be uniform.
+// The returned placement respects capacities exactly.
+func SolveGridSSQPP(ins *Instance, v0 int) (*GridResult, error) {
+	nU := ins.Sys.Universe()
+	k := int(math.Round(math.Sqrt(float64(nU))))
+	if k*k != nU {
+		return nil, fmt.Errorf("placement: grid layout needs a square universe, got %d", nU)
+	}
+	load, err := uniformLoad(ins)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := capacitySlots(ins, v0, load, nU)
+	if err != nil {
+		return nil, err
+	}
+	// τ1 ≥ τ2 ≥ ... : slots arrive sorted by increasing distance; reverse.
+	type slot struct {
+		node int
+		dist float64
+	}
+	desc := make([]slot, nU)
+	for i, v := range slots {
+		desc[nU-1-i] = slot{node: v, dist: ins.M.D(v0, v)}
+	}
+	// NodesByDistance ties can make the reversal non-monotone within equal
+	// distances only, which is harmless; re-sort to be safe.
+	sort.SliceStable(desc, func(a, b int) bool { return desc[a].dist > desc[b].dist })
+
+	order := GridShellOrder(k)
+	f := make([]int, nU)
+	matrix := make([][]float64, k)
+	for i := range matrix {
+		matrix[i] = make([]float64, k)
+	}
+	taus := make([]float64, nU)
+	for i, cell := range order {
+		r, c := cell[0], cell[1]
+		f[r*k+c] = desc[i].node
+		matrix[r][c] = desc[i].dist
+		taus[i] = desc[i].dist
+	}
+	pl := NewPlacement(f)
+	return &GridResult{
+		Placement: pl,
+		V0:        v0,
+		Delay:     ins.MaxDelayFrom(v0, pl),
+		Taus:      taus,
+		Matrix:    matrix,
+	}, nil
+}
+
+// SolveGridQPP applies the Theorem 1.3 reduction for the Grid system: run
+// the optimal single-source layout from every candidate source and return
+// the placement minimizing the true average max-delay. The placement
+// respects capacities exactly and its delay is within 5× of the optimal
+// capacity-respecting placement.
+func SolveGridQPP(ins *Instance) (*GridResult, float64, error) {
+	var best *GridResult
+	bestAvg := math.Inf(1)
+	var firstErr error
+	for v0 := 0; v0 < ins.M.N(); v0++ {
+		res, err := SolveGridSSQPP(ins, v0)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if avg := ins.AvgMaxDelay(res.Placement); avg < bestAvg {
+			best, bestAvg = res, avg
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("placement: grid layout failed for every source: %w", firstErr)
+	}
+	return best, bestAvg, nil
+}
+
+// BruteForceGridLayout finds the minimum GridLayoutCost over all
+// arrangements of the given distances in a k×k matrix by exhaustive
+// permutation (k ≤ 3 is practical). Used to verify Theorem B.1.
+func BruteForceGridLayout(taus []float64) float64 {
+	k := int(math.Round(math.Sqrt(float64(len(taus)))))
+	if k*k != len(taus) {
+		panic(fmt.Sprintf("placement: %d distances do not form a square", len(taus)))
+	}
+	vals := append([]float64(nil), taus...)
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = make([]float64, k)
+	}
+	best := math.Inf(1)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == k*k {
+			if c := GridLayoutCost(m); c < best {
+				best = c
+			}
+			return
+		}
+		seen := map[float64]bool{} // skip permutations of equal values
+		for i := pos; i < len(vals); i++ {
+			if seen[vals[i]] {
+				continue
+			}
+			seen[vals[i]] = true
+			vals[pos], vals[i] = vals[i], vals[pos]
+			m[pos/k][pos%k] = vals[pos]
+			rec(pos + 1)
+			vals[pos], vals[i] = vals[i], vals[pos]
+		}
+	}
+	rec(0)
+	return best
+}

@@ -1,0 +1,169 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests for unexported helpers: the α-filtering step, shell ordering,
+// capacity slot expansion, and the binomial helper.
+
+func TestFilterBasic(t *testing.T) {
+	// One element spread evenly over 4 ranks; α=2 doubles the first two
+	// ranks' mass and zeroes the rest.
+	x := [][]float64{{0.25}, {0.25}, {0.25}, {0.25}}
+	out := filter(x, 2)
+	want := []float64{0.5, 0.5, 0, 0}
+	for tt := range want {
+		if math.Abs(out[tt][0]-want[tt]) > 1e-12 {
+			t.Fatalf("filter = %v,%v,%v,%v want %v", out[0][0], out[1][0], out[2][0], out[3][0], want)
+		}
+	}
+}
+
+func TestFilterPartialLast(t *testing.T) {
+	// Mass 0.4, 0.4, 0.2 with α=2: first rank gets 0.8, second is clipped
+	// to 0.2, third gets nothing.
+	x := [][]float64{{0.4}, {0.4}, {0.2}}
+	out := filter(x, 2)
+	want := []float64{0.8, 0.2, 0}
+	for tt := range want {
+		if math.Abs(out[tt][0]-want[tt]) > 1e-12 {
+			t.Fatalf("filter = %v,%v,%v want %v", out[0][0], out[1][0], out[2][0], want)
+		}
+	}
+}
+
+// TestFilterProperties checks the three invariants the Theorem 3.7 argument
+// needs: Σ_t x̃ = 1; x̃ ≤ α·x pointwise; and support only at ranks where the
+// original cumulative mass below is < 1/α.
+func TestFilterProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		nU := 1 + rng.Intn(4)
+		alpha := 1.1 + rng.Float64()*3
+		x := make([][]float64, n)
+		for tt := range x {
+			x[tt] = make([]float64, nU)
+		}
+		for u := 0; u < nU; u++ {
+			// Random distribution over ranks.
+			sum := 0.0
+			vals := make([]float64, n)
+			for tt := range vals {
+				vals[tt] = rng.Float64()
+				sum += vals[tt]
+			}
+			for tt := range vals {
+				x[tt][u] = vals[tt] / sum
+			}
+		}
+		out := filter(x, alpha)
+		for u := 0; u < nU; u++ {
+			total, cum := 0.0, 0.0
+			for tt := 0; tt < n; tt++ {
+				if out[tt][u] > alpha*x[tt][u]+1e-9 {
+					t.Fatalf("trial %d: x̃[%d][%d]=%v exceeds α·x=%v", trial, tt, u, out[tt][u], alpha*x[tt][u])
+				}
+				if out[tt][u] > filterTol && cum >= 1/alpha+1e-9 {
+					t.Fatalf("trial %d: support at rank %d but cumulative below is %v ≥ 1/α=%v", trial, tt, cum, 1/alpha)
+				}
+				total += out[tt][u]
+				cum += x[tt][u]
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Fatalf("trial %d: filtered mass %v, want 1", trial, total)
+			}
+		}
+	}
+}
+
+func TestGridShellOrder(t *testing.T) {
+	// k=3: τ1 at (0,0); τ2 at (0,1); τ3,τ4 at (1,0),(1,1); τ5,τ6 at
+	// (0,2),(1,2); τ7,τ8,τ9 at (2,0),(2,1),(2,2).
+	got := GridShellOrder(3)
+	want := [][2]int{
+		{0, 0},
+		{0, 1}, {1, 0}, {1, 1},
+		{0, 2}, {1, 2}, {2, 0}, {2, 1}, {2, 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("order has %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestGridShellOrderCoversAllCells(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		got := GridShellOrder(k)
+		if len(got) != k*k {
+			t.Fatalf("k=%d: %d cells, want %d", k, len(got), k*k)
+		}
+		seen := map[[2]int]bool{}
+		for _, c := range got {
+			if c[0] < 0 || c[0] >= k || c[1] < 0 || c[1] >= k {
+				t.Fatalf("k=%d: cell %v out of range", k, c)
+			}
+			if seen[c] {
+				t.Fatalf("k=%d: duplicate cell %v", k, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestGridLayoutCost(t *testing.T) {
+	// 2×2 matrix [[4,3],[2,1]]: rowMax = 4,2; colMax = 4,3.
+	// Q00: max(4,4)=4; Q01: max(4,3)=4; Q10: max(2,4)=4; Q11: max(2,3)=3.
+	m := [][]float64{{4, 3}, {2, 1}}
+	want := (4.0 + 4 + 4 + 3) / 4
+	if got := GridLayoutCost(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GridLayoutCost = %v, want %v", got, want)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {6, 3, 20},
+		{10, 4, 210}, {5, 6, 0}, {5, -1, 0}, {20, 10, 184756},
+	}
+	for _, tc := range cases {
+		if got := Binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestMajorityFormulaHandChecked(t *testing.T) {
+	// n=3, t=2, τ = 3,2,1 (decreasing). C(3,2)=3 quorums: {τ1,τ2}, {τ1,τ3},
+	// {τ2,τ3} with maxes 3, 3, 2 → mean 8/3. Formula: (τ1·C(2,1) + τ2·C(1,1))/3
+	// = (3·2 + 2·1)/3 = 8/3.
+	got, err := MajorityFormula([]float64{3, 2, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-8.0/3) > 1e-12 {
+		t.Fatalf("MajorityFormula = %v, want %v", got, 8.0/3)
+	}
+}
+
+func TestMajorityFormulaValidation(t *testing.T) {
+	if _, err := MajorityFormula([]float64{1, 2}, 2); err == nil {
+		t.Fatal("unsorted distances accepted")
+	}
+	if _, err := MajorityFormula([]float64{2, 1}, 0); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := MajorityFormula([]float64{2, 1}, 3); err == nil {
+		t.Fatal("threshold beyond n accepted")
+	}
+}

@@ -1,0 +1,173 @@
+package placement_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quorumplace/internal/exact"
+	"quorumplace/internal/placement"
+)
+
+func TestLocalSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	ins := randomInstance(t, rng)
+	p, err := placement.RandomFeasiblePlacement(ins, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := placement.ImproveLocalSearch(ins, p, placement.LocalSearchConfig{MaxLoadFactor: 0}); err == nil {
+		t.Fatal("zero load factor accepted")
+	}
+	if _, _, err := placement.ImproveLocalSearch(ins, p, placement.LocalSearchConfig{
+		Objective: placement.ObjectiveSourceMaxDelay, V0: -1, MaxLoadFactor: 1,
+	}); err == nil {
+		t.Fatal("invalid V0 accepted")
+	}
+	bad := placement.NewPlacement([]int{0})
+	if _, _, err := placement.ImproveLocalSearch(ins, bad, placement.LocalSearchConfig{MaxLoadFactor: 1}); err == nil {
+		t.Fatal("short placement accepted")
+	}
+}
+
+// TestLocalSearchNeverWorse: the returned objective is ≤ the input's, and
+// the returned placement evaluates to the reported value.
+func TestLocalSearchNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 10; trial++ {
+		ins := randomInstance(t, rng)
+		p, err := placement.RandomFeasiblePlacement(ins, rng, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := ins.AvgMaxDelay(p)
+		improved, val, err := placement.ImproveLocalSearch(ins, p, placement.LocalSearchConfig{
+			Objective:     placement.ObjectiveAvgMaxDelay,
+			MaxLoadFactor: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val > before+1e-9 {
+			t.Fatalf("trial %d: local search worsened %v -> %v", trial, before, val)
+		}
+		if got := ins.AvgMaxDelay(improved); math.Abs(got-val) > 1e-9 {
+			t.Fatalf("trial %d: reported %v, placement evaluates to %v", trial, val, got)
+		}
+		if !ins.Feasible(improved) {
+			t.Fatalf("trial %d: local search broke feasibility", trial)
+		}
+	}
+}
+
+// TestLocalSearchRespectsBudget: with MaxLoadFactor = α+1, the improved
+// placement stays within the Theorem 3.7 load bound.
+func TestLocalSearchRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 6; trial++ {
+		ins := randomInstance(t, rng)
+		alpha := 2.0
+		res, err := placement.SolveSSQPP(ins, 0, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, val, err := placement.ImproveLocalSearch(ins, res.Placement, placement.LocalSearchConfig{
+			Objective:     placement.ObjectiveSourceMaxDelay,
+			V0:            0,
+			MaxLoadFactor: alpha + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val > res.Delay+1e-9 {
+			t.Fatalf("trial %d: worsened %v -> %v", trial, res.Delay, val)
+		}
+		for v, l := range ins.NodeLoads(improved) {
+			if l > (alpha+1)*ins.Cap[v]+1e-6 {
+				t.Fatalf("trial %d: node %d load %v exceeds budget %v", trial, v, l, (alpha+1)*ins.Cap[v])
+			}
+		}
+	}
+}
+
+// TestLocalSearchFixedPointAtOptimum: starting from the exact optimum, the
+// search must not move (it only accepts strict improvements).
+func TestLocalSearchFixedPointAtOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	ins := randomInstance(t, rng)
+	pOpt, opt, err := exact.SolveQPP(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, val, err := placement.ImproveLocalSearch(ins, pOpt, placement.LocalSearchConfig{
+		Objective:     placement.ObjectiveAvgMaxDelay,
+		MaxLoadFactor: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-opt) > 1e-9 {
+		t.Fatalf("search changed the optimum: %v -> %v", opt, val)
+	}
+}
+
+// TestLocalSearchTotalDelayObjective exercises the Γ objective.
+func TestLocalSearchTotalDelayObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	ins := randomInstance(t, rng)
+	p, err := placement.RandomFeasiblePlacement(ins, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ins.AvgTotalDelay(p)
+	improved, val, err := placement.ImproveLocalSearch(ins, p, placement.LocalSearchConfig{
+		Objective:     placement.ObjectiveAvgTotalDelay,
+		MaxLoadFactor: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val > before+1e-9 {
+		t.Fatalf("worsened %v -> %v", before, val)
+	}
+	if got := ins.AvgTotalDelay(improved); math.Abs(got-val) > 1e-9 {
+		t.Fatalf("reported %v, evaluates to %v", val, got)
+	}
+}
+
+// TestArgmaxAblation: the argmax variant keeps the Lemma 3.9 delay bound
+// but can exceed the (α+1)·cap load bound that full rounding guarantees.
+func TestArgmaxAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	alpha := 2.0
+	sawDelayBound := false
+	for trial := 0; trial < 10; trial++ {
+		ins := randomInstance(t, rng)
+		v0 := rng.Intn(ins.M.N())
+		res, err := placement.SolveSSQPPArgmax(ins, v0, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LPBound > 1e-12 {
+			if res.Delay > alpha/(alpha-1)*res.LPBound+1e-6 {
+				t.Fatalf("trial %d: argmax delay %v exceeds α/(α-1)·Z* = %v",
+					trial, res.Delay, alpha/(alpha-1)*res.LPBound)
+			}
+			sawDelayBound = true
+		}
+	}
+	if !sawDelayBound {
+		t.Fatal("no instance exercised the delay bound")
+	}
+}
+
+func TestArgmaxValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	ins := randomInstance(t, rng)
+	if _, err := placement.SolveSSQPPArgmax(ins, 0, 1); err == nil {
+		t.Fatal("alpha = 1 accepted")
+	}
+	if _, err := placement.SolveSSQPPArgmax(ins, -1, 2); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the §4.2 single-source placement for the Majority
+// (threshold) quorum system under the uniform access strategy. The paper
+// shows every arrangement of a fixed multiset of node slots has the same
+// average delay, given in closed form by Eq. (19):
+//
+//	Δ_f(v0) = (1 / C(n,t)) · Σ_{i=1..n-t+1} τ_i · C(n-i, t-1)
+//
+// where τ1 ≥ τ2 ≥ ... ≥ τ_n are the slot distances in decreasing order.
+// Minimizing delay therefore reduces to choosing the n nearest capacity
+// slots, which the solver does greedily.
+
+// Binomial returns C(n, k) as a float64 using the multiplicative formula;
+// exact for the moderate arguments used here (n ≤ ~50).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1.0
+	for i := 1; i <= k; i++ {
+		res = res * float64(n-k+i) / float64(i)
+	}
+	return math.Round(res)
+}
+
+// MajorityFormula evaluates Eq. (19) for threshold t on sorted-descending
+// slot distances taus (τ1 ≥ ... ≥ τ_n).
+func MajorityFormula(taus []float64, t int) (float64, error) {
+	n := len(taus)
+	if t < 1 || t > n {
+		return 0, fmt.Errorf("placement: threshold %d out of range [1,%d]", t, n)
+	}
+	for i := 1; i < n; i++ {
+		if taus[i] > taus[i-1]+1e-12 {
+			return 0, fmt.Errorf("placement: distances not sorted in decreasing order at index %d", i)
+		}
+	}
+	total := Binomial(n, t)
+	sum := 0.0
+	for i := 1; i <= n-t+1; i++ {
+		sum += taus[i-1] * Binomial(n-i, t-1)
+	}
+	return sum / total, nil
+}
+
+// MajorityResult is the outcome of SolveMajoritySSQPP.
+type MajorityResult struct {
+	Placement Placement
+	V0        int
+	Delay     float64   // Δ_f(v0); equals FormulaDelay up to roundoff
+	Formula   float64   // the Eq. (19) closed form
+	Taus      []float64 // chosen slot distances, decreasing
+}
+
+// SolveMajoritySSQPP computes an optimal single-source placement of a
+// Majority(n, t) system (uniform strategy) for source v0: it selects the n
+// nearest capacity slots and places the elements on them in index order
+// (any arrangement is optimal by §4.2). The placement respects capacities
+// exactly.
+func SolveMajoritySSQPP(ins *Instance, v0, threshold int) (*MajorityResult, error) {
+	nU := ins.Sys.Universe()
+	if threshold < 1 || 2*threshold <= nU {
+		return nil, fmt.Errorf("placement: majority threshold %d invalid for universe %d", threshold, nU)
+	}
+	load, err := uniformLoad(ins)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := capacitySlots(ins, v0, load, nU)
+	if err != nil {
+		return nil, err
+	}
+	f := make([]int, nU)
+	taus := make([]float64, nU)
+	for u := 0; u < nU; u++ {
+		f[u] = slots[u]
+		taus[nU-1-u] = ins.M.D(v0, slots[u]) // reverse to decreasing order
+	}
+	formula, err := MajorityFormula(taus, threshold)
+	if err != nil {
+		return nil, err
+	}
+	pl := NewPlacement(f)
+	return &MajorityResult{
+		Placement: pl,
+		V0:        v0,
+		Delay:     ins.MaxDelayFrom(v0, pl),
+		Formula:   formula,
+		Taus:      taus,
+	}, nil
+}
+
+// SolveMajorityQPP applies the Theorem 1.3 reduction for the Majority
+// system: the optimal single-source layout is computed from every candidate
+// source and the placement with the best true average max-delay is
+// returned, along with that average.
+func SolveMajorityQPP(ins *Instance, threshold int) (*MajorityResult, float64, error) {
+	var best *MajorityResult
+	bestAvg := math.Inf(1)
+	var firstErr error
+	for v0 := 0; v0 < ins.M.N(); v0++ {
+		res, err := SolveMajoritySSQPP(ins, v0, threshold)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if avg := ins.AvgMaxDelay(res.Placement); avg < bestAvg {
+			best, bestAvg = res, avg
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("placement: majority layout failed for every source: %w", firstErr)
+	}
+	return best, bestAvg, nil
+}

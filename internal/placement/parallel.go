@@ -1,0 +1,93 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Parallel QPP solving. SolveQPP runs one independent SSQPP pipeline per
+// candidate source; the pipelines share nothing mutable, so they
+// parallelize perfectly. SolveQPPParallel fans the sources out over a
+// bounded worker pool and reduces the results deterministically (the same
+// winner as the sequential solver: best average max-delay, ties broken by
+// the smaller source id).
+
+// SolveQPPParallel is SolveQPP with the per-source SSQPP solves spread
+// across workers goroutines (0 = GOMAXPROCS). The result is identical to
+// SolveQPP's for the same instance and α.
+func SolveQPPParallel(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
+	n := ins.M.N()
+	if n == 0 {
+		return nil, fmt.Errorf("placement: empty network")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type outcome struct {
+		res *SSQPPResult
+		avg float64
+		err error
+	}
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v0 := range next {
+				res, err := SolveSSQPP(ins, v0, alpha)
+				if err != nil {
+					outcomes[v0] = outcome{err: err}
+					continue
+				}
+				outcomes[v0] = outcome{res: res, avg: ins.AvgMaxDelay(res.Placement)}
+			}
+		}()
+	}
+	for v0 := 0; v0 < n; v0++ {
+		next <- v0
+	}
+	close(next)
+	wg.Wait()
+
+	var best *QPPResult
+	bestRelay := math.Inf(1)
+	maxLP := 0.0
+	var firstErr error
+	for v0 := 0; v0 < n; v0++ {
+		o := outcomes[v0]
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		if relay := ins.AvgDistToNode(v0) + alpha/(alpha-1)*o.res.LPBound; relay < bestRelay {
+			bestRelay = relay
+		}
+		if o.res.LPBound > maxLP {
+			maxLP = o.res.LPBound
+		}
+		if best == nil || o.avg < best.AvgMaxDelay {
+			best = &QPPResult{
+				Placement:   o.res.Placement,
+				AvgMaxDelay: o.avg,
+				BestV0:      v0,
+				Alpha:       alpha,
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("placement: SSQPP failed for every source: %w", firstErr)
+	}
+	best.RelayBound = bestRelay
+	best.MaxLPBound = maxLP
+	return best, nil
+}

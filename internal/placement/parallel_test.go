@@ -1,0 +1,86 @@
+package placement_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+// TestParallelMatchesSequential: the parallel solver must return exactly
+// the sequential solver's result (same winning source, delay, and bounds).
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 6; trial++ {
+		ins := randomInstance(t, rng)
+		for _, workers := range []int{0, 1, 3} {
+			seq, err := placement.SolveQPP(ins, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := placement.SolveQPPParallel(ins, 2, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.BestV0 != seq.BestV0 {
+				t.Fatalf("trial %d workers %d: winner %d vs %d", trial, workers, par.BestV0, seq.BestV0)
+			}
+			if math.Abs(par.AvgMaxDelay-seq.AvgMaxDelay) > 1e-12 {
+				t.Fatalf("trial %d: delay %v vs %v", trial, par.AvgMaxDelay, seq.AvgMaxDelay)
+			}
+			if math.Abs(par.RelayBound-seq.RelayBound) > 1e-9 ||
+				math.Abs(par.MaxLPBound-seq.MaxLPBound) > 1e-9 {
+				t.Fatalf("trial %d: bounds differ: %v/%v vs %v/%v",
+					trial, par.RelayBound, par.MaxLPBound, seq.RelayBound, seq.MaxLPBound)
+			}
+		}
+	}
+}
+
+func TestParallelEmptyNetwork(t *testing.T) {
+	m, err := graph.NewMetricFromMatrix([][]float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := quorum.Singleton()
+	ins, err := placement.NewInstance(m, nil, sys, quorum.Uniform(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placement.SolveQPPParallel(ins, 2, 2); err == nil {
+		t.Fatal("empty network accepted")
+	}
+}
+
+func TestParallelAllSourcesFail(t *testing.T) {
+	m := mustMetric(t, graph.Path(3))
+	sys, st := tinySystem(t) // element 0 has load 1
+	ins, err := placement.NewInstance(m, uniformCaps(3, 0.4), sys, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placement.SolveQPPParallel(ins, 2, 4); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestParallelIsConcurrencySafe(t *testing.T) {
+	// Run with -race to verify no shared-state races between workers.
+	rng := rand.New(rand.NewSource(409))
+	ins := randomInstance(t, rng)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := placement.SolveQPPParallel(ins, 2, 4)
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

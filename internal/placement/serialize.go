@@ -1,0 +1,136 @@
+package placement
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/quorum"
+)
+
+// Instance serialization. An InstanceSpec is a JSON document capturing
+// everything needed to reconstruct a placement instance: the network (as an
+// edge list), node capacities, the quorum system (explicit quorums) and the
+// access strategy, plus optional client rates. It exists so experiments and
+// deployments can be stored, shared, and replayed byte-for-byte.
+
+// InstanceSpec is the JSON form of an Instance.
+type InstanceSpec struct {
+	// Name is a free-form label.
+	Name string `json:"name,omitempty"`
+	// Nodes is the network size.
+	Nodes int `json:"nodes"`
+	// Edges lists undirected edges as [u, v, length] triples.
+	Edges [][3]float64 `json:"edges"`
+	// Capacities holds cap(v) per node.
+	Capacities []float64 `json:"capacities"`
+	// SystemName labels the quorum system.
+	SystemName string `json:"system_name,omitempty"`
+	// Universe is the logical element count.
+	Universe int `json:"universe"`
+	// Quorums lists each quorum's elements.
+	Quorums [][]int `json:"quorums"`
+	// Strategy holds the access probabilities, one per quorum.
+	Strategy []float64 `json:"strategy"`
+	// Rates optionally holds per-client access rates.
+	Rates []float64 `json:"rates,omitempty"`
+}
+
+// Spec extracts the serializable form of an instance built on a graph.
+// Because an Instance stores only the metric, the caller supplies the
+// original graph; Spec validates that it matches the instance's size.
+func Spec(name string, g *graph.Graph, ins *Instance) (*InstanceSpec, error) {
+	if g.N() != ins.M.N() {
+		return nil, fmt.Errorf("placement: graph has %d nodes, instance %d", g.N(), ins.M.N())
+	}
+	spec := &InstanceSpec{
+		Name:       name,
+		Nodes:      g.N(),
+		Capacities: append([]float64(nil), ins.Cap...),
+		SystemName: ins.Sys.Name(),
+		Universe:   ins.Sys.Universe(),
+		Strategy:   ins.Strat.Probs(),
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if u < e.To {
+				spec.Edges = append(spec.Edges, [3]float64{float64(u), float64(e.To), e.Length})
+			}
+		}
+	}
+	for i := 0; i < ins.Sys.NumQuorums(); i++ {
+		spec.Quorums = append(spec.Quorums, append([]int(nil), ins.Sys.Quorum(i)...))
+	}
+	if ins.Rates != nil {
+		spec.Rates = append([]float64(nil), ins.Rates...)
+	}
+	return spec, nil
+}
+
+// Build reconstructs the graph and instance from the spec.
+func (spec *InstanceSpec) Build() (*graph.Graph, *Instance, error) {
+	if spec.Nodes <= 0 {
+		return nil, nil, fmt.Errorf("placement: spec has %d nodes", spec.Nodes)
+	}
+	g := graph.New(spec.Nodes)
+	for i, e := range spec.Edges {
+		u, v := int(e[0]), int(e[1])
+		if float64(u) != e[0] || float64(v) != e[1] {
+			return nil, nil, fmt.Errorf("placement: edge %d has non-integer endpoints %v", i, e)
+		}
+		if err := g.AddEdge(u, v, e[2]); err != nil {
+			return nil, nil, fmt.Errorf("placement: edge %d: %w", i, err)
+		}
+	}
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	name := spec.SystemName
+	if name == "" {
+		name = spec.Name
+	}
+	sys, err := quorum.NewSystem(name, spec.Universe, spec.Quorums)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := quorum.NewStrategy(spec.Strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	ins, err := NewInstance(m, spec.Capacities, sys, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	if spec.Rates != nil {
+		if err := ins.SetRates(spec.Rates); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, ins, nil
+}
+
+// WriteSpec serializes the spec as indented JSON.
+func WriteSpec(w io.Writer, spec *InstanceSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// ReadSpec parses a JSON instance spec and sanity-checks its numbers.
+func ReadSpec(r io.Reader) (*InstanceSpec, error) {
+	var spec InstanceSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("placement: decoding spec: %w", err)
+	}
+	for i, c := range spec.Capacities {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("placement: capacity %d is %v", i, c)
+		}
+	}
+	return &spec, nil
+}

@@ -1,0 +1,134 @@
+package placement_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 6; trial++ {
+		ins := randomInstance(t, rng)
+		// Rebuild a graph matching the instance is impossible here (the
+		// generator discards it), so build a fresh pair explicitly.
+		g := graph.ErdosRenyiConnected(ins.M.N(), 0.4, 1, 3, rng)
+		m, err := graph.NewMetricFromGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := placement.NewInstance(m, ins.Cap, ins.Sys, ins.Strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial%2 == 0 {
+			rates := make([]float64, g.N())
+			for v := range rates {
+				rates[v] = 0.5 + rng.Float64()
+			}
+			if err := src.SetRates(rates); err != nil {
+				t.Fatal(err)
+			}
+		}
+		spec, err := placement.Spec("trial", g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := placement.WriteSpec(&buf, spec); err != nil {
+			t.Fatal(err)
+		}
+		spec2, err := placement.ReadSpec(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, ins2, err := spec2.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("trial %d: graph shape changed", trial)
+		}
+		// The rebuilt instance computes identical delays for a fixed
+		// placement.
+		p, err := placement.RandomFeasiblePlacement(src, rng, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := src.AvgMaxDelay(p), ins2.AvgMaxDelay(p); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("trial %d: delay changed across round trip: %v vs %v", trial, a, b)
+		}
+		if a, b := src.AvgTotalDelay(p), ins2.AvgTotalDelay(p); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("trial %d: total delay changed: %v vs %v", trial, a, b)
+		}
+	}
+}
+
+func TestSpecGraphMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	ins := randomInstance(t, rng)
+	g := graph.Path(ins.M.N() + 1)
+	if _, err := placement.Spec("x", g, ins); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestReadSpecRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"unknown_field": 1}`,
+		`{"nodes": 2, "edges": [], "capacities": [1, -1], "universe": 1, "quorums": [[0]], "strategy": [1]}`,
+	}
+	for i, in := range cases {
+		if _, err := placement.ReadSpec(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	base := func() *placement.InstanceSpec {
+		return &placement.InstanceSpec{
+			Nodes:      2,
+			Edges:      [][3]float64{{0, 1, 1}},
+			Capacities: []float64{1, 1},
+			Universe:   1,
+			Quorums:    [][]int{{0}},
+			Strategy:   []float64{1},
+		}
+	}
+	if _, _, err := base().Build(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	s := base()
+	s.Nodes = 0
+	if _, _, err := s.Build(); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	s = base()
+	s.Edges = [][3]float64{{0.5, 1, 1}}
+	if _, _, err := s.Build(); err == nil {
+		t.Fatal("fractional endpoint accepted")
+	}
+	s = base()
+	s.Edges = nil // disconnected 2-node graph
+	if _, _, err := s.Build(); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	s = base()
+	s.Strategy = []float64{0.5}
+	if _, _, err := s.Build(); err == nil {
+		t.Fatal("non-normalized strategy accepted")
+	}
+	s = base()
+	s.Quorums = [][]int{{0}, {0, 1}} // element 1 outside universe 1
+	if _, _, err := s.Build(); err == nil {
+		t.Fatal("out-of-universe quorum accepted")
+	}
+}

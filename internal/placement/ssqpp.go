@@ -1,0 +1,266 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"quorumplace/internal/gap"
+	"quorumplace/internal/lp"
+)
+
+// This file implements the Single-Source Quorum Placement Problem
+// (Problem 3.2): given a source v0 that issues all quorum accesses, find a
+// placement minimizing Δ_f(v0) subject to node capacities. The problem is
+// NP-hard (Theorem 3.6), so the solver follows §3.3: solve the LP
+// relaxation (9)–(14), α-filter the fractional solution, and round it with
+// the Shmoys–Tardos GAP theorem. The result has
+//
+//	Δ_f(v0) ≤ α/(α-1) · Z* ≤ α/(α-1) · Δ_{f*}(v0)
+//
+// with load_f(v) ≤ (α+1)·cap(v) at every node (Theorem 3.7; α=2 gives the
+// 2-approximation with factor-3 load of Theorem 3.12).
+
+// SSQPPResult is the outcome of SolveSSQPP.
+type SSQPPResult struct {
+	Placement Placement
+	V0        int
+	Alpha     float64
+	Delay     float64 // Δ_f(v0) of the returned placement
+	LPBound   float64 // Z*, a lower bound on the optimal capacity-respecting delay
+}
+
+// SolveSSQPP runs the Theorem 3.7 pipeline for source v0 and filtering
+// parameter α > 1. It returns an error if the LP relaxation is infeasible
+// (no capacity-respecting placement exists at all) or if α ≤ 1.
+func SolveSSQPP(ins *Instance, v0 int, alpha float64) (*SSQPPResult, error) {
+	if alpha <= 1 {
+		return nil, fmt.Errorf("placement: filtering parameter alpha = %v must exceed 1", alpha)
+	}
+	if v0 < 0 || v0 >= ins.M.N() {
+		return nil, fmt.Errorf("placement: source %d out of range [0,%d)", v0, ins.M.N())
+	}
+	frac, err := solveSSQPPLP(ins, v0)
+	if err != nil {
+		return nil, err
+	}
+	xt := filter(frac.xu, alpha)
+	pl, err := roundFiltered(ins, frac, xt, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &SSQPPResult{
+		Placement: pl,
+		V0:        v0,
+		Alpha:     alpha,
+		Delay:     ins.MaxDelayFrom(v0, pl),
+		LPBound:   frac.obj,
+	}, nil
+}
+
+// SSQPPLowerBound solves only the LP relaxation and returns Z*, a lower
+// bound on Δ_{f*}(v0) over all capacity-respecting placements.
+func SSQPPLowerBound(ins *Instance, v0 int) (float64, error) {
+	frac, err := solveSSQPPLP(ins, v0)
+	if err != nil {
+		return 0, err
+	}
+	return frac.obj, nil
+}
+
+// ssqppFrac carries the fractional LP solution in node-rank space: index t
+// refers to the t-th closest node to v0 (order[t]), with distance dist[t].
+type ssqppFrac struct {
+	order []int       // rank → node id
+	dist  []float64   // rank → d(v0, node)
+	xu    [][]float64 // xu[t][u], Σ_t xu[t][u] = 1
+	obj   float64     // Z*
+}
+
+// solveSSQPPLP builds and solves the LP (9)–(14).
+//
+// Variables: x_{tu} (element u placed on the t-th closest node) and x_{tQ}
+// (quorum Q completed within the t closest nodes). Constraint (13) — no
+// element on a node whose capacity it alone would exceed — is enforced by
+// omitting those variables.
+func solveSSQPPLP(ins *Instance, v0 int) (*ssqppFrac, error) {
+	n := ins.M.N()
+	nU := ins.Sys.Universe()
+	nQ := ins.Sys.NumQuorums()
+	order := ins.M.NodesByDistance(v0)
+	dist := make([]float64, n)
+	for t, v := range order {
+		dist[t] = ins.M.D(v0, v)
+	}
+
+	prob := lp.NewProblem()
+	xu := make([][]int, n) // var ids, -1 = forbidden
+	for t := 0; t < n; t++ {
+		xu[t] = make([]int, nU)
+		capT := ins.Cap[order[t]]
+		for u := 0; u < nU; u++ {
+			if ins.loads[u] > capT*(1+capTol) {
+				xu[t][u] = -1 // constraint (13)
+				continue
+			}
+			xu[t][u] = prob.AddVar(0, fmt.Sprintf("x_t%d_u%d", t, u))
+		}
+	}
+	xq := make([][]int, n)
+	for t := 0; t < n; t++ {
+		xq[t] = make([]int, nQ)
+		for q := 0; q < nQ; q++ {
+			// Objective (9): Σ_Q p0(Q) Σ_t d_t x_{tQ}.
+			xq[t][q] = prob.AddVar(ins.Strat.P(q)*dist[t], fmt.Sprintf("x_t%d_q%d", t, q))
+		}
+	}
+
+	// (10): Σ_t x_{tu} = 1.
+	for u := 0; u < nU; u++ {
+		var terms []lp.Term
+		for t := 0; t < n; t++ {
+			if xu[t][u] >= 0 {
+				terms = append(terms, lp.Term{Var: xu[t][u], Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("placement: element %d (load %v) exceeds every node capacity", u, ins.loads[u])
+		}
+		prob.AddConstraint(terms, lp.EQ, 1)
+	}
+	// (11): Σ_t x_{tQ} = 1.
+	for q := 0; q < nQ; q++ {
+		terms := make([]lp.Term, n)
+		for t := 0; t < n; t++ {
+			terms[t] = lp.Term{Var: xq[t][q], Coef: 1}
+		}
+		prob.AddConstraint(terms, lp.EQ, 1)
+	}
+	// (12): Σ_u load(u) x_{tu} ≤ cap(v_t).
+	for t := 0; t < n; t++ {
+		var terms []lp.Term
+		for u := 0; u < nU; u++ {
+			if xu[t][u] >= 0 && ins.loads[u] > 0 {
+				terms = append(terms, lp.Term{Var: xu[t][u], Coef: ins.loads[u]})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, ins.Cap[order[t]])
+		}
+	}
+	// (14): Σ_{s≤t} x_{sQ} ≤ Σ_{s≤t} x_{su} for every u ∈ Q and every t.
+	// The t = n-1 instance is implied by (10) and (11), so it is skipped.
+	for q := 0; q < nQ; q++ {
+		for _, u := range ins.Sys.Quorum(q) {
+			for t := 0; t < n-1; t++ {
+				var terms []lp.Term
+				for s := 0; s <= t; s++ {
+					terms = append(terms, lp.Term{Var: xq[s][q], Coef: 1})
+					if xu[s][u] >= 0 {
+						terms = append(terms, lp.Term{Var: xu[s][u], Coef: -1})
+					}
+				}
+				prob.AddConstraint(terms, lp.LE, 0)
+			}
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("placement: SSQPP LP for v0=%d: %w", v0, err)
+	}
+	frac := &ssqppFrac{order: order, dist: dist, obj: sol.Objective}
+	frac.xu = make([][]float64, n)
+	for t := 0; t < n; t++ {
+		frac.xu[t] = make([]float64, nU)
+		for u := 0; u < nU; u++ {
+			if xu[t][u] >= 0 {
+				frac.xu[t][u] = sol.X[xu[t][u]]
+			}
+		}
+	}
+	return frac, nil
+}
+
+// filterTol treats tiny fractional masses as zero during filtering.
+const filterTol = 1e-9
+
+// filter applies the §3.3.1 filtering step with parameter α to the
+// fractional assignment x[t][u] (columns sum to 1 over t): the filtered
+// x̃_{tu} is the largest value with x̃_{tu} ≤ α·x_{tu} and Σ_{s≤t} x̃_{su} ≤ 1,
+// which moves all mass to the closest ranks. Afterwards, x̃_{tu} > 0 implies
+// Σ_{s<t} x_{su} < 1/α, the property behind the α/(α-1) distance bound of
+// Claim 3.8 / Lemma 3.9.
+func filter(x [][]float64, alpha float64) [][]float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	n, nU := len(x), len(x[0])
+	out := make([][]float64, n)
+	for t := range out {
+		out[t] = make([]float64, nU)
+	}
+	for u := 0; u < nU; u++ {
+		cum := 0.0
+		for t := 0; t < n && cum < 1-filterTol; t++ {
+			if x[t][u] <= filterTol {
+				continue
+			}
+			v := alpha * x[t][u]
+			if v > 1-cum {
+				v = 1 - cum
+			}
+			out[t][u] = v
+			cum += v
+		}
+	}
+	return out
+}
+
+// roundFiltered interprets the filtered solution as a fractional GAP
+// solution (machines = nodes with capacity α·cap, jobs = elements, cost of
+// element u on rank t = d_t) and applies Shmoys–Tardos rounding. The
+// resulting load is at most α·cap(v) + max load ≤ (α+1)·cap(v).
+func roundFiltered(ins *Instance, frac *ssqppFrac, xt [][]float64, alpha float64) (Placement, error) {
+	n := ins.M.N()
+	nU := ins.Sys.Universe()
+	g := &gap.Instance{
+		Cost: make([][]float64, n),
+		Load: make([][]float64, n),
+		T:    make([]float64, n),
+	}
+	for t := 0; t < n; t++ {
+		g.Cost[t] = make([]float64, nU)
+		g.Load[t] = make([]float64, nU)
+		g.T[t] = alpha * ins.Cap[frac.order[t]]
+		for u := 0; u < nU; u++ {
+			g.Cost[t][u] = frac.dist[t]
+			if xt[t][u] > filterTol {
+				g.Load[t][u] = ins.loads[u]
+			} else {
+				g.Load[t][u] = math.Inf(1)
+			}
+		}
+	}
+	// Renormalize columns exactly to 1 (filtering guarantees ≈1).
+	for u := 0; u < nU; u++ {
+		sum := 0.0
+		for t := 0; t < n; t++ {
+			sum += xt[t][u]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return Placement{}, fmt.Errorf("placement: filtered mass for element %d is %v", u, sum)
+		}
+		for t := 0; t < n; t++ {
+			xt[t][u] /= sum
+		}
+	}
+	assign, _, err := gap.Round(g, xt)
+	if err != nil {
+		return Placement{}, fmt.Errorf("placement: SSQPP rounding: %w", err)
+	}
+	f := make([]int, nU)
+	for u, t := range assign {
+		f[u] = frac.order[t]
+	}
+	return NewPlacement(f), nil
+}

@@ -1,0 +1,67 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"quorumplace/internal/gap"
+)
+
+// This file implements the total-delay objective of §5 (Theorems 1.4 and
+// 5.1). Because Γ_f(v) = Σ_u load(u)·d(v, f(u)) decomposes per element, the
+// problem is exactly a Generalized Assignment Problem:
+//
+//	jobs     = elements u, with machine-independent size load(u)
+//	machines = nodes v, with capacity cap(v)
+//	cost     = load(u) · Avg_{v'} d(v', v)   (rate-weighted when set)
+//
+// Solving the GAP LP and rounding with Shmoys–Tardos yields a placement
+// whose average total-delay is at most the optimum over capacity-respecting
+// placements, with load_f(v) ≤ 2·cap(v). Pairs with load(u) > cap(v) are
+// forbidden (mirroring constraint (13)); an optimal capacity-respecting
+// placement never uses them, so the LP bound is unaffected, and forbidding
+// them is what caps the rounded load at cap + p^max ≤ 2·cap.
+
+// TotalDelayResult is the outcome of SolveTotalDelay.
+type TotalDelayResult struct {
+	Placement Placement
+	AvgDelay  float64 // Avg_v Γ_f(v) of the returned placement
+	LPBound   float64 // GAP LP optimum ≤ optimal capacity-respecting delay
+}
+
+// SolveTotalDelay runs the Theorem 5.1 algorithm.
+func SolveTotalDelay(ins *Instance) (*TotalDelayResult, error) {
+	n := ins.M.N()
+	nU := ins.Sys.Universe()
+	avgDist := make([]float64, n)
+	for v := 0; v < n; v++ {
+		avgDist[v] = ins.avgOverClients(func(v2 int) float64 { return ins.M.D(v2, v) })
+	}
+	g := &gap.Instance{
+		Cost: make([][]float64, n),
+		Load: make([][]float64, n),
+		T:    append([]float64(nil), ins.Cap...),
+	}
+	for v := 0; v < n; v++ {
+		g.Cost[v] = make([]float64, nU)
+		g.Load[v] = make([]float64, nU)
+		for u := 0; u < nU; u++ {
+			g.Cost[v][u] = ins.loads[u] * avgDist[v]
+			if ins.loads[u] > ins.Cap[v]*(1+capTol) {
+				g.Load[v][u] = math.Inf(1)
+			} else {
+				g.Load[v][u] = ins.loads[u]
+			}
+		}
+	}
+	assign, _, lpObj, err := gap.Solve(g)
+	if err != nil {
+		return nil, fmt.Errorf("placement: total-delay GAP: %w", err)
+	}
+	pl := NewPlacement(assign)
+	return &TotalDelayResult{
+		Placement: pl,
+		AvgDelay:  ins.AvgTotalDelay(pl),
+		LPBound:   lpObj,
+	}, nil
+}

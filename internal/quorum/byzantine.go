@@ -1,0 +1,132 @@
+package quorum
+
+import "fmt"
+
+// Byzantine (masking) quorum systems, after Malkhi & Reiter (the paper's
+// reference [16] discusses their load and availability). With up to f
+// Byzantine elements, a client that reads from a quorum needs the correct
+// replies to outnumber the faulty ones in every pairwise intersection:
+// an f-masking system requires |Q ∩ Q'| ≥ 2f+1 for all quorums Q, Q'.
+// Placement is orthogonal — the QPP algorithms apply unchanged — but the
+// constructions and the verification predicate live here.
+
+// VerifyMaskingIntersection checks that every pair of quorums intersects in
+// at least 2f+1 elements (f-masking). f = 0 reduces to the ordinary quorum
+// intersection property.
+func (s *System) VerifyMaskingIntersection(f int) error {
+	if f < 0 {
+		return fmt.Errorf("quorum: negative fault bound %d", f)
+	}
+	need := 2*f + 1
+	for i := 0; i < len(s.quorums); i++ {
+		for j := i + 1; j < len(s.quorums); j++ {
+			if got := sortedIntersectionSize(s.quorums[i], s.quorums[j]); got < need {
+				return fmt.Errorf("quorum: quorums %d and %d of %q share %d elements, need %d for f=%d masking",
+					i, j, s.name, got, need, f)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedIntersectionSize(a, b []int) int {
+	i, j, count := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			count++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return count
+}
+
+// MaskingMajority returns the f-masking threshold system on n elements:
+// all subsets of size t = ⌈(n+2f+1)/2⌉. Any two such subsets intersect in
+// at least 2t-n ≥ 2f+1 elements. Requires n ≥ 4f+3 so that t ≤ n-f (a
+// quorum of live elements exists even with f crashed and the masking bound
+// holds); the classical f=0 case is Majority with t = ⌈(n+1)/2⌉.
+func MaskingMajority(n, f int) *System {
+	if f < 0 {
+		panic(fmt.Sprintf("quorum: negative fault bound %d", f))
+	}
+	if n < 4*f+3 {
+		panic(fmt.Sprintf("quorum: masking majority needs n ≥ 4f+3 = %d, got %d", 4*f+3, n))
+	}
+	t := (n + 2*f + 1 + 1) / 2 // ⌈(n+2f+1)/2⌉
+	s := Majority(n, t)
+	s.name = fmt.Sprintf("masking-majority-f%d-%d-of-%d", f, t, n)
+	if err := s.VerifyMaskingIntersection(f); err != nil {
+		panic(err) // construction guarantees this
+	}
+	return s
+}
+
+// MaskingGrid returns the Malkhi–Reiter grid-style masking construction for
+// a k×k universe: each quorum is the union of one full row and 2f+1 full
+// columns, so any two quorums share at least 2f+1 elements (the chosen
+// columns of one meet the full row of the other). Requires 2f+1 ≤ k. The
+// number of quorums is k·C(k, 2f+1).
+func MaskingGrid(k, f int) *System {
+	if f < 0 {
+		panic(fmt.Sprintf("quorum: negative fault bound %d", f))
+	}
+	cols := 2*f + 1
+	if cols > k {
+		panic(fmt.Sprintf("quorum: masking grid needs 2f+1 ≤ k, got f=%d k=%d", f, k))
+	}
+	n := k * k
+	var quorums [][]int
+	colSets := combinations(k, cols)
+	for r := 0; r < k; r++ {
+		for _, cs := range colSets {
+			seen := make(map[int]bool, k+cols*k)
+			var q []int
+			add := func(e int) {
+				if !seen[e] {
+					seen[e] = true
+					q = append(q, e)
+				}
+			}
+			for c := 0; c < k; c++ {
+				add(r*k + c)
+			}
+			for _, c := range cs {
+				for rr := 0; rr < k; rr++ {
+					add(rr*k + c)
+				}
+			}
+			quorums = append(quorums, q)
+		}
+	}
+	s := mustNewSystem(fmt.Sprintf("masking-grid-f%d-%dx%d", f, k, k), n, quorums)
+	if err := s.VerifyMaskingIntersection(f); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// combinations enumerates all size-k subsets of {0..n-1}.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := start; v <= n-(k-len(cur)); v++ {
+			cur = append(cur, v)
+			rec(v + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}

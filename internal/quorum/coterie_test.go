@@ -1,0 +1,234 @@
+package quorum
+
+import (
+	"testing"
+)
+
+func TestMinimalQuorums(t *testing.T) {
+	s, err := NewSystem("t", 4, [][]int{{0, 1}, {0, 1, 2}, {1, 2}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := MinimalQuorums(s)
+	want := [][]int{{0, 1}, {1, 2}}
+	if !equalQuorumLists(min, want) {
+		t.Fatalf("MinimalQuorums = %v, want %v", min, want)
+	}
+}
+
+func TestTransversalsMajority(t *testing.T) {
+	// Majority(3,2): quorums {01,02,12}; minimal transversals are exactly
+	// the quorums themselves (self-dual coterie).
+	s := Majority(3, 2)
+	trans := Transversals(s)
+	want := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	if !equalQuorumLists(trans, want) {
+		t.Fatalf("Transversals = %v, want %v", trans, want)
+	}
+}
+
+func TestTransversalsStar(t *testing.T) {
+	// Star(4): quorums {0,1},{0,2},{0,3}. Minimal transversals: {0} and
+	// {1,2,3}.
+	s := Star(4)
+	trans := Transversals(s)
+	want := [][]int{{0}, {1, 2, 3}}
+	if !equalQuorumLists(trans, want) {
+		t.Fatalf("Transversals = %v, want %v", trans, want)
+	}
+}
+
+func TestTransversalsGridNonIntersecting(t *testing.T) {
+	// Grid(2) is dominated: {0,3} and {1,2} are disjoint minimal
+	// transversals (each hits every row∪column quorum).
+	s := Grid(2)
+	trans := Transversals(s)
+	found03, found12 := false, false
+	for _, tr := range trans {
+		if len(tr) == 2 && tr[0] == 0 && tr[1] == 3 {
+			found03 = true
+		}
+		if len(tr) == 2 && tr[0] == 1 && tr[1] == 2 {
+			found12 = true
+		}
+	}
+	if !found03 || !found12 {
+		t.Fatalf("expected disjoint transversals {0,3} and {1,2}, got %v", trans)
+	}
+	// Consequently Dual must fail the intersection check.
+	if _, err := Dual(s); err == nil {
+		t.Fatal("Dual(Grid(2)) unexpectedly intersecting")
+	}
+}
+
+// TestTransversalsMeetAllQuorums: every reported transversal hits every
+// quorum, and is minimal (dropping any element misses some quorum).
+func TestTransversalsMeetAllQuorums(t *testing.T) {
+	for _, s := range []*System{Majority(5, 3), Grid(2), Grid(3), Wheel(5), FPP(2), Star(5), Tree(2)} {
+		for _, tr := range Transversals(s) {
+			for qi := 0; qi < s.NumQuorums(); qi++ {
+				if !sortedIntersect(tr, s.Quorum(qi)) {
+					t.Fatalf("%s: transversal %v misses quorum %v", s.Name(), tr, s.Quorum(qi))
+				}
+			}
+			for drop := range tr {
+				reduced := append(append([]int(nil), tr[:drop]...), tr[drop+1:]...)
+				hitsAll := true
+				for qi := 0; qi < s.NumQuorums(); qi++ {
+					if !sortedIntersect(reduced, s.Quorum(qi)) {
+						hitsAll = false
+						break
+					}
+				}
+				if hitsAll && len(reduced) > 0 {
+					t.Fatalf("%s: transversal %v not minimal (can drop %d)", s.Name(), tr, tr[drop])
+				}
+			}
+		}
+	}
+}
+
+// TestSelfDualSystems: odd majorities and the Fano plane are self-dual
+// (and hence non-dominated).
+func TestSelfDualSystems(t *testing.T) {
+	for _, s := range []*System{Majority(3, 2), Majority(5, 3), FPP(2)} {
+		d, err := Dual(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalQuorumLists(MinimalQuorums(s), MinimalQuorums(d)) {
+			t.Fatalf("%s is not self-dual: dual has %d quorums vs %d", s.Name(), d.NumQuorums(), s.NumQuorums())
+		}
+	}
+}
+
+func TestIsNonDominated(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *System
+		want bool
+	}{
+		// Odd majorities are the canonical ND coteries.
+		{"majority 2of3", Majority(3, 2), true},
+		{"majority 3of5", Majority(5, 3), true},
+		// The Fano plane is ND (self-dual).
+		{"fpp 2", FPP(2), true},
+		// Singleton is ND.
+		{"singleton", Singleton(), true},
+		// Star: the transversal {0} contains no quorum → dominated.
+		{"star", Star(4), false},
+		// Even majority t = n/2+1 is dominated.
+		{"majority 3of4", Majority(4, 3), false},
+		// Grid is dominated (disjoint transversals exist).
+		{"grid 2", Grid(2), false},
+		// Tree quorum of height 1 equals Majority(3,2) → ND.
+		{"tree h1", Tree(1), true},
+		// Wheel: transversals are {hub, spoke} and the all-spokes set —
+		// exactly the quorums → ND.
+		{"wheel 5", Wheel(5), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsNonDominated(tc.s); got != tc.want {
+				t.Fatalf("IsNonDominated = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDoubleTransversalInvolution: Tr(Tr(H)) = H for every antichain — a
+// classical hypergraph identity that exercises the enumerator from both
+// sides. The middle family may not be intersecting, so work with raw
+// transversal lists rather than Dual.
+func TestDoubleTransversalInvolution(t *testing.T) {
+	for _, s := range []*System{Majority(4, 3), Grid(2), Star(4), Wheel(5), Majority(5, 3), Tree(2)} {
+		min := MinimalQuorums(s)
+		minSys, err := NewSystem("min", s.Universe(), min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr1 := Transversals(minSys)
+		// Build a raw holder for the (possibly non-intersecting) family:
+		// compute transversals directly from masks.
+		tr2 := transversalsOfFamily(s.Universe(), tr1)
+		if !equalQuorumLists(tr2, min) {
+			t.Fatalf("%s: Tr(Tr(C)) = %v, want %v", s.Name(), tr2, min)
+		}
+	}
+}
+
+// transversalsOfFamily enumerates minimal transversals of an arbitrary set
+// family (no intersection requirement), mirroring Transversals.
+func transversalsOfFamily(universe int, family [][]int) [][]int {
+	masks := make([]uint64, len(family))
+	for i, q := range family {
+		var m uint64
+		for _, u := range q {
+			m |= 1 << uint(u)
+		}
+		masks[i] = m
+	}
+	var found []uint64
+	var rec func(hit uint64)
+	rec = func(hit uint64) {
+		var missing uint64
+		complete := true
+		for _, qm := range masks {
+			if qm&hit == 0 {
+				missing = qm
+				complete = false
+				break
+			}
+		}
+		if complete {
+			min := minimizeTransversal(hit, masks)
+			for _, f := range found {
+				if f == min {
+					return
+				}
+			}
+			found = append(found, min)
+			return
+		}
+		for u := 0; u < universe; u++ {
+			if missing&(1<<uint(u)) != 0 {
+				rec(hit | 1<<uint(u))
+			}
+		}
+	}
+	rec(0)
+	var out [][]int
+	seen := map[uint64]bool{}
+	for _, f := range found {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		var tr []int
+		for u := 0; u < universe; u++ {
+			if f&(1<<uint(u)) != 0 {
+				tr = append(tr, u)
+			}
+		}
+		out = append(out, tr)
+	}
+	sortQuorumList(out)
+	return out
+}
+
+// TestResilienceViaTransversals: resilience = (size of smallest
+// transversal) − 1; cross-check the two implementations.
+func TestResilienceViaTransversals(t *testing.T) {
+	for _, s := range []*System{Majority(5, 3), Grid(3), Wheel(5), FPP(2), Star(5), CrumblingWalls([]int{2, 2})} {
+		trans := Transversals(s)
+		min := s.Universe() + 1
+		for _, tr := range trans {
+			if len(tr) < min {
+				min = len(tr)
+			}
+		}
+		if got := Resilience(s); got != min-1 {
+			t.Fatalf("%s: Resilience = %d, smallest transversal %d", s.Name(), got, min)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package quorum
+
+import "fmt"
+
+// RecursiveMajority returns the hierarchical (recursive) majority quorum
+// system on 3^height elements: the universe is a complete ternary tree of
+// groups; a quorum takes majorities of majorities down to the leaves. For
+// height 1 this is Majority(3, 2); height 2 has 27 quorums of 4 elements on
+// 9 leaves. Two quorums intersect because at every level their chosen
+// 2-of-3 group sets overlap in at least one group, recursively.
+func RecursiveMajority(height int) *System {
+	if height < 1 {
+		panic(fmt.Sprintf("quorum: recursive majority needs height >= 1, got %d", height))
+	}
+	n := 1
+	for i := 0; i < height; i++ {
+		n *= 3
+	}
+	quorums := recMajQuorums(0, n, height)
+	return mustNewSystem(fmt.Sprintf("recmajority-h%d", height), n, quorums)
+}
+
+// recMajQuorums enumerates the recursive-majority quorums of the block of
+// size 3^level starting at offset start.
+func recMajQuorums(start, blockSize, level int) [][]int {
+	if level == 0 {
+		return [][]int{{start}}
+	}
+	child := blockSize / 3
+	subs := make([][][]int, 3)
+	for i := 0; i < 3; i++ {
+		subs[i] = recMajQuorums(start+i*child, child, level-1)
+	}
+	var out [][]int
+	// Choose 2 of the 3 children and a quorum from each.
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, pr := range pairs {
+		for _, qa := range subs[pr[0]] {
+			for _, qb := range subs[pr[1]] {
+				q := make([]int, 0, len(qa)+len(qb))
+				q = append(q, qa...)
+				q = append(q, qb...)
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package quorum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Probabilistic quorum systems, after Malkhi, Reiter, Wool & Wright
+// (reference [17] of the paper): the strict intersection property is
+// relaxed to hold with probability 1-ε over the access strategy. The
+// classical construction samples quorums of size ℓ√n uniformly at random;
+// two independent samples miss each other with probability at most e^(-ℓ²).
+// Relaxed families cannot always be wrapped in a System (which enforces
+// strict intersection), so this file works with raw quorum lists plus an
+// explicit measured intersection-failure rate.
+
+// ProbabilisticQuorums samples m quorums, each a uniformly random subset of
+// size ⌈ℓ·√n⌉ of an n-element universe. The returned family is NOT
+// guaranteed to be pairwise intersecting; measure it with
+// IntersectionFailureRate or upgrade it with AsSystem.
+func ProbabilisticQuorums(n int, ell float64, m int, rng *rand.Rand) ([][]int, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("quorum: need positive universe and quorum count, got %d, %d", n, m)
+	}
+	if ell <= 0 {
+		return nil, fmt.Errorf("quorum: sampling parameter ℓ = %v must be positive", ell)
+	}
+	size := int(math.Ceil(ell * math.Sqrt(float64(n))))
+	if size > n {
+		size = n
+	}
+	out := make([][]int, m)
+	for i := 0; i < m; i++ {
+		perm := rng.Perm(n)
+		q := append([]int(nil), perm[:size]...)
+		insertionSortInts(q)
+		out[i] = q
+	}
+	return out, nil
+}
+
+// IntersectionFailureRate returns the fraction of unordered quorum pairs
+// that do not intersect — the empirical ε of the family under the uniform
+// access strategy.
+func IntersectionFailureRate(quorums [][]int) float64 {
+	m := len(quorums)
+	if m < 2 {
+		return 0
+	}
+	misses := 0
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if !sortedIntersect(quorums[i], quorums[j]) {
+				misses++
+			}
+		}
+	}
+	return float64(misses) / float64(m*(m-1)/2)
+}
+
+// TheoreticalMissBound returns the Malkhi–Reiter–Wool bound e^(-ℓ²) on the
+// probability that two independently sampled ℓ√n-quorums are disjoint.
+func TheoreticalMissBound(ell float64) float64 {
+	return math.Exp(-ell * ell)
+}
+
+// AsSystem upgrades a sampled family to a strict System by discarding
+// quorums that fail to intersect an earlier kept quorum. It returns the
+// system together with the number of quorums dropped. For ℓ ≥ 2 the drop
+// count is almost always zero.
+func AsSystem(name string, universe int, quorums [][]int) (*System, int, error) {
+	var kept [][]int
+	dropped := 0
+	for _, q := range quorums {
+		ok := true
+		for _, k := range kept {
+			if !sortedIntersect(k, q) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, q)
+		} else {
+			dropped++
+		}
+	}
+	if len(kept) == 0 {
+		return nil, dropped, fmt.Errorf("quorum: no intersecting subfamily found")
+	}
+	s, err := NewSystem(name, universe, kept)
+	if err != nil {
+		return nil, dropped, err
+	}
+	return s, dropped, nil
+}

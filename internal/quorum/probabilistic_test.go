@@ -1,0 +1,139 @@
+package quorum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProbabilisticQuorumsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	qs, err := ProbabilisticQuorums(100, 2, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 30 {
+		t.Fatalf("got %d quorums, want 30", len(qs))
+	}
+	want := int(math.Ceil(2 * math.Sqrt(100))) // 20
+	for i, q := range qs {
+		if len(q) != want {
+			t.Fatalf("quorum %d has %d elements, want %d", i, len(q), want)
+		}
+		for j := 1; j < len(q); j++ {
+			if q[j] <= q[j-1] {
+				t.Fatalf("quorum %d not sorted/deduped: %v", i, q)
+			}
+		}
+	}
+}
+
+func TestProbabilisticQuorumsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	if _, err := ProbabilisticQuorums(0, 1, 5, rng); err == nil {
+		t.Fatal("zero universe accepted")
+	}
+	if _, err := ProbabilisticQuorums(10, 0, 5, rng); err == nil {
+		t.Fatal("zero ell accepted")
+	}
+	if _, err := ProbabilisticQuorums(10, 1, 0, rng); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	// ℓ large enough that ℓ√n > n: quorums are the full universe.
+	qs, err := ProbabilisticQuorums(4, 10, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if len(q) != 4 {
+			t.Fatalf("oversized ℓ should clamp to n, got %d", len(q))
+		}
+	}
+}
+
+// TestMissRateMatchesTheory: the empirical intersection-failure rate stays
+// below the e^(-ℓ²) bound (with statistical slack), and decreases in ℓ.
+func TestMissRateMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	n := 400
+	var prev float64 = 1.1
+	for _, ell := range []float64{0.5, 1, 1.5} {
+		qs, err := ProbabilisticQuorums(n, ell, 120, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := IntersectionFailureRate(qs)
+		bound := TheoreticalMissBound(ell)
+		// The exact miss probability for size-s subsets of [n] is
+		// C(n-s, s)/C(n, s) ≤ (1-s/n)^s ≈ e^(-ℓ²); allow sampling noise.
+		if rate > bound+0.08 {
+			t.Fatalf("ℓ=%v: empirical miss rate %v far above bound %v", ell, rate, bound)
+		}
+		if rate > prev+0.05 {
+			t.Fatalf("miss rate did not decrease with ℓ: %v after %v", rate, prev)
+		}
+		prev = rate
+	}
+}
+
+func TestIntersectionFailureRateEdge(t *testing.T) {
+	if got := IntersectionFailureRate(nil); got != 0 {
+		t.Fatalf("empty family rate %v", got)
+	}
+	if got := IntersectionFailureRate([][]int{{0, 1}}); got != 0 {
+		t.Fatalf("single quorum rate %v", got)
+	}
+	if got := IntersectionFailureRate([][]int{{0}, {1}}); got != 1 {
+		t.Fatalf("disjoint pair rate %v, want 1", got)
+	}
+}
+
+// TestAsSystemUpgrade: with ℓ = 3 the per-pair miss probability is ~1e-5,
+// so the upgrade keeps essentially everything and the result passes strict
+// verification.
+func TestAsSystemUpgrade(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	qs, err := ProbabilisticQuorums(100, 3, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, dropped, err := AsSystem("prob", 100, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped > 2 {
+		t.Fatalf("dropped %d quorums at ℓ=3; expected ≈ 0", dropped)
+	}
+	if err := s.VerifyIntersection(); err != nil {
+		t.Fatal(err)
+	}
+	// Load behaves like ℓ/√n under the uniform strategy, far below the
+	// majority's 1/2 (the point of probabilistic systems).
+	_, load, err := OptimalStrategy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load > 0.45 {
+		t.Fatalf("optimal load %v suspiciously high for a probabilistic system", load)
+	}
+}
+
+func TestAsSystemDropsConflicts(t *testing.T) {
+	qs := [][]int{{0, 1}, {2, 3}, {1, 2}}
+	s, dropped, err := AsSystem("x", 4, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1 (the disjoint {2,3})", dropped)
+	}
+	if s.NumQuorums() != 2 {
+		t.Fatalf("kept %d quorums, want 2", s.NumQuorums())
+	}
+}
+
+func TestAsSystemNoFamily(t *testing.T) {
+	if _, _, err := AsSystem("x", 2, nil); err == nil {
+		t.Fatal("empty family accepted")
+	}
+}

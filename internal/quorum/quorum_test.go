@@ -1,0 +1,395 @@
+package quorum
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		universe int
+		quorums  [][]int
+		wantErr  string
+	}{
+		{"valid pair", 3, [][]int{{0, 1}, {1, 2}}, ""},
+		{"zero universe", 0, [][]int{{0}}, "must be positive"},
+		{"no quorums", 3, nil, "no quorums"},
+		{"empty quorum", 3, [][]int{{0, 1}, {}}, "is empty"},
+		{"out of range", 3, [][]int{{0, 3}}, "outside universe"},
+		{"negative element", 3, [][]int{{-1, 0}}, "outside universe"},
+		{"duplicate element", 3, [][]int{{0, 0, 1}}, "duplicate"},
+		{"non-intersecting", 4, [][]int{{0, 1}, {2, 3}}, "do not intersect"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSystem("test", tc.universe, tc.quorums)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewSystem = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("NewSystem = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewSystemCopiesAndSorts(t *testing.T) {
+	input := [][]int{{2, 0}, {0, 1}}
+	s, err := NewSystem("t", 3, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.Quorum(0)
+	if q[0] != 0 || q[1] != 2 {
+		t.Fatalf("quorum 0 = %v, want sorted [0 2]", q)
+	}
+	input[0][0] = 99 // mutating the input must not affect the system
+	if s.Quorum(0)[0] == 99 || s.Quorum(0)[1] == 99 {
+		t.Fatal("NewSystem did not copy quorum slices")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		s := Grid(k)
+		if s.Universe() != k*k {
+			t.Fatalf("k=%d: universe = %d, want %d", k, s.Universe(), k*k)
+		}
+		if s.NumQuorums() != k*k {
+			t.Fatalf("k=%d: quorums = %d, want %d", k, s.NumQuorums(), k*k)
+		}
+		for i := 0; i < s.NumQuorums(); i++ {
+			if len(s.Quorum(i)) != 2*k-1 {
+				t.Fatalf("k=%d: quorum %d has %d elements, want %d", k, i, len(s.Quorum(i)), 2*k-1)
+			}
+		}
+	}
+}
+
+func TestGridQuorumContents(t *testing.T) {
+	s := Grid(3)
+	// Quorum Q_{1,2} = row 1 ∪ column 2 = {3,4,5} ∪ {2,8}.
+	q := s.Quorum(1*3 + 2)
+	want := []int{2, 3, 4, 5, 8}
+	if len(q) != len(want) {
+		t.Fatalf("quorum = %v, want %v", q, want)
+	}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("quorum = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestMajorityShape(t *testing.T) {
+	s := Majority(5, 3)
+	if s.Universe() != 5 || s.NumQuorums() != 10 { // C(5,3)
+		t.Fatalf("universe=%d quorums=%d, want 5, 10", s.Universe(), s.NumQuorums())
+	}
+	for i := 0; i < s.NumQuorums(); i++ {
+		if len(s.Quorum(i)) != 3 {
+			t.Fatalf("quorum %d has %d elements, want 3", i, len(s.Quorum(i)))
+		}
+	}
+}
+
+func TestMajorityGeneralizedThreshold(t *testing.T) {
+	// t = 4 of 5 is also a valid threshold system (generalization in §4.2).
+	s := Majority(5, 4)
+	if s.NumQuorums() != 5 {
+		t.Fatalf("quorums = %d, want 5", s.NumQuorums())
+	}
+}
+
+func TestMajorityPanicsOnBadThreshold(t *testing.T) {
+	for _, tc := range []struct{ n, th int }{{4, 2}, {5, 2}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Majority(%d,%d) did not panic", tc.n, tc.th)
+				}
+			}()
+			Majority(tc.n, tc.th)
+		}()
+	}
+}
+
+func TestAllConstructionsIntersect(t *testing.T) {
+	systems := []*System{
+		Grid(2), Grid(3), Grid(4),
+		Majority(4, 3), Majority(5, 3), Majority(7, 4),
+		Singleton(),
+		Star(5),
+		Wheel(5),
+		FPP(2), FPP(3), FPP(5),
+		CrumblingWalls([]int{2, 3, 2}),
+		CrumblingWalls([]int{1, 2}),
+		Tree(1), Tree(2), Tree(3),
+		WeightedMajority([]int{1, 1, 1, 2, 3}),
+	}
+	for _, s := range systems {
+		// NewSystem already verifies, but make the check explicit so a
+		// regression in VerifyIntersection itself is caught.
+		if err := s.VerifyIntersection(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestFPPShape(t *testing.T) {
+	for _, q := range []int{2, 3, 5} {
+		s := FPP(q)
+		n := q*q + q + 1
+		if s.Universe() != n || s.NumQuorums() != n {
+			t.Fatalf("q=%d: universe=%d quorums=%d, want %d, %d", q, s.Universe(), s.NumQuorums(), n, n)
+		}
+		for i := 0; i < s.NumQuorums(); i++ {
+			if len(s.Quorum(i)) != q+1 {
+				t.Fatalf("q=%d: line %d has %d points, want %d", q, i, len(s.Quorum(i)), q+1)
+			}
+		}
+	}
+}
+
+// TestFPPPairwiseIntersectionIsSingle verifies the projective-plane property
+// that distinct lines meet in exactly one point, giving optimal load.
+func TestFPPPairwiseIntersectionIsSingle(t *testing.T) {
+	s := FPP(3)
+	for i := 0; i < s.NumQuorums(); i++ {
+		for j := i + 1; j < s.NumQuorums(); j++ {
+			count := 0
+			for _, u := range s.Quorum(i) {
+				if s.Contains(j, u) {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("lines %d and %d share %d points, want 1", i, j, count)
+			}
+		}
+	}
+}
+
+func TestTreeQuorumCounts(t *testing.T) {
+	// Height 1 (3 nodes): quorums are {0,1}, {0,2}, {1,2}.
+	s := Tree(1)
+	if s.Universe() != 3 || s.NumQuorums() != 3 {
+		t.Fatalf("universe=%d quorums=%d, want 3, 3", s.Universe(), s.NumQuorums())
+	}
+}
+
+func TestWeightedMajorityMinimal(t *testing.T) {
+	// Weights 3,1,1 (total 5): majorities need weight >= 3, so {0} alone is
+	// a quorum; minimality should exclude any superset of {0}.
+	s := WeightedMajority([]int{3, 1, 1})
+	for i := 0; i < s.NumQuorums(); i++ {
+		q := s.Quorum(i)
+		if len(q) > 1 && q[0] == 0 {
+			t.Fatalf("non-minimal quorum %v retained", q)
+		}
+	}
+	// {1,2} has weight 2 < 2.5, not a quorum; so the only quorum is {0}.
+	if s.NumQuorums() != 1 || len(s.Quorum(0)) != 1 || s.Quorum(0)[0] != 0 {
+		t.Fatalf("quorums = %v, want just {0}", s.Quorums())
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	if _, err := NewStrategy([]float64{0.5, 0.5}); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+	for _, bad := range [][]float64{
+		{0.5, 0.6},
+		{-0.1, 1.1},
+		{math.NaN(), 1},
+		{math.Inf(1), 0},
+	} {
+		if _, err := NewStrategy(bad); err == nil {
+			t.Errorf("NewStrategy(%v) accepted, want error", bad)
+		}
+	}
+}
+
+func TestUniformStrategy(t *testing.T) {
+	st := Uniform(4)
+	if st.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", st.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if st.P(i) != 0.25 {
+			t.Fatalf("P(%d) = %v, want 0.25", i, st.P(i))
+		}
+	}
+}
+
+func TestLoads(t *testing.T) {
+	// Star on 3 elements: quorums {0,1}, {0,2}; uniform strategy puts load
+	// 1 on the hub and 0.5 on each leaf.
+	s := Star(3)
+	loads, err := s.Loads(Uniform(s.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0.5}
+	for i := range want {
+		if math.Abs(loads[i]-want[i]) > 1e-12 {
+			t.Fatalf("loads = %v, want %v", loads, want)
+		}
+	}
+	maxLoad, err := s.MaxLoad(Uniform(s.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxLoad != 1 {
+		t.Fatalf("MaxLoad = %v, want 1", maxLoad)
+	}
+}
+
+func TestLoadsStrategyLengthMismatch(t *testing.T) {
+	s := Star(3)
+	if _, err := s.Loads(Uniform(5)); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+// TestGridUniformLoad verifies the §4.1 claim that the uniform strategy on
+// the Grid yields equal loads: each element is in 2k-1 of the k² quorums,
+// so load(u) = (2k-1)/k².
+func TestGridUniformLoad(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		s := Grid(k)
+		loads, err := s.Loads(Uniform(s.NumQuorums()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(2*k-1) / float64(k*k)
+		for u, l := range loads {
+			if math.Abs(l-want) > 1e-12 {
+				t.Fatalf("k=%d: load(%d) = %v, want %v", k, u, l, want)
+			}
+		}
+	}
+}
+
+// TestMajorityUniformLoad: each element is in C(n-1, t-1) of the C(n, t)
+// quorums, so load = t/n for every element.
+func TestMajorityUniformLoad(t *testing.T) {
+	s := Majority(6, 4)
+	loads, err := s.Loads(Uniform(s.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0 / 6.0
+	for u, l := range loads {
+		if math.Abs(l-want) > 1e-12 {
+			t.Fatalf("load(%d) = %v, want %v", u, l, want)
+		}
+	}
+}
+
+func TestOptimalStrategyGrid(t *testing.T) {
+	// For the Grid the uniform strategy is optimal (Naor–Wool), with load
+	// (2k-1)/k².
+	s := Grid(3)
+	st, load, err := OptimalStrategy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / 9.0
+	if math.Abs(load-want) > 1e-6 {
+		t.Fatalf("optimal load = %v, want %v", load, want)
+	}
+	got, err := s.MaxLoad(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-load) > 1e-6 {
+		t.Fatalf("returned strategy has load %v, LP says %v", got, load)
+	}
+}
+
+func TestOptimalStrategyStar(t *testing.T) {
+	// Star: the hub is in every quorum, so any strategy has load 1 on it.
+	_, load, err := OptimalStrategy(Star(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(load-1) > 1e-6 {
+		t.Fatalf("optimal load = %v, want 1", load)
+	}
+}
+
+func TestOptimalStrategyFPP(t *testing.T) {
+	// FPP of order q has optimal load (q+1)/(q²+q+1) under the uniform
+	// strategy (each point on q+1 of the q²+q+1 lines).
+	q := 3
+	s := FPP(q)
+	_, load, err := OptimalStrategy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(q+1) / float64(q*q+q+1)
+	if math.Abs(load-want) > 1e-6 {
+		t.Fatalf("optimal load = %v, want %v", load, want)
+	}
+}
+
+func TestOptimalStrategyBeatBadUniform(t *testing.T) {
+	// Wheel: uniform over n quorums loads the hub with (n-1)/n; the optimal
+	// strategy mixes toward the all-spokes quorum and achieves ~1/2.
+	s := Wheel(6)
+	stOpt, loadOpt, err := OptimalStrategy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniLoad, err := s.MaxLoad(Uniform(s.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadOpt >= uniLoad {
+		t.Fatalf("optimal load %v not better than uniform %v", loadOpt, uniLoad)
+	}
+	realized, err := s.MaxLoad(stOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(realized-loadOpt) > 1e-6 {
+		t.Fatalf("strategy load %v != LP optimum %v", realized, loadOpt)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Grid(2)
+	// Q_{0,0} = {0,1,2}.
+	for _, u := range []int{0, 1, 2} {
+		if !s.Contains(0, u) {
+			t.Fatalf("Contains(0,%d) = false, want true", u)
+		}
+	}
+	if s.Contains(0, 3) {
+		t.Fatal("Contains(0,3) = true, want false")
+	}
+}
+
+func TestCrumblingWallsStructure(t *testing.T) {
+	s := CrumblingWalls([]int{2, 2})
+	// Full row 0 quorums: {0,1} × one of {2,3} → 2 quorums;
+	// full row 1 quorum: {2,3} → 1 quorum. Total 3.
+	if s.NumQuorums() != 3 {
+		t.Fatalf("quorums = %d, want 3", s.NumQuorums())
+	}
+}
+
+func TestProbsIsCopy(t *testing.T) {
+	st := Uniform(2)
+	p := st.Probs()
+	p[0] = 99
+	if st.P(0) == 99 {
+		t.Fatal("Probs returned the internal slice")
+	}
+}

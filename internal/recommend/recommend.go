@@ -1,0 +1,182 @@
+// Package recommend is the library's capstone planner: given a network,
+// node capacities, and operator requirements (delay budget, tolerated load
+// factor, availability target), it enumerates a portfolio of quorum-system
+// configurations, places each with the best applicable algorithm from the
+// paper, evaluates delay / load / availability, and returns the feasible
+// configurations ranked by delay.
+//
+// It composes everything in this repository: the §4 specialized layouts
+// when they apply, the Theorem 1.2 LP pipeline otherwise (with α chosen
+// from the operator's load budget), the Naor–Wool optimal strategy, and the
+// placed-availability analysis.
+package recommend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+// Requirements are the operator's constraints. Zero values disable a
+// constraint.
+type Requirements struct {
+	// MaxAvgDelay bounds the average max-delay (0 = unconstrained).
+	MaxAvgDelay float64
+	// MaxLoadFactor bounds load(v)/cap(v) (0 = respect capacities, i.e. 1).
+	MaxLoadFactor float64
+	// CrashProb and MaxFailureProb: with each node down independently with
+	// probability CrashProb, the probability that no quorum survives must
+	// stay below MaxFailureProb (MaxFailureProb = 0 disables the check).
+	CrashProb      float64
+	MaxFailureProb float64
+}
+
+// Recommendation is one evaluated configuration.
+type Recommendation struct {
+	SystemName  string
+	System      *quorum.System
+	Placement   placement.Placement
+	Strategy    quorum.Strategy
+	AvgMaxDelay float64
+	LoadFactor  float64
+	FailureProb float64 // NaN when not evaluated
+	Method      string  // which algorithm produced the placement
+	Feasible    bool
+	Reason      string // first violated requirement, if infeasible
+
+	insRef *placement.Instance // for availability evaluation in judge
+}
+
+// Recommend evaluates the built-in portfolio on the given network and
+// returns all configurations (feasible first, then by delay). An error is
+// returned only for invalid inputs; an empty feasible set is expressed in
+// the results.
+func Recommend(m *graph.Metric, caps []float64, req Requirements) ([]Recommendation, error) {
+	if m == nil {
+		return nil, fmt.Errorf("recommend: nil metric")
+	}
+	if len(caps) != m.N() {
+		return nil, fmt.Errorf("recommend: %d capacities for %d nodes", len(caps), m.N())
+	}
+	if req.MaxLoadFactor < 0 || req.MaxAvgDelay < 0 || req.MaxFailureProb < 0 {
+		return nil, fmt.Errorf("recommend: negative requirement")
+	}
+	if req.CrashProb < 0 || req.CrashProb > 1 {
+		return nil, fmt.Errorf("recommend: crash probability %v outside [0,1]", req.CrashProb)
+	}
+	loadBudget := req.MaxLoadFactor
+	if loadBudget == 0 {
+		loadBudget = 1
+	}
+
+	var out []Recommendation
+	for _, cand := range portfolio() {
+		rec := evaluate(m, caps, cand, loadBudget)
+		if rec == nil {
+			continue // could not place at all (e.g. capacities too small)
+		}
+		judge(rec, req, loadBudget)
+		out = append(out, *rec)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Feasible != out[b].Feasible {
+			return out[a].Feasible
+		}
+		return out[a].AvgMaxDelay < out[b].AvgMaxDelay
+	})
+	return out, nil
+}
+
+// candidate is a portfolio entry.
+type candidate struct {
+	name      string
+	sys       *quorum.System
+	threshold int // >0 for majority systems (enables the §4.2 layout)
+	grid      int // >0 for grid systems (enables the §4.1 layout)
+}
+
+func portfolio() []candidate {
+	return []candidate{
+		{name: "majority-2of3", sys: quorum.Majority(3, 2), threshold: 2},
+		{name: "majority-3of5", sys: quorum.Majority(5, 3), threshold: 3},
+		{name: "majority-4of7", sys: quorum.Majority(7, 4), threshold: 4},
+		{name: "grid-2x2", sys: quorum.Grid(2), grid: 2},
+		{name: "grid-3x3", sys: quorum.Grid(3), grid: 3},
+		{name: "fpp-2", sys: quorum.FPP(2)},
+		{name: "tree-h2", sys: quorum.Tree(2)},
+		{name: "wheel-6", sys: quorum.Wheel(6)},
+	}
+}
+
+// evaluate places one candidate. Specialized capacity-respecting layouts
+// are tried first; if they cannot be used (non-uniform loads or too little
+// capacity) the LP pipeline runs with α = max(loadBudget-1, 1.25) so the
+// theoretical load bound α+1 tracks the operator's budget.
+func evaluate(m *graph.Metric, caps []float64, cand candidate, loadBudget float64) *Recommendation {
+	st, _, err := quorum.OptimalStrategy(cand.sys)
+	if err != nil {
+		return nil
+	}
+	ins, err := placement.NewInstance(m, caps, cand.sys, st)
+	if err != nil {
+		return nil
+	}
+	rec := &Recommendation{
+		SystemName:  cand.name,
+		System:      cand.sys,
+		Strategy:    st,
+		FailureProb: math.NaN(),
+	}
+	// Specialized layouts need the uniform strategy; for Grid/Majority the
+	// optimal strategy IS uniform, so they apply directly.
+	switch {
+	case cand.grid > 0:
+		if res, avg, err := placement.SolveGridQPP(ins); err == nil {
+			rec.Placement, rec.AvgMaxDelay, rec.Method = res.Placement, avg, "grid layout (Thm 1.3)"
+		}
+	case cand.threshold > 0:
+		if res, avg, err := placement.SolveMajorityQPP(ins, cand.threshold); err == nil {
+			rec.Placement, rec.AvgMaxDelay, rec.Method = res.Placement, avg, "majority layout (Thm 1.3)"
+		}
+	}
+	if rec.Method == "" {
+		alpha := loadBudget - 1
+		if alpha < 1.25 {
+			alpha = 1.25
+		}
+		res, err := placement.SolveQPPParallel(ins, alpha, 0)
+		if err != nil {
+			return nil
+		}
+		rec.Placement, rec.AvgMaxDelay = res.Placement, res.AvgMaxDelay
+		rec.Method = fmt.Sprintf("LP rounding (Thm 1.2, α=%.3g)", alpha)
+	}
+	rec.LoadFactor = ins.CapacityViolation(rec.Placement)
+	rec.insRef = ins
+	return rec
+}
+
+// judge fills in feasibility against the requirements.
+func judge(rec *Recommendation, req Requirements, loadBudget float64) {
+	rec.Feasible = true
+	if req.MaxFailureProb > 0 && rec.insRef != nil {
+		if fp, err := rec.insRef.NodeFailureProbability(rec.Placement, req.CrashProb); err == nil {
+			rec.FailureProb = fp
+		}
+	}
+	switch {
+	case rec.LoadFactor > loadBudget+1e-9:
+		rec.Feasible = false
+		rec.Reason = fmt.Sprintf("load factor %.3g exceeds budget %.3g", rec.LoadFactor, loadBudget)
+	case req.MaxAvgDelay > 0 && rec.AvgMaxDelay > req.MaxAvgDelay:
+		rec.Feasible = false
+		rec.Reason = fmt.Sprintf("delay %.4g exceeds budget %.4g", rec.AvgMaxDelay, req.MaxAvgDelay)
+	case req.MaxFailureProb > 0 && !math.IsNaN(rec.FailureProb) && rec.FailureProb > req.MaxFailureProb:
+		rec.Feasible = false
+		rec.Reason = fmt.Sprintf("failure probability %.4g exceeds %.4g", rec.FailureProb, req.MaxFailureProb)
+	}
+}

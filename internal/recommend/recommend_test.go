@@ -1,0 +1,168 @@
+package recommend
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"quorumplace/internal/graph"
+)
+
+func wanMetric(t *testing.T) *graph.Metric {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1001))
+	g := graph.RandomGeometric(12, 0.4, rng)
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecommendValidation(t *testing.T) {
+	m := wanMetric(t)
+	caps := make([]float64, m.N())
+	if _, err := Recommend(nil, caps, Requirements{}); err == nil {
+		t.Fatal("nil metric accepted")
+	}
+	if _, err := Recommend(m, caps[:3], Requirements{}); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+	if _, err := Recommend(m, caps, Requirements{MaxAvgDelay: -1}); err == nil {
+		t.Fatal("negative requirement accepted")
+	}
+	if _, err := Recommend(m, caps, Requirements{CrashProb: 2}); err == nil {
+		t.Fatal("crash probability 2 accepted")
+	}
+}
+
+func TestRecommendBasics(t *testing.T) {
+	m := wanMetric(t)
+	caps := make([]float64, m.N())
+	for i := range caps {
+		caps[i] = 0.8
+	}
+	recs, err := Recommend(m, caps, Requirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	// With MaxLoadFactor 0 (= respect capacities), every feasible entry
+	// must have load factor ≤ 1.
+	sawFeasible := false
+	for _, r := range recs {
+		if r.Feasible {
+			sawFeasible = true
+			if r.LoadFactor > 1+1e-9 {
+				t.Fatalf("%s: feasible but load %v > 1", r.SystemName, r.LoadFactor)
+			}
+			if r.AvgMaxDelay <= 0 {
+				t.Fatalf("%s: non-positive delay", r.SystemName)
+			}
+			if r.Method == "" {
+				t.Fatalf("%s: empty method", r.SystemName)
+			}
+		} else if r.Reason == "" {
+			t.Fatalf("%s: infeasible without reason", r.SystemName)
+		}
+	}
+	if !sawFeasible {
+		t.Fatal("no feasible configuration on a generous instance")
+	}
+	// Feasible entries come first and are sorted by delay.
+	lastFeasible := true
+	lastDelay := -1.0
+	for _, r := range recs {
+		if r.Feasible && !lastFeasible {
+			t.Fatal("feasible entry after infeasible one")
+		}
+		if r.Feasible {
+			if lastDelay > 0 && r.AvgMaxDelay < lastDelay-1e-12 {
+				t.Fatal("feasible entries not sorted by delay")
+			}
+			lastDelay = r.AvgMaxDelay
+		}
+		lastFeasible = r.Feasible
+	}
+}
+
+func TestRecommendDelayBudget(t *testing.T) {
+	m := wanMetric(t)
+	caps := make([]float64, m.N())
+	for i := range caps {
+		caps[i] = 0.8
+	}
+	all, err := Recommend(m, caps, Requirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestDelay := math.Inf(1)
+	for _, r := range all {
+		if r.Feasible && r.AvgMaxDelay < bestDelay {
+			bestDelay = r.AvgMaxDelay
+		}
+	}
+	// A budget between best and worst must exclude something.
+	tight, err := Recommend(m, caps, Requirements{MaxAvgDelay: bestDelay * 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excluded := false
+	for _, r := range tight {
+		if !r.Feasible && strings.Contains(r.Reason, "delay") {
+			excluded = true
+		}
+		if r.Feasible && r.AvgMaxDelay > bestDelay*1.01+1e-9 {
+			t.Fatalf("%s feasible above the delay budget", r.SystemName)
+		}
+	}
+	if !excluded {
+		t.Log("no configuration excluded by the tight delay budget (all equally fast)")
+	}
+}
+
+func TestRecommendLoadBudgetEnablesLP(t *testing.T) {
+	m := wanMetric(t)
+	// Capacities too small for any one-element-per-node layout of larger
+	// systems, but a 3× budget lets the LP pipeline through.
+	caps := make([]float64, m.N())
+	for i := range caps {
+		caps[i] = 0.3
+	}
+	recs, err := Recommend(m, caps, Requirements{MaxLoadFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Feasible && r.LoadFactor > 3+1e-9 {
+			t.Fatalf("%s: feasible with load %v > 3", r.SystemName, r.LoadFactor)
+		}
+	}
+}
+
+func TestRecommendAvailability(t *testing.T) {
+	m := wanMetric(t)
+	caps := make([]float64, m.N())
+	for i := range caps {
+		caps[i] = 0.8
+	}
+	recs, err := Recommend(m, caps, Requirements{CrashProb: 0.2, MaxFailureProb: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := 0
+	for _, r := range recs {
+		if !math.IsNaN(r.FailureProb) {
+			evaluated++
+			if r.Feasible && r.FailureProb > 0.05+1e-9 {
+				t.Fatalf("%s: feasible with failure prob %v", r.SystemName, r.FailureProb)
+			}
+		}
+	}
+	if evaluated == 0 {
+		t.Fatal("availability never evaluated")
+	}
+}

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomSpecialForm generates a random Woeginger special-form instance with
+// numTime unit-time zero-weight jobs (ids 0..numTime-1), numWeight zero-time
+// unit-weight jobs (ids numTime..), and each (time, weight) precedence edge
+// present independently with probability edgeProb.
+func RandomSpecialForm(numTime, numWeight int, edgeProb float64, rng *rand.Rand) *Instance {
+	if numTime < 0 || numWeight < 0 || numTime+numWeight == 0 {
+		panic(fmt.Sprintf("sched: invalid job counts %d, %d", numTime, numWeight))
+	}
+	jobs := make([]Job, 0, numTime+numWeight)
+	for i := 0; i < numTime; i++ {
+		jobs = append(jobs, Job{Time: 1, Weight: 0})
+	}
+	for i := 0; i < numWeight; i++ {
+		jobs = append(jobs, Job{Time: 0, Weight: 1})
+	}
+	var prec [][2]int
+	for t := 0; t < numTime; t++ {
+		for w := 0; w < numWeight; w++ {
+			if rng.Float64() < edgeProb {
+				prec = append(prec, [2]int{t, numTime + w})
+			}
+		}
+	}
+	return &Instance{Jobs: jobs, Prec: prec}
+}
+
+// RandomGeneral generates an arbitrary random instance with times in
+// [0, maxTime], weights in [0, maxWeight] and a random DAG in which edge
+// (i, j) for i < j appears with probability edgeProb (topological order =
+// id order, guaranteeing acyclicity).
+func RandomGeneral(n, maxTime, maxWeight int, edgeProb float64, rng *rand.Rand) *Instance {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: invalid job count %d", n))
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Time: rng.Intn(maxTime + 1), Weight: rng.Intn(maxWeight + 1)}
+	}
+	var prec [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < edgeProb {
+				prec = append(prec, [2]int{i, j})
+			}
+		}
+	}
+	return &Instance{Jobs: jobs, Prec: prec}
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSmithListNoPrecedenceIsOptimal(t *testing.T) {
+	// Without precedences, Smith's rule is exactly optimal.
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 15; trial++ {
+		ins := RandomGeneral(2+rng.Intn(6), 5, 5, 0, rng)
+		order, err := SmithList(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := ins.Cost(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := Exact(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != opt {
+			t.Fatalf("trial %d: smith %d != optimal %d", trial, cost, opt)
+		}
+	}
+}
+
+func TestSmithListFeasibleUnderPrecedence(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	for trial := 0; trial < 20; trial++ {
+		ins := RandomGeneral(3+rng.Intn(6), 4, 4, 0.4, rng)
+		order, err := SmithList(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cost() validates precedence feasibility.
+		if _, err := ins.Cost(order); err != nil {
+			t.Fatalf("trial %d: infeasible order: %v", trial, err)
+		}
+	}
+}
+
+// TestSmithListNearOptimal quantifies the heuristic against the exact DP:
+// on random instances it stays within a small factor (assert a generous 2×
+// so the test is robust while still catching regressions).
+func TestSmithListNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(605))
+	worst := 1.0
+	for trial := 0; trial < 25; trial++ {
+		ins := RandomGeneral(4+rng.Intn(5), 4, 4, 0.3, rng)
+		order, err := SmithList(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := ins.Cost(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := Exact(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt == 0 {
+			if cost != 0 {
+				t.Fatalf("trial %d: opt 0 but smith %d", trial, cost)
+			}
+			continue
+		}
+		if r := float64(cost) / float64(opt); r > worst {
+			worst = r
+		}
+	}
+	if worst > 2 {
+		t.Fatalf("smith list ratio %v exceeds 2 on random instances", worst)
+	}
+	t.Logf("worst smith ratio over 25 instances: %.3f", worst)
+}
+
+func TestSmithListRejectsInvalid(t *testing.T) {
+	bad := &Instance{Jobs: []Job{{1, 1}, {1, 1}}, Prec: [][2]int{{0, 1}, {1, 0}}}
+	if _, err := SmithList(bad); err == nil {
+		t.Fatal("cyclic instance accepted")
+	}
+}
+
+// TestChainDecompositionBound: the relaxation never exceeds the optimum and
+// matches it when there are no precedences.
+func TestChainDecompositionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 20; trial++ {
+		ins := RandomGeneral(3+rng.Intn(5), 4, 4, 0.3, rng)
+		lb, err := ChainDecompositionBound(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := Exact(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > opt {
+			t.Fatalf("trial %d: bound %d exceeds optimum %d", trial, lb, opt)
+		}
+		if len(ins.Prec) == 0 && lb != opt {
+			t.Fatalf("trial %d: precedence-free bound %d != optimum %d", trial, lb, opt)
+		}
+	}
+}
+
+// TestSmithListOnReductionInstances: the heuristic handles the Woeginger
+// special form and its schedule converts into a feasible placement of the
+// Theorem 3.6 instance.
+func TestSmithListOnReductionInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(609))
+	s := RandomSpecialForm(4, 3, 0.5, rng)
+	order, err := SmithList(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ToSSQPP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.PlacementFromOrder(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ins.Feasible(p) {
+		t.Fatal("heuristic schedule produced infeasible placement")
+	}
+	// Affine identity holds for any feasible schedule/placement pair.
+	cost, err := s.Cost(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Ins.MaxDelayFrom(r.V0, p), r.DelayFromCost(cost); got != want {
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("affine identity broken: %v vs %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package sched implements single-machine precedence-constrained weighted
+// completion-time scheduling, 1|prec|Σ w_j C_j, and the Theorem 3.6
+// polynomial reduction from it to the Single-Source Quorum Placement
+// Problem, which establishes the NP-hardness of SSQPP.
+//
+// The package provides an exact exponential dynamic program over job
+// subsets (usable to n ≈ 20 jobs), Woeginger's special form (Theorem 3.5b:
+// every job is either a unit-time zero-weight "time job" or a zero-time
+// unit-weight "weight job", and precedences go only from time jobs to
+// weight jobs), the instance construction of Theorem 3.6, and the
+// conversions between placements and schedules that the proof uses.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+// Job is a job with integer processing time and weight.
+type Job struct {
+	Time   int
+	Weight int
+}
+
+// Instance is a 1|prec|Σ w_j C_j instance: jobs and precedence edges
+// (i, j) meaning job i must complete before job j starts.
+type Instance struct {
+	Jobs []Job
+	Prec [][2]int
+}
+
+// Validate checks job values, edge endpoints and acyclicity.
+func (ins *Instance) Validate() error {
+	n := len(ins.Jobs)
+	if n == 0 {
+		return fmt.Errorf("sched: no jobs")
+	}
+	for j, job := range ins.Jobs {
+		if job.Time < 0 || job.Weight < 0 {
+			return fmt.Errorf("sched: job %d has time %d weight %d (negative)", j, job.Time, job.Weight)
+		}
+	}
+	adj := make([][]int, n)
+	for _, e := range ins.Prec {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return fmt.Errorf("sched: precedence %v out of range [0,%d)", e, n)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("sched: self-precedence on job %d", e[0])
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	// Kahn's algorithm for acyclicity.
+	indeg := make([]int, n)
+	for _, e := range ins.Prec {
+		indeg[e[1]]++
+	}
+	queue := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		if indeg[j] == 0 {
+			queue = append(queue, j)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, v := range adj[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("sched: precedence graph has a cycle")
+	}
+	return nil
+}
+
+// IsSpecialForm reports whether the instance is in the Woeginger special
+// form of Theorem 3.5(b): every job is (Time=1, Weight=0) or (Time=0,
+// Weight=1), and every precedence edge goes from a time job to a weight job.
+func (ins *Instance) IsSpecialForm() bool {
+	for _, job := range ins.Jobs {
+		if !(job.Time == 1 && job.Weight == 0) && !(job.Time == 0 && job.Weight == 1) {
+			return false
+		}
+	}
+	for _, e := range ins.Prec {
+		if !(ins.Jobs[e[0]].Time == 1 && ins.Jobs[e[1]].Weight == 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// preds returns, for each job, the bitmask of its predecessors.
+func (ins *Instance) preds() []uint32 {
+	p := make([]uint32, len(ins.Jobs))
+	for _, e := range ins.Prec {
+		p[e[1]] |= 1 << uint(e[0])
+	}
+	return p
+}
+
+// maxExactJobs bounds the bitmask DP.
+const maxExactJobs = 20
+
+// Exact solves the instance optimally with a subset dynamic program:
+// dp[S] = minimum weighted completion time of scheduling exactly the
+// (downward-closed) set S first. It returns an optimal job order and its
+// cost. Limited to maxExactJobs jobs.
+func Exact(ins *Instance) ([]int, int64, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(ins.Jobs)
+	if n > maxExactJobs {
+		return nil, 0, fmt.Errorf("sched: %d jobs exceed exact-solver limit %d", n, maxExactJobs)
+	}
+	preds := ins.preds()
+	size := 1 << uint(n)
+	const inf = math.MaxInt64
+	dp := make([]int64, size)
+	choice := make([]int8, size)
+	totalTime := make([]int32, size)
+	for s := 1; s < size; s++ {
+		dp[s] = inf
+		choice[s] = -1
+		low := s & (-s)
+		j := trailingZeros(uint32(s))
+		totalTime[s] = totalTime[s^low] + int32(ins.Jobs[j].Time)
+	}
+	for s := 0; s < size; s++ {
+		if dp[s] == inf {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			bit := 1 << uint(j)
+			if s&bit != 0 || uint32(s)&preds[j] != preds[j] {
+				continue
+			}
+			ns := s | bit
+			c := dp[s] + int64(ins.Jobs[j].Weight)*int64(int(totalTime[s])+ins.Jobs[j].Time)
+			if c < dp[ns] {
+				dp[ns] = c
+				choice[ns] = int8(j)
+			}
+		}
+	}
+	full := size - 1
+	if dp[full] == inf {
+		return nil, 0, fmt.Errorf("sched: internal error: no feasible order for an acyclic instance")
+	}
+	order := make([]int, n)
+	for s, i := full, n-1; s != 0; i-- {
+		j := int(choice[s])
+		order[i] = j
+		s ^= 1 << uint(j)
+	}
+	return order, dp[full], nil
+}
+
+func trailingZeros(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Cost evaluates a job order: it verifies the order is a permutation
+// respecting the precedences and returns Σ w_j C_j.
+func (ins *Instance) Cost(order []int) (int64, error) {
+	n := len(ins.Jobs)
+	if len(order) != n {
+		return 0, fmt.Errorf("sched: order has %d jobs, want %d", len(order), n)
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for i, j := range order {
+		if j < 0 || j >= n || seen[j] {
+			return 0, fmt.Errorf("sched: order is not a permutation at index %d", i)
+		}
+		seen[j] = true
+		pos[j] = i
+	}
+	for _, e := range ins.Prec {
+		if pos[e[0]] > pos[e[1]] {
+			return 0, fmt.Errorf("sched: order violates precedence %d ≺ %d", e[0], e[1])
+		}
+	}
+	var cost, clock int64
+	for _, j := range order {
+		clock += int64(ins.Jobs[j].Time)
+		cost += int64(ins.Jobs[j].Weight) * clock
+	}
+	return cost, nil
+}
+
+// Reduction carries the Theorem 3.6 construction: the SSQPP instance built
+// from a special-form scheduling instance, together with the bookkeeping
+// needed to translate solutions back and forth.
+type Reduction struct {
+	Sched *Instance
+	Ins   *placement.Instance
+	V0    int     // always node 0 of the path
+	Eps   float64 // the ε of the construction
+
+	// TimeJobElement[j] is the universe element of time job j (or -1 for
+	// weight jobs); element 0 is the distinguished e0.
+	TimeJobElement []int
+	// WeightJobs lists the weight-job ids in type-1 quorum order.
+	WeightJobs []int
+	numTime    int
+}
+
+// ToSSQPP builds the Theorem 3.6 SSQPP instance from a special-form
+// scheduling instance with at least two time jobs and at least one weight
+// job. The construction uses ε = 1/(2s+2) where s is the number of time
+// jobs, which satisfies both requirements of the proof: ε < (1-ε)/s and
+// every element's load fits the node capacity 2(1-ε)/s − ε.
+func ToSSQPP(s *Instance) (*Reduction, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.IsSpecialForm() {
+		return nil, fmt.Errorf("sched: reduction requires the Woeginger special form")
+	}
+	var timeJobs, weightJobs []int
+	for j, job := range s.Jobs {
+		if job.Time == 1 {
+			timeJobs = append(timeJobs, j)
+		} else {
+			weightJobs = append(weightJobs, j)
+		}
+	}
+	nt, mw := len(timeJobs), len(weightJobs)
+	if nt < 2 {
+		return nil, fmt.Errorf("sched: reduction needs ≥ 2 time jobs, have %d", nt)
+	}
+	if mw < 1 {
+		return nil, fmt.Errorf("sched: reduction needs ≥ 1 weight job, have %d", mw)
+	}
+	eps := 1 / float64(2*nt+2)
+
+	// Universe: element 0 = e0; element 1+i = time job timeJobs[i].
+	elementOf := make([]int, len(s.Jobs))
+	for j := range elementOf {
+		elementOf[j] = -1
+	}
+	for i, j := range timeJobs {
+		elementOf[j] = 1 + i
+	}
+	// Type-1 quorums (one per weight job): {e0} ∪ {elements of predecessors}.
+	quorums := make([][]int, 0, mw+nt)
+	probs := make([]float64, 0, mw+nt)
+	predsOf := make(map[int][]int)
+	for _, e := range s.Prec {
+		predsOf[e[1]] = append(predsOf[e[1]], e[0])
+	}
+	for _, wj := range weightJobs {
+		q := []int{0}
+		for _, tj := range predsOf[wj] {
+			q = append(q, elementOf[tj])
+		}
+		quorums = append(quorums, q)
+		probs = append(probs, eps/float64(mw))
+	}
+	// Type-2 quorums: {u, e0} for each u ≠ e0.
+	for i := 0; i < nt; i++ {
+		quorums = append(quorums, []int{0, 1 + i})
+		probs = append(probs, (1-eps)/float64(nt))
+	}
+	sys, err := quorum.NewSystem("thm3.6", nt+1, quorums)
+	if err != nil {
+		return nil, fmt.Errorf("sched: reduction system: %w", err)
+	}
+	strat, err := quorum.NewStrategy(probs)
+	if err != nil {
+		return nil, fmt.Errorf("sched: reduction strategy: %w", err)
+	}
+
+	// Path graph on nt+1 nodes; cap(v0)=1, cap(vj)=2(1-ε)/nt − ε.
+	g := graph.Path(nt + 1)
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	caps := make([]float64, nt+1)
+	caps[0] = 1
+	for t := 1; t <= nt; t++ {
+		caps[t] = 2*(1-eps)/float64(nt) - eps
+	}
+	ins, err := placement.NewInstance(m, caps, sys, strat)
+	if err != nil {
+		return nil, err
+	}
+	return &Reduction{
+		Sched:          s,
+		Ins:            ins,
+		V0:             0,
+		Eps:            eps,
+		TimeJobElement: elementOf,
+		WeightJobs:     weightJobs,
+		numTime:        nt,
+	}, nil
+}
+
+// ScheduleFromPlacement converts a capacity-feasible placement of the
+// reduction instance into a job order, per the proof of Theorem 3.6: the
+// time job whose element sits on node v_t runs in slot t, and each weight
+// job runs as early as its predecessors allow. It verifies the structural
+// properties the capacities force (e0 on v0, a bijection elsewhere).
+func (r *Reduction) ScheduleFromPlacement(p placement.Placement) ([]int, error) {
+	if err := r.Ins.Validate(p); err != nil {
+		return nil, err
+	}
+	if p.Node(0) != 0 {
+		return nil, fmt.Errorf("sched: placement puts e0 on node %d, capacities force node 0", p.Node(0))
+	}
+	slotOf := make([]int, r.numTime) // time-job index (element-1) → path slot
+	used := make([]bool, r.numTime+1)
+	for i := 0; i < r.numTime; i++ {
+		v := p.Node(1 + i)
+		if v < 1 || v > r.numTime || used[v] {
+			return nil, fmt.Errorf("sched: placement is not a bijection onto path nodes (element %d on node %d)", 1+i, v)
+		}
+		used[v] = true
+		slotOf[i] = v
+	}
+	// Time job in slot t runs t-th; weight jobs are inserted right after
+	// their last predecessor (or first if none).
+	timeAt := make([]int, r.numTime+1) // slot → job id
+	for i, j := range timeJobsOf(r) {
+		timeAt[slotOf[i]] = j
+	}
+	predsOf := make(map[int][]int)
+	for _, e := range r.Sched.Prec {
+		predsOf[e[1]] = append(predsOf[e[1]], e[0])
+	}
+	elementSlot := func(tj int) int { return slotOf[r.TimeJobElement[tj]-1] }
+	// Build order: walk slots 1..numTime, emitting the time job then any
+	// weight jobs whose predecessors are all ≤ current slot.
+	ready := make(map[int][]int) // slot after which weight job becomes ready
+	for _, wj := range r.WeightJobs {
+		last := 0
+		for _, tj := range predsOf[wj] {
+			if s := elementSlot(tj); s > last {
+				last = s
+			}
+		}
+		ready[last] = append(ready[last], wj)
+	}
+	order := make([]int, 0, len(r.Sched.Jobs))
+	order = append(order, ready[0]...)
+	for t := 1; t <= r.numTime; t++ {
+		order = append(order, timeAt[t])
+		order = append(order, ready[t]...)
+	}
+	if len(order) != len(r.Sched.Jobs) {
+		return nil, fmt.Errorf("sched: internal error: emitted %d jobs, want %d", len(order), len(r.Sched.Jobs))
+	}
+	return order, nil
+}
+
+// PlacementFromOrder converts a feasible job order into the corresponding
+// placement (e0 on v0; the time job in slot t's element on node v_t).
+func (r *Reduction) PlacementFromOrder(order []int) (placement.Placement, error) {
+	if _, err := r.Sched.Cost(order); err != nil {
+		return placement.Placement{}, err
+	}
+	f := make([]int, r.numTime+1)
+	f[0] = 0
+	slot := 0
+	for _, j := range order {
+		if r.Sched.Jobs[j].Time == 1 {
+			slot++
+			f[r.TimeJobElement[j]] = slot
+		}
+	}
+	if slot != r.numTime {
+		return placement.Placement{}, fmt.Errorf("sched: order contains %d time jobs, want %d", slot, r.numTime)
+	}
+	return placement.NewPlacement(f), nil
+}
+
+// DelayFromCost returns the Δ_f(v0) value the proof associates with a
+// schedule of the given cost:
+//
+//	Δ = (ε/m)·cost + ((1-ε)/s)·Σ_{i=1..s} i
+//
+// where m is the number of weight jobs and s the number of time jobs.
+func (r *Reduction) DelayFromCost(cost int64) float64 {
+	s := float64(r.numTime)
+	sumPositions := s * (s + 1) / 2
+	return r.Eps/float64(len(r.WeightJobs))*float64(cost) + (1-r.Eps)/s*sumPositions
+}
+
+func timeJobsOf(r *Reduction) []int {
+	out := make([]int, 0, r.numTime)
+	for j, e := range r.TimeJobElement {
+		if e >= 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}

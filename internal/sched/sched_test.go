@@ -1,0 +1,307 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quorumplace/internal/exact"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Instance{Jobs: []Job{{1, 0}, {0, 1}}, Prec: [][2]int{{0, 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		ins  *Instance
+	}{
+		{"empty", &Instance{}},
+		{"negative time", &Instance{Jobs: []Job{{-1, 0}}}},
+		{"negative weight", &Instance{Jobs: []Job{{0, -1}}}},
+		{"bad edge", &Instance{Jobs: []Job{{1, 1}}, Prec: [][2]int{{0, 1}}}},
+		{"self edge", &Instance{Jobs: []Job{{1, 1}}, Prec: [][2]int{{0, 0}}}},
+		{"cycle", &Instance{Jobs: []Job{{1, 1}, {1, 1}}, Prec: [][2]int{{0, 1}, {1, 0}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.ins.Validate(); err == nil {
+				t.Fatal("invalid instance accepted")
+			}
+		})
+	}
+}
+
+func TestIsSpecialForm(t *testing.T) {
+	special := RandomSpecialForm(3, 2, 0.5, rand.New(rand.NewSource(1)))
+	if !special.IsSpecialForm() {
+		t.Fatal("generated special form not recognized")
+	}
+	general := &Instance{Jobs: []Job{{2, 1}, {0, 1}}}
+	if general.IsSpecialForm() {
+		t.Fatal("general instance recognized as special")
+	}
+	badEdge := &Instance{Jobs: []Job{{0, 1}, {1, 0}}, Prec: [][2]int{{0, 1}}}
+	if badEdge.IsSpecialForm() {
+		t.Fatal("weight→time edge accepted as special form")
+	}
+}
+
+func TestCost(t *testing.T) {
+	// Two jobs: (time 2, weight 1), (time 1, weight 3).
+	ins := &Instance{Jobs: []Job{{2, 1}, {1, 3}}}
+	// Order [0,1]: C0=2, C1=3 → 2 + 9 = 11. Order [1,0]: C1=1, C0=3 → 3+3=6.
+	c, err := ins.Cost([]int{0, 1})
+	if err != nil || c != 11 {
+		t.Fatalf("Cost([0,1]) = %d, %v; want 11", c, err)
+	}
+	c, err = ins.Cost([]int{1, 0})
+	if err != nil || c != 6 {
+		t.Fatalf("Cost([1,0]) = %d, %v; want 6", c, err)
+	}
+	if _, err := ins.Cost([]int{0}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := ins.Cost([]int{0, 0}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	insP := &Instance{Jobs: []Job{{1, 1}, {1, 1}}, Prec: [][2]int{{1, 0}}}
+	if _, err := insP.Cost([]int{0, 1}); err == nil {
+		t.Fatal("precedence-violating order accepted")
+	}
+}
+
+func TestExactSmithRule(t *testing.T) {
+	// Without precedences the optimum follows Smith's rule (sort by
+	// time/weight ascending). Jobs: (3,1), (1,1), (2,4).
+	ins := &Instance{Jobs: []Job{{3, 1}, {1, 1}, {2, 4}}}
+	order, cost, err := Exact(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smith order: job1 (1), job2 (0.5), job0 (3) → by ratio t/w:
+	// job1: 1, job2: 0.5, job0: 3 → order [2, 1, 0]:
+	// C2=2 (w4→8), C1=3 (w1→3), C0=6 (w1→6) = 17.
+	// Alternative [1,2,0]: C1=1, C2=3·4=12+1=13, C0=6 → 1+12+6=19. So 17.
+	if cost != 17 {
+		t.Fatalf("cost = %d (order %v), want 17", cost, order)
+	}
+}
+
+func TestExactRespectsPrecedence(t *testing.T) {
+	// Force an expensive job first: 1 ≺ 0 where job 1 is slow/valueless.
+	ins := &Instance{Jobs: []Job{{1, 10}, {5, 0}}, Prec: [][2]int{{1, 0}}}
+	order, cost, err := Exact(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 || cost != 60 {
+		t.Fatalf("order %v cost %d, want [1 0] cost 60", order, cost)
+	}
+}
+
+// bruteExact enumerates all feasible permutations.
+func bruteExact(ins *Instance) int64 {
+	n := len(ins.Jobs)
+	best := int64(math.MaxInt64)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if c, err := ins.Cost(perm); err == nil && c < best {
+				best = c
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i + 1)
+				used[j] = false
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		ins := RandomGeneral(2+rng.Intn(5), 4, 4, 0.3, rng)
+		order, cost, err := Exact(ins)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if c, err := ins.Cost(order); err != nil || c != cost {
+			t.Fatalf("trial %d: reported %d, order evaluates to %d (%v)", trial, cost, c, err)
+		}
+		if want := bruteExact(ins); cost != want {
+			t.Fatalf("trial %d: DP %d != brute %d", trial, cost, want)
+		}
+	}
+}
+
+func TestExactSizeLimit(t *testing.T) {
+	ins := RandomGeneral(25, 2, 2, 0.1, rand.New(rand.NewSource(2)))
+	if _, _, err := Exact(ins); err == nil {
+		t.Fatal("25-job instance accepted by exact solver")
+	}
+}
+
+func TestToSSQPPRequirements(t *testing.T) {
+	general := &Instance{Jobs: []Job{{2, 3}, {1, 1}}}
+	if _, err := ToSSQPP(general); err == nil {
+		t.Fatal("general-form instance accepted")
+	}
+	oneTime := RandomSpecialForm(1, 2, 0.5, rand.New(rand.NewSource(3)))
+	if _, err := ToSSQPP(oneTime); err == nil {
+		t.Fatal("single-time-job instance accepted")
+	}
+	noWeight := RandomSpecialForm(3, 0, 0, rand.New(rand.NewSource(4)))
+	if _, err := ToSSQPP(noWeight); err == nil {
+		t.Fatal("no-weight-job instance accepted")
+	}
+}
+
+func TestReductionStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := RandomSpecialForm(4, 3, 0.5, rng)
+	r, err := ToSSQPP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Universe: 4 time elements + e0; quorums: 3 type-1 + 4 type-2.
+	if got := r.Ins.Sys.Universe(); got != 5 {
+		t.Fatalf("universe = %d, want 5", got)
+	}
+	if got := r.Ins.Sys.NumQuorums(); got != 7 {
+		t.Fatalf("quorums = %d, want 7", got)
+	}
+	// load(e0) must be 1 and equal cap(v0).
+	if l := r.Ins.Load(0); math.Abs(l-1) > 1e-9 {
+		t.Fatalf("load(e0) = %v, want 1", l)
+	}
+	if r.Ins.Cap[0] != 1 {
+		t.Fatalf("cap(v0) = %v, want 1", r.Ins.Cap[0])
+	}
+	// Every other element's load must lie in [(1-ε)/s, 2(1-ε)/s) and fit
+	// the node capacity.
+	sF := 4.0
+	lo := (1 - r.Eps) / sF
+	hi := 2 * (1 - r.Eps) / sF
+	capOther := r.Ins.Cap[1]
+	for u := 1; u < 5; u++ {
+		l := r.Ins.Load(u)
+		if l < lo-1e-9 || l >= hi {
+			t.Fatalf("load(e%d) = %v outside [%v, %v)", u, l, lo, hi)
+		}
+		if l > capOther+1e-9 {
+			t.Fatalf("load(e%d) = %v exceeds node capacity %v", u, l, capOther)
+		}
+	}
+	// cap of non-v0 nodes must be < 1 (so e0 is forced onto v0) and
+	// < 2·lo (so at most one element per node).
+	if capOther >= 1 || capOther >= 2*lo {
+		t.Fatalf("cap(v_t) = %v violates forcing conditions (<1 and <%v)", capOther, 2*lo)
+	}
+}
+
+// TestReductionRoundTrip: converting an order to a placement and back
+// preserves cost, and the affine delay identity of the proof holds.
+func TestReductionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		s := RandomSpecialForm(2+rng.Intn(4), 1+rng.Intn(3), 0.4, rng)
+		r, err := ToSSQPP(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, cost, err := Exact(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := r.PlacementFromOrder(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Ins.Feasible(p) {
+			t.Fatalf("trial %d: placement from optimal order infeasible", trial)
+		}
+		// Affine identity: Δ_f(v0) = (ε/m)·cost + const.
+		delay := r.Ins.MaxDelayFrom(r.V0, p)
+		if want := r.DelayFromCost(cost); math.Abs(delay-want) > 1e-9 {
+			t.Fatalf("trial %d: Δ = %v, affine formula gives %v", trial, delay, want)
+		}
+		// Back-conversion preserves cost.
+		order2, err := r.ScheduleFromPlacement(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost2, err := s.Cost(order2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost2 != cost {
+			t.Fatalf("trial %d: round-trip cost %d != %d", trial, cost2, cost)
+		}
+	}
+}
+
+// TestReductionOptimaCorrespond: the exact SSQPP optimum of the reduction
+// instance equals the affine image of the exact scheduling optimum — the
+// crux of Theorem 3.6.
+func TestReductionOptimaCorrespond(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		s := RandomSpecialForm(2+rng.Intn(3), 1+rng.Intn(3), 0.5, rng)
+		r, err := ToSSQPP(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, schedOpt, err := Exact(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pOpt, delayOpt, err := exact.SolveSSQPP(r.Ins, r.V0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.DelayFromCost(schedOpt); math.Abs(delayOpt-want) > 1e-9 {
+			t.Fatalf("trial %d: SSQPP optimum %v != affine image of scheduling optimum %v", trial, delayOpt, want)
+		}
+		// The optimal placement converts to an optimal schedule.
+		order, err := r.ScheduleFromPlacement(pOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := s.Cost(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != schedOpt {
+			t.Fatalf("trial %d: schedule from optimal placement costs %d, optimum %d", trial, cost, schedOpt)
+		}
+	}
+}
+
+func TestRandomGeneratorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := RandomSpecialForm(3, 4, 1.0, rng)
+	if len(s.Jobs) != 7 {
+		t.Fatalf("jobs = %d, want 7", len(s.Jobs))
+	}
+	if len(s.Prec) != 12 {
+		t.Fatalf("edges = %d, want 12 (full bipartite)", len(s.Prec))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := RandomGeneral(6, 3, 3, 0.5, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

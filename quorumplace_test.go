@@ -1,0 +1,112 @@
+package quorumplace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the documented quick-start flow through the
+// public API only.
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomGeometric(10, 0.5, rng)
+	m, err := NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Grid(2)
+	caps := make([]float64, 10)
+	for i := range caps {
+		caps[i] = 1
+	}
+	ins, err := NewInstance(m, caps, sys, Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := SolveQPP(ins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgMaxDelay < 0 {
+		t.Fatalf("negative delay %v", res.AvgMaxDelay)
+	}
+	if v := ins.CapacityViolation(res.Placement); v > 3+1e-9 {
+		t.Fatalf("load factor %v exceeds α+1 = 3", v)
+	}
+
+	gres, avg, err := SolveGridQPP(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.Feasible(gres.Placement) {
+		t.Fatal("grid placement infeasible")
+	}
+	if avg <= 0 {
+		t.Fatalf("grid avg delay %v", avg)
+	}
+
+	tres, err := SolveTotalDelay(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ins.CapacityViolation(tres.Placement); v > 2+1e-9 {
+		t.Fatalf("total-delay load factor %v exceeds 2", v)
+	}
+
+	factor, _ := RelayFactor(ins, res.Placement)
+	if factor > 5+1e-9 {
+		t.Fatalf("relay factor %v exceeds 5", factor)
+	}
+
+	stats, err := RunSim(SimConfig{
+		Instance:          ins,
+		Placement:         res.Placement,
+		Mode:              SimParallel,
+		AccessesPerClient: 200,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accesses != 200*10 {
+		t.Fatalf("accesses = %d, want 2000", stats.Accesses)
+	}
+}
+
+func TestFacadeStrategyHelpers(t *testing.T) {
+	sys := Majority(5, 3)
+	st, load, err := OptimalStrategy(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != sys.NumQuorums() {
+		t.Fatalf("strategy covers %d quorums, want %d", st.Len(), sys.NumQuorums())
+	}
+	if load <= 0 || load > 1 {
+		t.Fatalf("optimal load = %v", load)
+	}
+	if _, err := NewStrategy([]float64{0.5, 0.5, 0.5}); err == nil {
+		t.Fatal("invalid strategy accepted")
+	}
+}
+
+func TestFacadeConstructionsCovered(t *testing.T) {
+	systems := []*System{
+		Grid(2), Majority(4, 3), SingletonSystem(), StarSystem(4), Wheel(4),
+		FPP(2), CrumblingWalls([]int{2, 2}), TreeSystem(1), WeightedMajority([]int{1, 1, 1}),
+	}
+	for _, s := range systems {
+		if err := s.VerifyIntersection(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+	graphs := []*Graph{
+		Path(4), Cycle(4), Star(4), Complete(4), Grid2D(2, 3), Broom(3), StarWithLongEdge(4, 9),
+	}
+	for _, g := range graphs {
+		if !g.Connected() {
+			t.Error("generator produced a disconnected graph")
+		}
+	}
+}
