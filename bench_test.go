@@ -46,15 +46,23 @@ func benchInstance(b *testing.B, n int, sys *System) *Instance {
 }
 
 // BenchmarkE1QPPApprox regenerates a row of E1 (Theorem 1.2): the full QPP
-// solver at α = 2 on a 7-node instance with a 2×2 Grid system.
+// solver at α = 2 on a 7-node instance with a 2×2 Grid system. Telemetry is
+// enabled so the solver-internal work — simplex pivots and flow
+// augmentations — is reported alongside ns/op.
 func BenchmarkE1QPPApprox(b *testing.B) {
 	ins := benchInstance(b, 7, Grid(2))
+	c := EnableTelemetry()
+	defer DisableTelemetry()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveQPP(ins, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	snap := c.Snapshot()
+	b.ReportMetric(float64(snap.Counter("lp.pivots"))/float64(b.N), "pivots/op")
+	b.ReportMetric(float64(snap.Counter("flow.augmentations"))/float64(b.N), "augments/op")
 }
 
 // BenchmarkE2GridMajority regenerates E2 (Theorem 1.3): the specialized
@@ -107,15 +115,20 @@ func BenchmarkE3TotalDelay(b *testing.B) {
 }
 
 // BenchmarkE4SSQPP regenerates E4 (Theorem 3.7): one single-source LP
-// solve + filter + round.
+// solve + filter + round, reporting the simplex pivot count per solve.
 func BenchmarkE4SSQPP(b *testing.B) {
 	ins := benchInstance(b, 8, Grid(2))
+	c := EnableTelemetry()
+	defer DisableTelemetry()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveSSQPP(ins, 0, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	snap := c.Snapshot()
+	b.ReportMetric(float64(snap.Counter("lp.pivots"))/float64(b.N), "pivots/op")
 }
 
 // BenchmarkE5Relay regenerates E5 (Lemma 3.1): relay-factor measurement of
@@ -264,6 +277,8 @@ func BenchmarkE11NetsimValidation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	c := EnableTelemetry()
+	defer DisableTelemetry()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunSim(SimConfig{
@@ -275,6 +290,11 @@ func BenchmarkE11NetsimValidation(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	snap := c.Snapshot()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(snap.Counter("netsim.events"))/secs, "events/sec")
 	}
 }
 
@@ -486,6 +506,30 @@ func BenchmarkE15Queueing(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead quantifies the cost of the obs
+// instrumentation around a full QPP solve: "disabled" is the default
+// (telemetry off, every site reduced to one atomic load), "enabled"
+// records the complete span tree and all counters.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	ins := benchInstance(b, 7, Grid(2))
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveQPP(ins, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		EnableTelemetry()
+		defer DisableTelemetry()
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveQPP(ins, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkParallelQPP compares the sequential and parallel QPP solvers.

@@ -6,14 +6,17 @@
 //	qpp -graph geometric -nodes 20 -system grid:3 -alpha 2
 //	qpp -graph tree -nodes 15 -system majority:5:3 -objective total
 //	qpp -graph path -nodes 12 -system fpp:2 -cap 1.5 -seed 7
+//	qpp -nodes 12 -system grid:2 -trace trace.jsonl -stats
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -22,24 +25,87 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("qpp: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "qpp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qpp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphKind = flag.String("graph", "geometric", "topology: geometric|path|cycle|tree|erdos|hypercube|cliques")
-		graphFile = flag.String("graphfile", "", "read the topology from an edge-list file instead of generating one")
-		nodes     = flag.Int("nodes", 16, "number of network nodes")
-		system    = flag.String("system", "grid:2", "quorum system: grid:k | majority:n:t | fpp:q | star:n | wheel:n")
-		alpha     = flag.Float64("alpha", 2, "filtering parameter α > 1 (Theorem 3.7 knob)")
-		capFlag   = flag.Float64("cap", 0, "uniform node capacity; 0 = auto (just enough for a balanced placement)")
-		objective = flag.String("objective", "max", "delay objective: max (Theorem 1.2) or total (Theorem 1.4)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		specArg   = flag.Bool("specialized", false, "use the capacity-respecting §4 layout (grid/majority systems only)")
-		saveSpec  = flag.String("savespec", "", "write the built instance as a JSON spec to this file and exit")
-		loadSpec  = flag.String("loadspec", "", "load the instance from a JSON spec file (overrides -graph/-system/-cap)")
-		audit     = flag.Bool("audit", true, "print the placement audit report")
-		simN      = flag.Int("sim", 0, "simulate N accesses per client and print the latency distribution")
+		graphKind  = fs.String("graph", "geometric", "topology: geometric|path|cycle|tree|erdos|hypercube|cliques")
+		graphFile  = fs.String("graphfile", "", "read the topology from an edge-list file instead of generating one")
+		nodes      = fs.Int("nodes", 16, "number of network nodes")
+		system     = fs.String("system", "grid:2", "quorum system: grid:k | majority:n:t | fpp:q | star:n | wheel:n")
+		alpha      = fs.Float64("alpha", 2, "filtering parameter α > 1 (Theorem 3.7 knob)")
+		capFlag    = fs.Float64("cap", 0, "uniform node capacity; 0 = auto (just enough for a balanced placement)")
+		objective  = fs.String("objective", "max", "delay objective: max (Theorem 1.2) or total (Theorem 1.4)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		specArg    = fs.Bool("specialized", false, "use the capacity-respecting §4 layout (grid/majority systems only)")
+		saveSpec   = fs.String("savespec", "", "write the built instance as a JSON spec to this file and exit")
+		loadSpec   = fs.String("loadspec", "", "load the instance from a JSON spec file (overrides -graph/-system/-cap)")
+		audit      = fs.Bool("audit", true, "print the placement audit report")
+		simN       = fs.Int("sim", 0, "simulate N accesses per client and print the latency distribution")
+		traceFile  = fs.String("trace", "", "write a JSONL telemetry trace (solver spans and counters) to this file")
+		stats      = fs.Bool("stats", false, "print a telemetry summary table to stderr")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "qpp: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "qpp: memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *traceFile != "" || *stats {
+		qp.EnableTelemetry()
+		defer func() {
+			snap := qp.Snapshot()
+			qp.DisableTelemetry()
+			if snap == nil {
+				return
+			}
+			if *traceFile != "" {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					fmt.Fprintf(stderr, "qpp: trace: %v\n", err)
+				} else {
+					if err := snap.WriteJSONL(f); err != nil {
+						fmt.Fprintf(stderr, "qpp: trace: %v\n", err)
+					}
+					f.Close()
+				}
+			}
+			if *stats {
+				fmt.Fprint(stderr, snap.Summary())
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var g *qp.Graph
@@ -47,7 +113,7 @@ func main() {
 	if *graphFile != "" {
 		f, ferr := os.Open(*graphFile)
 		if ferr != nil {
-			log.Fatal(ferr)
+			return ferr
 		}
 		g, err = qp.ParseEdgeList(f)
 		f.Close()
@@ -59,15 +125,15 @@ func main() {
 		g, err = buildGraph(*graphKind, *nodes, rng)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m, err := qp.NewMetricFromGraph(g)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sys, threshold, err := buildSystem(*system)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	st := qp.Uniform(sys.NumQuorums())
 
@@ -77,7 +143,7 @@ func main() {
 		// Auto: total load spread evenly with 30% headroom.
 		tmp, err := qp.NewInstance(m, make([]float64, *nodes), sys, st)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		capVal = tmp.TotalLoad() / float64(*nodes) * 1.3
 		// Never below the largest element load, or nothing fits anywhere.
@@ -92,22 +158,22 @@ func main() {
 	}
 	ins, err := qp.NewInstance(m, caps, sys, st)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *loadSpec != "" {
 		f, err := os.Open(*loadSpec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		spec, err := qp.ReadSpec(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		g, ins, err = buildFromSpec(spec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sys = ins.Sys
 		st = ins.Strat
@@ -119,23 +185,24 @@ func main() {
 	if *saveSpec != "" {
 		spec, err := qp.Spec(sys.Name(), g, ins)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		f, err := os.Create(*saveSpec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := qp.WriteSpec(f, spec); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote instance spec to %s\n", *saveSpec)
-		return
+		fmt.Fprintf(stdout, "wrote instance spec to %s\n", *saveSpec)
+		return nil
 	}
 
-	fmt.Printf("instance: %s on %s (%d nodes), cap(v)=%.4g, total load %.4g\n",
+	fmt.Fprintf(stdout, "instance: %s on %s (%d nodes), cap(v)=%.4g, total load %.4g\n",
 		sys.Name(), *graphKind, *nodes, capVal, ins.TotalLoad())
 
 	var pl qp.Placement
@@ -143,57 +210,57 @@ func main() {
 	case *objective == "total":
 		res, err := qp.SolveTotalDelay(ins)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pl = res.Placement
-		fmt.Printf("total-delay solver (Thm 1.4): AvgΓ = %.4g (LP lower bound %.4g), guarantee: ≤ OPT at ≤ 2·cap\n",
+		fmt.Fprintf(stdout, "total-delay solver (Thm 1.4): AvgΓ = %.4g (LP lower bound %.4g), guarantee: ≤ OPT at ≤ 2·cap\n",
 			res.AvgDelay, res.LPBound)
 	case *specArg && strings.HasPrefix(*system, "grid:"):
 		res, avg, err := qp.SolveGridQPP(ins)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pl = res.Placement
-		fmt.Printf("grid layout (Thm 1.3): AvgΔ = %.4g via v0=%d, capacities respected exactly\n", avg, res.V0)
+		fmt.Fprintf(stdout, "grid layout (Thm 1.3): AvgΔ = %.4g via v0=%d, capacities respected exactly\n", avg, res.V0)
 	case *specArg && strings.HasPrefix(*system, "majority:"):
 		res, avg, err := qp.SolveMajorityQPP(ins, threshold)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pl = res.Placement
-		fmt.Printf("majority layout (Thm 1.3): AvgΔ = %.4g via v0=%d (Eq.19 single-source value %.4g)\n",
+		fmt.Fprintf(stdout, "majority layout (Thm 1.3): AvgΔ = %.4g via v0=%d (Eq.19 single-source value %.4g)\n",
 			avg, res.V0, res.Formula)
 	default:
 		res, err := qp.SolveQPP(ins, *alpha)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pl = res.Placement
-		fmt.Printf("LP-rounding solver (Thm 1.2, α=%.3g): AvgΔ = %.4g via v0=%d\n", *alpha, res.AvgMaxDelay, res.BestV0)
-		fmt.Printf("guarantee: delay ≤ %.4g×OPT, load ≤ %.3g×cap; relay certificate %.4g\n",
+		fmt.Fprintf(stdout, "LP-rounding solver (Thm 1.2, α=%.3g): AvgΔ = %.4g via v0=%d\n", *alpha, res.AvgMaxDelay, res.BestV0)
+		fmt.Fprintf(stdout, "guarantee: delay ≤ %.4g×OPT, load ≤ %.3g×cap; relay certificate %.4g\n",
 			5**alpha/(*alpha-1), *alpha+1, res.RelayBound)
 	}
 
-	fmt.Printf("capacity violation factor: %.4g\n", ins.CapacityViolation(pl))
-	fmt.Println("placement (element -> node):")
+	fmt.Fprintf(stdout, "capacity violation factor: %.4g\n", ins.CapacityViolation(pl))
+	fmt.Fprintln(stdout, "placement (element -> node):")
 	for u := 0; u < sys.Universe(); u++ {
-		fmt.Printf("  e%-3d -> v%d\n", u, pl.Node(u))
+		fmt.Fprintf(stdout, "  e%-3d -> v%d\n", u, pl.Node(u))
 	}
 	loads := ins.NodeLoads(pl)
-	fmt.Println("node loads:")
+	fmt.Fprintln(stdout, "node loads:")
 	for v, l := range loads {
 		if l > 0 {
-			fmt.Printf("  v%-3d load %.4g / cap %.4g\n", v, l, caps[v])
+			fmt.Fprintf(stdout, "  v%-3d load %.4g / cap %.4g\n", v, l, caps[v])
 		}
 	}
 
 	if *audit {
 		report, err := ins.Audit(pl)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println("\naudit:")
-		fmt.Print(report.String())
+		fmt.Fprintln(stdout, "\naudit:")
+		fmt.Fprint(stdout, report.String())
 	}
 	if *simN > 0 {
 		stats, err := qp.RunSim(qp.SimConfig{
@@ -204,13 +271,14 @@ func main() {
 			Seed:              *seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nsimulated %d accesses: mean %.4g, p50 %.4g, p95 %.4g, p99 %.4g\n",
+		fmt.Fprintf(stdout, "\nsimulated %d accesses: mean %.4g, p50 %.4g, p95 %.4g, p99 %.4g\n",
 			stats.Accesses, stats.AvgLatency,
 			stats.Percentile(0.5), stats.Percentile(0.95), stats.Percentile(0.99))
-		fmt.Print(viz.Histogram(stats.Latencies(), 10, 40))
+		fmt.Fprint(stdout, viz.Histogram(stats.Latencies(), 10, 40))
 	}
+	return nil
 }
 
 func buildGraph(kind string, n int, rng *rand.Rand) (*qp.Graph, error) {

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -60,5 +65,133 @@ func TestBuildSystem(t *testing.T) {
 		if tc.spec == "majority:5:3" && th != 3 {
 			t.Errorf("majority threshold %d, want 3", th)
 		}
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-graph", "path", "-nodes", "8", "-system", "grid:2", "-sim", "50"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"instance: grid-2x2",
+		"LP-rounding solver",
+		"placement (element -> node):",
+		"simulated 400 accesses",
+		"p95",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "bogus"}, &buf, &buf); err == nil {
+		t.Fatal("unknown graph kind accepted")
+	}
+	if err := run([]string{"-system", "nope:1"}, &buf, &buf); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf, &buf); err == nil {
+		t.Fatal("undefined flag accepted")
+	}
+}
+
+// TestRunTrace checks that -trace writes a JSONL span tree covering the
+// LP, flow, GAP and rounding phases with nonzero counters, and that
+// -stats prints a summary to stderr.
+func TestRunTrace(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-graph", "path", "-nodes", "8", "-system", "grid:2",
+		"-audit=false", "-trace", traceFile, "-stats"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]bool{}
+	counters := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var rec struct {
+			Type  string   `json:"type"`
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %d invalid: %v\n%s", i+1, err, line)
+		}
+		switch rec.Type {
+		case "span":
+			spans[rec.Name] = true
+		case "counter":
+			if rec.Value != nil {
+				counters[rec.Name] = *rec.Value
+			}
+		}
+	}
+	for _, want := range []string{
+		"placement.qpp", "placement.ssqpp", "ssqpp.lp", "lp.solve",
+		"lp.phase1", "lp.phase2", "ssqpp.round", "gap.round",
+		"flow.assign", "flow.mincostflow",
+	} {
+		if !spans[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	for _, want := range []string{"lp.pivots", "lp.phase1_iters", "flow.augmentations", "placement.qpp_sources"} {
+		if counters[want] <= 0 {
+			t.Errorf("counter %s = %v, want > 0", want, counters[want])
+		}
+	}
+	if s := errOut.String(); !strings.Contains(s, "telemetry summary") {
+		t.Errorf("-stats wrote no summary:\n%s", s)
+	}
+}
+
+// TestRunProfiles checks the pprof flags produce non-empty profile files.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "path", "-nodes", "6", "-system", "grid:2",
+		"-audit=false", "-cpuprofile", cpu, "-memprofile", mem}, &buf, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+func TestRunSaveAndLoadSpec(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "ins.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "path", "-nodes", "6", "-system", "grid:2", "-savespec", spec}, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote instance spec") {
+		t.Fatalf("savespec output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-loadspec", spec, "-audit=false"}, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "grid-2x2") {
+		t.Fatalf("loadspec output missing system name:\n%s", buf.String())
 	}
 }

@@ -4,27 +4,93 @@
 //
 // Usage:
 //
-//	qppeval [-seed N] [-quick] [-csv] [-only E7]
+//	qppeval [-seed N] [-quick] [-csv] [-only E7] [-trace FILE] [-stats]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	qp "quorumplace"
 	"quorumplace/internal/eval"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("qppeval: ")
-	seed := flag.Int64("seed", 1, "random seed for instance generation")
-	quick := flag.Bool("quick", false, "run reduced instance counts (seconds instead of minutes)")
-	csv := flag.Bool("csv", false, "emit CSV bodies instead of aligned tables")
-	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
-	only := flag.String("only", "", "run a single experiment by id (e.g. E7)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "qppeval: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qppeval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "random seed for instance generation")
+	quick := fs.Bool("quick", false, "run reduced instance counts (seconds instead of minutes)")
+	csv := fs.Bool("csv", false, "emit CSV bodies instead of aligned tables")
+	md := fs.Bool("md", false, "emit GitHub-flavored markdown tables")
+	only := fs.String("only", "", "run a single experiment by id (e.g. E7)")
+	traceFile := fs.String("trace", "", "write a JSONL telemetry trace (solver spans and counters) to this file")
+	stats := fs.Bool("stats", false, "print a telemetry summary table to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "qppeval: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "qppeval: memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *traceFile != "" || *stats {
+		qp.EnableTelemetry()
+		defer func() {
+			snap := qp.Snapshot()
+			qp.DisableTelemetry()
+			if snap == nil {
+				return
+			}
+			if *traceFile != "" {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					fmt.Fprintf(stderr, "qppeval: trace: %v\n", err)
+				} else {
+					if err := snap.WriteJSONL(f); err != nil {
+						fmt.Fprintf(stderr, "qppeval: trace: %v\n", err)
+					}
+					f.Close()
+				}
+			}
+			if *stats {
+				fmt.Fprint(stderr, snap.Summary())
+			}
+		}()
+	}
 
 	s := &eval.Suite{Seed: *seed, Quick: *quick}
 	ran := 0
@@ -34,20 +100,20 @@ func main() {
 		}
 		t, err := e.Run(s)
 		if err != nil {
-			log.Fatalf("%s: %v", e.ID, err)
+			return fmt.Errorf("%s: %v", e.ID, err)
 		}
 		switch {
 		case *csv:
-			fmt.Printf("# %s %s\n%s\n", t.ID, t.Title, t.CSV())
+			fmt.Fprintf(stdout, "# %s %s\n%s\n", t.ID, t.Title, t.CSV())
 		case *md:
-			fmt.Println(t.Markdown())
+			fmt.Fprintln(stdout, t.Markdown())
 		default:
-			fmt.Println(t.Render())
+			fmt.Fprintln(stdout, t.Render())
 		}
 		ran++
 	}
 	if ran == 0 {
-		log.Printf("no experiment matches -only=%s", *only)
-		os.Exit(2)
+		return fmt.Errorf("no experiment matches -only=%s", *only)
 	}
+	return nil
 }

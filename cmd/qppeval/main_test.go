@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E9"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "E9") || !strings.Contains(got, "Majority") {
+		t.Fatalf("report missing E9 header:\n%s", got)
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("unexpected stderr output: %s", errOut.String())
+	}
+}
+
+func TestRunCSVAndMarkdown(t *testing.T) {
+	var csv, md bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E9", "-csv"}, &csv, &csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "# E9") {
+		t.Errorf("csv output missing header: %q", firstLine(csv.String()))
+	}
+	if err := run([]string{"-quick", "-only", "E9", "-md"}, &md, &md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "|") {
+		t.Errorf("markdown output has no table: %q", firstLine(md.String()))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E999"}, &out, &out); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// TestRunTraceAndStats runs a solver-heavy experiment with -trace and
+// -stats and checks the emitted JSONL trace covers the LP → flow → GAP
+// pipeline with nonzero counters.
+func TestRunTraceAndStats(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E4", "-trace", traceFile, "-stats"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanNames := map[string]bool{}
+	counters := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var rec struct {
+			Type  string   `json:"type"`
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		switch rec.Type {
+		case "span":
+			spanNames[rec.Name] = true
+		case "counter":
+			if rec.Value != nil {
+				counters[rec.Name] = *rec.Value
+			}
+		}
+	}
+	for _, want := range []string{"placement.ssqpp", "ssqpp.lp", "lp.solve", "lp.phase1", "lp.phase2", "ssqpp.round", "gap.round", "flow.assign", "flow.mincostflow"} {
+		if !spanNames[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	for _, want := range []string{"lp.pivots", "lp.solves", "flow.augmentations", "gap.slots"} {
+		if counters[want] <= 0 {
+			t.Errorf("trace counter %s = %v, want > 0", want, counters[want])
+		}
+	}
+
+	stats := errOut.String()
+	if !strings.Contains(stats, "telemetry summary") || !strings.Contains(stats, "lp.pivots") {
+		t.Errorf("-stats summary missing expected content:\n%s", stats)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

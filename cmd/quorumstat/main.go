@@ -1,17 +1,21 @@
 // Command quorumstat prints the classical quality measures of the built-in
 // quorum-system constructions: size, minimum quorum cardinality, optimal
 // (Naor–Wool LP) load next to its lower bound, resilience, and the failure
-// probability at selected element-failure rates.
+// probability at selected element-failure rates. With -sim it additionally
+// places each system on a random geometric network and reports simulated
+// access-latency statistics (mean, p50, p95, p99).
 //
 // Usage:
 //
-//	quorumstat [-p 0.1,0.2,0.3] [-system grid:3]
+//	quorumstat [-p 0.1,0.2,0.3] [-system grid:3] [-sim 200 -nodes 16 -seed 1]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
@@ -19,52 +23,136 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("quorumstat: ")
-	probs := flag.String("p", "0.05,0.1,0.2,0.3", "comma-separated element failure probabilities")
-	only := flag.String("system", "", "show a single system (grid:k | majority:n:t | fpp:q | wheel:n | recmajority:h | cwall:w1,w2,...)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "quorumstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("quorumstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	probs := fs.String("p", "0.05,0.1,0.2,0.3", "comma-separated element failure probabilities")
+	only := fs.String("system", "", "show a single system (grid:k | majority:n:t | fpp:q | wheel:n | recmajority:h | cwall:w1,w2,...)")
+	simN := fs.Int("sim", 0, "simulate N accesses per client on a geometric network and print latency percentiles")
+	nodes := fs.Int("nodes", 16, "network size for -sim")
+	seed := fs.Int64("seed", 1, "random seed for -sim")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ps, err := parseProbs(*probs)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if *simN > 0 && *nodes < 2 {
+		return fmt.Errorf("-nodes %d too small for -sim", *nodes)
 	}
 
 	systems := defaultSystems()
 	if *only != "" {
 		s, err := parseSystem(*only)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		systems = []*qp.System{s}
 	}
 
-	fmt.Printf("%-18s  %5s  %7s  %6s  %9s  %9s  %10s  %3s", "system", "n", "quorums", "c(S)", "opt load", "load LB", "resilience", "ND")
+	fmt.Fprintf(stdout, "%-18s  %5s  %7s  %6s  %9s  %9s  %10s  %3s", "system", "n", "quorums", "c(S)", "opt load", "load LB", "resilience", "ND")
 	for _, p := range ps {
-		fmt.Printf("  %9s", fmt.Sprintf("F(%.2g)", p))
+		fmt.Fprintf(stdout, "  %9s", fmt.Sprintf("F(%.2g)", p))
 	}
-	fmt.Println()
+	if *simN > 0 {
+		fmt.Fprintf(stdout, "  %8s  %8s  %8s  %8s", "sim mean", "sim p50", "sim p95", "sim p99")
+	}
+	fmt.Fprintln(stdout)
 	for _, s := range systems {
 		_, load, err := qp.OptimalStrategy(s)
 		if err != nil {
-			log.Fatalf("%s: %v", s.Name(), err)
+			return fmt.Errorf("%s: %v", s.Name(), err)
 		}
 		nd := "no"
 		if qp.IsNonDominated(s) {
 			nd = "yes"
 		}
-		fmt.Printf("%-18s  %5d  %7d  %6d  %9.4f  %9.4f  %10d  %3s",
+		fmt.Fprintf(stdout, "%-18s  %5d  %7d  %6d  %9.4f  %9.4f  %10d  %3s",
 			s.Name(), s.Universe(), s.NumQuorums(), qp.MinQuorumSize(s), load, qp.LoadLowerBound(s), qp.Resilience(s), nd)
 		for _, p := range ps {
 			f, err := qp.FailureProbability(s, p)
 			if err != nil {
-				fmt.Printf("  %9s", "n/a")
+				fmt.Fprintf(stdout, "  %9s", "n/a")
 				continue
 			}
-			fmt.Printf("  %9.4f", f)
+			fmt.Fprintf(stdout, "  %9.4f", f)
 		}
-		fmt.Println()
+		if *simN > 0 {
+			sim, err := simulateSystem(s, *nodes, *simN, *seed)
+			if err != nil {
+				return fmt.Errorf("%s: sim: %v", s.Name(), err)
+			}
+			fmt.Fprintf(stdout, "  %8.4f  %8.4f  %8.4f  %8.4f", sim.Mean, sim.P50, sim.P95, sim.P99)
+		}
+		fmt.Fprintln(stdout)
 	}
+	return nil
+}
+
+// simSummary is the simulated access-latency digest printed per system.
+type simSummary struct {
+	Mean, P50, P95, P99 float64
+}
+
+// simulateSystem places sys greedily on a random geometric network with
+// auto-sized uniform capacities and runs the parallel-access simulator,
+// returning the latency digest.
+func simulateSystem(sys *qp.System, nodes, accesses int, seed int64) (*simSummary, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := qp.RandomGeometric(nodes, 0.4, rng)
+	m, err := qp.NewMetricFromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	st := qp.Uniform(sys.NumQuorums())
+	// Auto capacity: total load spread evenly with headroom, never below
+	// the largest element load (mirrors cmd/qpp's default).
+	tmp, err := qp.NewInstance(m, make([]float64, nodes), sys, st)
+	if err != nil {
+		return nil, err
+	}
+	capVal := tmp.TotalLoad() / float64(nodes) * 1.3
+	for u := 0; u < sys.Universe(); u++ {
+		if l := tmp.Load(u); l > capVal {
+			capVal = l
+		}
+	}
+	caps := make([]float64, nodes)
+	for i := range caps {
+		caps[i] = capVal
+	}
+	ins, err := qp.NewInstance(m, caps, sys, st)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := qp.BestGreedyPlacement(ins)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := qp.RunSim(qp.SimConfig{
+		Instance:          ins,
+		Placement:         pl,
+		Mode:              qp.SimParallel,
+		AccessesPerClient: accesses,
+		Seed:              seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &simSummary{
+		Mean: stats.AvgLatency,
+		P50:  stats.Percentile(0.5),
+		P95:  stats.Percentile(0.95),
+		P99:  stats.Percentile(0.99),
+	}, nil
 }
 
 func defaultSystems() []*qp.System {

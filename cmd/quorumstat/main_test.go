@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	qp "quorumplace"
+)
 
 func TestParseProbs(t *testing.T) {
 	ps, err := parseProbs("0.1, 0.5,0.9")
@@ -37,5 +44,65 @@ func TestDefaultSystemsVerify(t *testing.T) {
 		if err := s.VerifyIntersection(); err != nil {
 			t.Errorf("%s: %v", s.Name(), err)
 		}
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-system", "grid:2", "-p", "0.1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"system", "opt load", "F(0.1)", "grid-2x2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "sim p95") {
+		t.Error("latency columns printed without -sim")
+	}
+}
+
+// TestRunSim checks the -sim latency columns: present, ordered
+// (p50 ≤ p95 ≤ p99), and nonzero for a non-trivial system.
+func TestRunSim(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-system", "grid:2", "-p", "0.1", "-sim", "200", "-nodes", "12", "-seed", "3"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"sim mean", "sim p50", "sim p95", "sim p99"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	sim, err := simulateSystem(qp.Grid(2), 12, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Mean <= 0 || sim.P50 <= 0 {
+		t.Errorf("degenerate latency digest: %+v", sim)
+	}
+	if sim.P50 > sim.P95 || sim.P95 > sim.P99 {
+		t.Errorf("percentiles out of order: %+v", sim)
+	}
+	// The digest the table prints is the same one simulateSystem returns.
+	cell := fmt.Sprintf("%8.4f  %8.4f  %8.4f  %8.4f", sim.Mean, sim.P50, sim.P95, sim.P99)
+	if !strings.Contains(got, cell) {
+		t.Errorf("table row missing digest %q:\n%s", cell, got)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-p", "nope"}, &buf, &buf); err == nil {
+		t.Fatal("bad probabilities accepted")
+	}
+	if err := run([]string{"-system", "bogus:1"}, &buf, &buf); err == nil {
+		t.Fatal("bad system accepted")
+	}
+	if err := run([]string{"-sim", "10", "-nodes", "1"}, &buf, &buf); err == nil {
+		t.Fatal("tiny -nodes accepted with -sim")
 	}
 }

@@ -13,6 +13,8 @@ package flow
 import (
 	"fmt"
 	"math"
+
+	"quorumplace/internal/obs"
 )
 
 // Network is a directed flow network on nodes 0..n-1 built incrementally
@@ -83,9 +85,17 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
 		panic(fmt.Sprintf("flow: terminal out of range: s=%d t=%d n=%d", s, t, nw.n))
 	}
+	sp := obs.Start("flow.mincostflow")
+	defer sp.End()
 	pot := nw.bellmanFord(s)
 	var totalFlow int64
 	totalCost := 0.0
+	var augmentations, potentialUpdates int64
+	defer func() {
+		obs.Count("flow.augmentations", augmentations)
+		obs.Count("flow.potential_updates", potentialUpdates)
+		obs.Observe("flow.augmentations_per_run", float64(augmentations))
+	}()
 	dist := make([]float64, nw.n)
 	inArc := make([]int, nw.n)
 	for totalFlow < maxFlow {
@@ -126,6 +136,7 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 		for v := 0; v < nw.n; v++ {
 			if !math.IsInf(dist[v], 1) {
 				pot[v] += dist[v]
+				potentialUpdates++
 			}
 		}
 		// Find bottleneck along the path.
@@ -145,6 +156,7 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 			v = nw.to[a^1]
 		}
 		totalFlow += push
+		augmentations++
 	}
 	return Result{Flow: totalFlow, Cost: totalCost}
 }
@@ -245,6 +257,8 @@ func (h *pairHeap) pop() (int, float64) {
 // every left item and the total cost, or an error if no complete assignment
 // exists.
 func Assign(costs [][]float64, rightCap []int64) ([]int, float64, error) {
+	sp := obs.Start("flow.assign")
+	defer sp.End()
 	nl := len(costs)
 	nr := len(rightCap)
 	// Nodes: 0 = source, 1..nl = left, nl+1..nl+nr = right, nl+nr+1 = sink.

@@ -17,6 +17,7 @@ import (
 
 	"quorumplace/internal/flow"
 	"quorumplace/internal/lp"
+	"quorumplace/internal/obs"
 )
 
 // Instance is a GAP instance: jobs must each be assigned to one machine;
@@ -70,6 +71,8 @@ func (ins *Instance) Validate() error {
 // y ≥ 0 with forbidden pairs fixed to zero. It returns the fractional
 // solution y[machine][job] and its objective value.
 func SolveLP(ins *Instance) ([][]float64, float64, error) {
+	sp := obs.Start("gap.lp")
+	defer sp.End()
 	if err := ins.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -139,6 +142,8 @@ const fracTol = 1e-9
 // Jobs are only ever assigned to machines they were fractionally assigned
 // to, which is what the SSQPP filtering argument (Lemma 3.9) relies on.
 func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
+	sp := obs.Start("gap.round")
+	defer sp.End()
 	if err := ins.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -146,6 +151,7 @@ func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
 	if len(y) != m {
 		return nil, 0, fmt.Errorf("gap: fractional solution has %d machines, want %d", len(y), m)
 	}
+	var fractionalVars int64
 	for j := 0; j < n; j++ {
 		sum := 0.0
 		for i := 0; i < m; i++ {
@@ -158,12 +164,16 @@ func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
 			if y[i][j] > fracTol && math.IsInf(ins.Load[i][j], 1) {
 				return nil, 0, fmt.Errorf("gap: y[%d][%d] = %v but the pair is forbidden", i, j, y[i][j])
 			}
+			if y[i][j] > fracTol {
+				fractionalVars++
+			}
 			sum += y[i][j]
 		}
 		if math.Abs(sum-1) > 1e-6 {
 			return nil, 0, fmt.Errorf("gap: job %d has fractional mass %v, want 1", j, sum)
 		}
 	}
+	obs.Count("gap.fractional_vars", fractionalVars)
 
 	// Slot construction: for each machine, order its fractionally assigned
 	// jobs by nonincreasing load and pack them greedily into slots of unit
@@ -231,6 +241,7 @@ func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
 	for s := range caps {
 		caps[s] = 1
 	}
+	obs.Count("gap.slots", int64(len(slots)))
 	match, cost, err := flow.Assign(costs, caps)
 	if err != nil {
 		return nil, 0, fmt.Errorf("gap: rounding matching failed: %w", err)
@@ -245,6 +256,8 @@ func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
 // Solve runs SolveLP followed by Round, returning the integral assignment,
 // its cost, and the LP lower bound.
 func Solve(ins *Instance) (assign []int, cost, lpBound float64, err error) {
+	sp := obs.Start("gap.solve")
+	defer sp.End()
 	y, lpObj, err := SolveLP(ins)
 	if err != nil {
 		return nil, 0, 0, err

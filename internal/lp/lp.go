@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"quorumplace/internal/obs"
 )
 
 // Rel is the relation of a linear constraint.
@@ -149,8 +151,11 @@ const (
 // Solve runs the two-phase simplex method. On Status != Optimal the
 // returned error is ErrInfeasible or ErrUnbounded and Solution.X is nil.
 func (p *Problem) Solve() (*Solution, error) {
+	sp := obs.Start("lp.solve")
+	defer sp.End()
 	n := len(p.costs)
 	m := len(p.cons)
+	obs.Count("lp.solves", 1)
 	if m == 0 {
 		// Minimizing c·x over x ≥ 0: bounded iff all costs ≥ 0, optimum 0.
 		for j, c := range p.costs {
@@ -235,15 +240,27 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	s := &simplex{tab: tab, basis: basis, m: m, total: total, names: p.names}
+	defer func() {
+		obs.Count("lp.pivots", s.pivots)
+		obs.Count("lp.degenerate_pivots", s.degens)
+		obs.Count("lp.bland_activations", s.blandActivations)
+		obs.Observe("lp.pivots_per_solve", float64(s.pivots))
+		obs.Observe("lp.constraints_per_solve", float64(m))
+		obs.Observe("lp.vars_per_solve", float64(n))
+	}()
 
 	if artCount > 0 {
 		// Phase 1: minimize the sum of artificial variables.
+		p1 := obs.Start("lp.phase1")
 		obj := make([]float64, total+1)
 		for j := n + slackCount; j < total; j++ {
 			obj[j] = 1
 		}
 		s.setObjective(obj)
-		if status := s.run(total); status == Unbounded {
+		status := s.run(total)
+		obs.Count("lp.phase1_iters", s.pivots)
+		p1.End()
+		if status == Unbounded {
 			// Phase-1 objective is bounded below by 0; unbounded means a bug.
 			return nil, fmt.Errorf("lp: internal error: phase-1 unbounded")
 		}
@@ -255,12 +272,17 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	// Phase 2: original objective over structural + slack columns only.
+	p2 := obs.Start("lp.phase2")
+	phase1Pivots := s.pivots
 	obj := make([]float64, total+1)
 	copy(obj, p.costs)
 	s.setObjective(obj)
 	// Forbid artificial columns from re-entering.
 	s.maxCol = n + slackCount
-	if status := s.run(n + slackCount); status == Unbounded {
+	status := s.run(n + slackCount)
+	obs.Count("lp.phase2_iters", s.pivots-phase1Pivots)
+	p2.End()
+	if status == Unbounded {
 		return &Solution{Status: Unbounded}, ErrUnbounded
 	}
 
@@ -292,6 +314,12 @@ type simplex struct {
 	total  int
 	maxCol int // columns ≥ maxCol may not enter the basis (0 = no limit)
 	names  []string
+
+	// telemetry tallies, accumulated locally (no per-pivot obs calls) and
+	// reported once per Solve.
+	pivots           int64
+	degens           int64 // pivots with a ~zero leaving ratio (degenerate steps)
+	blandActivations int64
 }
 
 // setObjective installs a fresh objective row and prices out the current
@@ -318,6 +346,9 @@ func (s *simplex) run(limit int) Status {
 	}
 	for iter := 0; ; iter++ {
 		bland := iter >= blandTrigger
+		if iter == blandTrigger {
+			s.blandActivations++
+		}
 		enter := s.chooseEntering(limit, bland)
 		if enter < 0 {
 			return Optimal
@@ -325,6 +356,9 @@ func (s *simplex) run(limit int) Status {
 		leave := s.chooseLeaving(enter, bland)
 		if leave < 0 {
 			return Unbounded
+		}
+		if s.tab[leave][s.total] <= eps {
+			s.degens++
 		}
 		s.pivot(leave, enter)
 	}
@@ -377,6 +411,7 @@ func (s *simplex) chooseLeaving(enter int, bland bool) int {
 
 // pivot performs a full Gauss–Jordan pivot on (row, col).
 func (s *simplex) pivot(row, col int) {
+	s.pivots++
 	pr := s.tab[row]
 	pv := pr[col]
 	inv := 1 / pv

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 )
 
@@ -91,6 +92,13 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 	stats := &FailureStats{}
 	var latencySum float64
 	var noLiveQuorumFirstAttempt int
+
+	sp := obs.Start("netsim.failures")
+	defer sp.End()
+	defer func() {
+		obs.Count("netsim.events", int64(stats.Accesses))
+		obs.Count("netsim.retries", int64(stats.Retries))
+	}()
 
 	for v := 0; v < n; v++ {
 		row := ins.M.Row(v)

@@ -18,9 +18,11 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
+	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 )
 
@@ -72,8 +74,11 @@ type Stats struct {
 }
 
 // Percentile returns the q-quantile (0 ≤ q ≤ 1) of the access latency
-// distribution, e.g. Percentile(0.99) for the p99. It panics if q is
-// outside [0, 1]; it returns 0 when no accesses were recorded.
+// distribution, e.g. Percentile(0.99) for the p99, interpolating linearly
+// between order statistics (the R-7 estimator): the quantile position
+// q·(n-1) falls between two sorted samples and the result blends them by
+// the fractional part. It panics if q is outside [0, 1]; it returns 0 when
+// no accesses were recorded.
 func (s *Stats) Percentile(q float64) float64 {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("netsim: quantile %v outside [0,1]", q))
@@ -83,8 +88,14 @@ func (s *Stats) Percentile(q float64) float64 {
 	}
 	sorted := append([]float64(nil), s.latencies...)
 	sort.Float64s(sorted)
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	n := len(sorted)
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // Latencies returns a copy of the raw per-access latency samples.
@@ -184,6 +195,16 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	perClientCount := make([]int, n)
 
+	sp := obs.Start("netsim.run")
+	defer sp.End()
+	var events, messages int64
+	maxQueueDepth := 0
+	defer func() {
+		obs.Count("netsim.events", events)
+		obs.Count("netsim.messages", messages)
+		obs.GaugeMax("netsim.max_queue_depth", float64(maxQueueDepth))
+	}()
+
 	var q eventQueue
 	seq := 0
 	for v := 0; v < n; v++ {
@@ -191,7 +212,11 @@ func Run(cfg Config) (*Stats, error) {
 		seq++
 	}
 	for len(q) > 0 {
+		if len(q) > maxQueueDepth {
+			maxQueueDepth = len(q)
+		}
 		e := q.pop()
+		events++
 		v := e.client
 		qi := sample()
 		if qi >= nQ {
@@ -203,6 +228,7 @@ func Run(cfg Config) (*Stats, error) {
 			node := cfg.Placement.Node(u)
 			d := row[node]
 			stats.NodeHits[node]++
+			messages++
 			switch cfg.Mode {
 			case Parallel:
 				if d > latency {

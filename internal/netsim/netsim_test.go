@@ -212,3 +212,31 @@ func TestPercentiles(t *testing.T) {
 	}()
 	stats.Percentile(2)
 }
+
+// TestPercentileInterpolation pins the R-7 estimator on hand-computed
+// values: the quantile position q·(n-1) interpolates linearly between
+// adjacent order statistics.
+func TestPercentileInterpolation(t *testing.T) {
+	cases := []struct {
+		name string
+		lat  []float64
+		q    float64
+		want float64
+	}{
+		{"median-even", []float64{1, 2, 3, 4}, 0.5, 2.5},      // pos 1.5 → (2+3)/2
+		{"median-odd", []float64{1, 2, 3, 4, 5}, 0.5, 3},      // pos 2 exactly
+		{"p90-four", []float64{1, 2, 3, 4}, 0.9, 3.7},         // pos 2.7 → 3·0.3 + 4·0.7
+		{"p25-four", []float64{4, 1, 3, 2}, 0.25, 1.75},       // unsorted input; pos 0.75
+		{"p95-five", []float64{10, 20, 30, 40, 50}, 0.95, 48}, // pos 3.8 → 40·0.2 + 50·0.8
+		{"min", []float64{3, 1, 2}, 0, 1},
+		{"max", []float64{3, 1, 2}, 1, 3},
+		{"single", []float64{7}, 0.5, 7},
+		{"empty", nil, 0.5, 0},
+	}
+	for _, tc := range cases {
+		s := &Stats{latencies: tc.lat}
+		if got := s.Percentile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 )
 
@@ -173,8 +174,17 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		push(queueEvent{at: now + st, kind: 2, client: msg.client, access: msg.access, node: v})
 	}
 
+	sp := obs.Start("netsim.queueing")
+	defer sp.End()
+	var events int64
+	maxNodeQueue := 0
+	defer func() {
+		obs.Count("netsim.events", events)
+		obs.GaugeMax("netsim.max_queue_depth", float64(maxNodeQueue))
+	}()
 	for h.Len() > 0 {
 		e := heap.Pop(h).(queueEvent)
+		events++
 		if e.at > stats.Clock {
 			stats.Clock = e.at
 		}
@@ -192,6 +202,9 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 			queues[e.node] = append(queues[e.node], pendingMsg{
 				client: e.client, access: e.access, arrivedAt: e.at,
 			})
+			if len(queues[e.node]) > maxNodeQueue {
+				maxNodeQueue = len(queues[e.node])
+			}
 			startService(e.node, e.at)
 		case 2: // service completes; response propagates back
 			queues[e.node] = queues[e.node][1:]

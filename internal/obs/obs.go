@@ -1,0 +1,394 @@
+// Package obs is a stdlib-only telemetry layer for the solver pipeline:
+// hierarchical wall-clock spans, counters, gauges and histograms, collected
+// per run by an in-memory Collector and rendered as JSONL traces or a
+// human-readable summary table.
+//
+// The package-level default is "off": every instrumentation call first does
+// a single atomic load of the active collector and returns immediately when
+// none is installed, so instrumented hot paths cost roughly one predictable
+// branch when telemetry is disabled (verified by BenchmarkDisabled*).
+//
+// Spans nest without a context parameter: the collector keeps a stack of
+// open spans, and obs.Start parents the new span to the innermost open one.
+//
+//	sp := obs.Start("placement.ssqpp")
+//	defer sp.End()
+//	obs.Count("lp.pivots", 12)
+//
+// The stack makes parent/child attribution exact for sequential code, which
+// is how the solver pipeline runs by default. Concurrent sections (e.g. the
+// parallel QPP solver) share the stack under a mutex: recording stays
+// race-free and every span is retained, but a span started on one goroutine
+// may be attributed to a span concurrently open on another.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span. Start is the offset from the collector's
+// creation time, so records order and nest without absolute timestamps.
+type SpanRecord struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent"` // 0 = root
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// Span is a live span handle returned by Start. A nil *Span is valid and
+// inert, which is what the package functions return while telemetry is
+// disabled — callers never need to check.
+type Span struct {
+	c      *Collector
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// End completes the span and records it. It is safe on a nil span and
+// idempotent on double End (the first call wins).
+func (s *Span) End() {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	s.c.endSpan(s, time.Since(s.start))
+}
+
+// Sink receives completed spans as they end; see JSONLWriter for the
+// streaming trace sink. Sinks are invoked under the collector lock, so
+// implementations must not call back into the collector.
+type Sink interface {
+	SpanEnd(SpanRecord)
+}
+
+// maxHistSamples caps per-histogram sample retention; beyond the cap,
+// quantiles are computed over the first maxHistSamples observations while
+// count/sum/min/max remain exact.
+const maxHistSamples = 8192
+
+type hist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	samples  []float64
+}
+
+// Collector accumulates spans and metrics for one run. It is safe for
+// concurrent use. The zero value is not usable; create with NewCollector.
+type Collector struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	nextID   uint64
+	stack    []uint64 // open spans, innermost last
+	spans    []SpanRecord
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+	sinks    []Sink
+}
+
+// NewCollector returns an empty collector whose span clock starts now.
+func NewCollector() *Collector {
+	return &Collector{
+		epoch:    time.Now(),
+		nextID:   1,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*hist),
+	}
+}
+
+// AddSink attaches a streaming sink that observes every span as it ends.
+func (c *Collector) AddSink(s Sink) {
+	c.mu.Lock()
+	c.sinks = append(c.sinks, s)
+	c.mu.Unlock()
+}
+
+// Start opens a span as a child of the innermost open span (a root span if
+// none is open).
+func (c *Collector) Start(name string) *Span {
+	now := time.Now()
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	var parent uint64
+	if n := len(c.stack); n > 0 {
+		parent = c.stack[n-1]
+	}
+	c.stack = append(c.stack, id)
+	c.mu.Unlock()
+	return &Span{c: c, id: id, parent: parent, name: name, start: now}
+}
+
+func (c *Collector) endSpan(s *Span, dur time.Duration) {
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.Sub(c.epoch),
+		Dur:    dur,
+	}
+	c.mu.Lock()
+	// Remove this span from the open stack; out-of-order ends (possible
+	// under concurrency) remove the right entry rather than the top.
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if c.stack[i] == s.id {
+			c.stack = append(c.stack[:i], c.stack[i+1:]...)
+			break
+		}
+	}
+	c.spans = append(c.spans, rec)
+	for _, snk := range c.sinks {
+		snk.SpanEnd(rec)
+	}
+	c.mu.Unlock()
+}
+
+// Count adds delta to a monotonic counter.
+func (c *Collector) Count(name string, delta int64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge sets a gauge to its most recent value.
+func (c *Collector) Gauge(name string, v float64) {
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// GaugeMax raises a gauge to v if v exceeds its current value (watermark
+// semantics, e.g. netsim.max_queue_depth).
+func (c *Collector) GaugeMax(name string, v float64) {
+	c.mu.Lock()
+	if cur, ok := c.gauges[name]; !ok || v > cur {
+		c.gauges[name] = v
+	}
+	c.mu.Unlock()
+}
+
+// Observe records one sample into a histogram.
+func (c *Collector) Observe(name string, v float64) {
+	c.mu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		h = &hist{min: v, max: v}
+		c.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < maxHistSamples {
+		h.samples = append(h.samples, v)
+	}
+	c.mu.Unlock()
+}
+
+// Reset drops all recorded spans and metrics (open spans stay open and will
+// record into the fresh state when ended).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.spans = nil
+	c.counters = make(map[string]int64)
+	c.gauges = make(map[string]float64)
+	c.hists = make(map[string]*hist)
+	c.mu.Unlock()
+}
+
+// HistStats is the snapshot form of a histogram. Quantiles interpolate
+// linearly between order statistics of the retained samples.
+type HistStats struct {
+	Count         int64   `json:"count"`
+	Sum           float64 `json:"sum"`
+	Min           float64 `json:"min"`
+	Max           float64 `json:"max"`
+	Mean          float64 `json:"mean"`
+	P50, P95, P99 float64 `json:"-"`
+}
+
+// Snapshot is a consistent copy of a collector's state.
+type Snapshot struct {
+	Duration   time.Duration // collector age at snapshot time
+	Spans      []SpanRecord
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistStats
+}
+
+// Snapshot returns a consistent copy of everything recorded so far.
+func (c *Collector) Snapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := &Snapshot{
+		Duration:   time.Since(c.epoch),
+		Spans:      append([]SpanRecord(nil), c.spans...),
+		Counters:   make(map[string]int64, len(c.counters)),
+		Gauges:     make(map[string]float64, len(c.gauges)),
+		Histograms: make(map[string]HistStats, len(c.hists)),
+	}
+	for k, v := range c.counters {
+		snap.Counters[k] = v
+	}
+	for k, v := range c.gauges {
+		snap.Gauges[k] = v
+	}
+	for k, h := range c.hists {
+		hs := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+		}
+		sorted := append([]float64(nil), h.samples...)
+		sort.Float64s(sorted)
+		hs.P50 = quantile(sorted, 0.5)
+		hs.P95 = quantile(sorted, 0.95)
+		hs.P99 = quantile(sorted, 0.99)
+		snap.Histograms[k] = hs
+	}
+	return snap
+}
+
+// quantile interpolates the q-quantile of an ascending-sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// --- package-level switch ----------------------------------------------------
+
+// active is the installed collector; nil means telemetry is off. Every
+// package-level instrumentation function performs exactly one atomic load of
+// this pointer before doing any work.
+var active atomic.Pointer[Collector]
+
+// Enable installs c (or a fresh collector when c is nil) as the destination
+// of all package-level instrumentation calls, returning it.
+func Enable(c *Collector) *Collector {
+	if c == nil {
+		c = NewCollector()
+	}
+	active.Store(c)
+	return c
+}
+
+// Disable turns package-level telemetry off and returns the collector that
+// was active, if any.
+func Disable() *Collector {
+	return active.Swap(nil)
+}
+
+// Active returns the installed collector, or nil when telemetry is off.
+func Active() *Collector { return active.Load() }
+
+// Enabled reports whether a collector is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Start opens a span on the active collector; it returns an inert nil span
+// when telemetry is off.
+func Start(name string) *Span {
+	c := active.Load()
+	if c == nil {
+		return nil
+	}
+	return c.Start(name)
+}
+
+// Count adds delta to a counter on the active collector.
+func Count(name string, delta int64) {
+	if c := active.Load(); c != nil {
+		c.Count(name, delta)
+	}
+}
+
+// Gauge sets a gauge on the active collector.
+func Gauge(name string, v float64) {
+	if c := active.Load(); c != nil {
+		c.Gauge(name, v)
+	}
+}
+
+// GaugeMax raises a watermark gauge on the active collector.
+func GaugeMax(name string, v float64) {
+	if c := active.Load(); c != nil {
+		c.GaugeMax(name, v)
+	}
+}
+
+// Observe records a histogram sample on the active collector.
+func Observe(name string, v float64) {
+	if c := active.Load(); c != nil {
+		c.Observe(name, v)
+	}
+}
+
+// Counter reads a counter from a snapshot, 0 when absent. It exists so
+// benchmarks and tests read metrics without map-presence boilerplate.
+func (s *Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// SpanTree returns the snapshot's spans grouped by parent ID, for callers
+// that want to walk the hierarchy directly.
+func (s *Snapshot) SpanTree() map[uint64][]SpanRecord {
+	tree := make(map[uint64][]SpanRecord)
+	for _, r := range s.Spans {
+		tree[r.Parent] = append(tree[r.Parent], r)
+	}
+	return tree
+}
+
+// SpanPaths returns the slash-joined name path of every span (e.g.
+// "placement.qpp/placement.ssqpp/lp.solve"), useful for asserting that a
+// trace covers specific nested phases.
+func (s *Snapshot) SpanPaths() []string {
+	byID := make(map[uint64]SpanRecord, len(s.Spans))
+	for _, r := range s.Spans {
+		byID[r.ID] = r
+	}
+	paths := make([]string, 0, len(s.Spans))
+	for _, r := range s.Spans {
+		paths = append(paths, spanPath(byID, r))
+	}
+	return paths
+}
+
+func spanPath(byID map[uint64]SpanRecord, r SpanRecord) string {
+	path := r.Name
+	for r.Parent != 0 {
+		p, ok := byID[r.Parent]
+		if !ok {
+			// Parent still open at snapshot time; mark the gap explicitly.
+			return fmt.Sprintf("…/%s", path)
+		}
+		path = p.Name + "/" + path
+		r = p
+	}
+	return path
+}

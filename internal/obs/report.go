@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file renders collected telemetry: a streaming JSONL span sink, a
+// whole-snapshot JSONL dump (spans first, then metrics), and a
+// human-readable summary table for terminals.
+
+// traceLine is the JSONL wire format. Exactly one of the optional field
+// groups is populated per line, selected by Type: "span", "counter",
+// "gauge" or "hist".
+type traceLine struct {
+	Type string `json:"type"`
+
+	// span fields
+	ID      uint64 `json:"id,omitempty"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name,omitempty"`
+	StartUS int64  `json:"start_us,omitempty"`
+	DurUS   int64  `json:"dur_us"`
+
+	// metric fields
+	Value *float64   `json:"value,omitempty"`
+	Hist  *HistStats `json:"hist,omitempty"`
+}
+
+// JSONLWriter is a streaming Sink that writes one JSON line per completed
+// span. It is safe for concurrent use.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter returns a streaming span sink writing to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// SpanEnd writes the span as a JSONL line; the first write error sticks and
+// suppresses further output.
+func (jw *JSONLWriter) SpanEnd(r SpanRecord) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err != nil {
+		return
+	}
+	jw.err = jw.enc.Encode(spanLine(r))
+}
+
+// Err returns the first write error encountered, if any.
+func (jw *JSONLWriter) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}
+
+func spanLine(r SpanRecord) traceLine {
+	return traceLine{
+		Type:    "span",
+		ID:      r.ID,
+		Parent:  r.Parent,
+		Name:    r.Name,
+		StartUS: r.Start.Microseconds(),
+		DurUS:   r.Dur.Microseconds(),
+	}
+}
+
+// WriteJSONL writes the snapshot as JSON Lines: every span, then every
+// counter, gauge and histogram (metrics sorted by name for determinism).
+func (s *Snapshot) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range s.Spans {
+		if err := enc.Encode(spanLine(r)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		v := float64(s.Counters[name])
+		if err := enc.Encode(traceLine{Type: "counter", Name: name, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		v := s.Gauges[name]
+		if err := enc.Encode(traceLine{Type: "gauge", Name: name, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if err := enc.Encode(traceLine{Type: "hist", Name: name, Hist: &h}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Summary renders the snapshot as a human-readable table: an aggregated
+// span tree (spans with the same name under the same parent path collapse
+// into one row with a count), then counters, gauges and histograms.
+func (s *Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry summary (%s elapsed, %d spans)\n", round(s.Duration), len(s.Spans))
+
+	if len(s.Spans) > 0 {
+		type agg struct {
+			path  string
+			depth int
+			count int
+			total time.Duration
+			max   time.Duration
+		}
+		byID := make(map[uint64]SpanRecord, len(s.Spans))
+		for _, r := range s.Spans {
+			byID[r.ID] = r
+		}
+		aggs := make(map[string]*agg)
+		for _, r := range s.Spans {
+			path := spanPath(byID, r)
+			a := aggs[path]
+			if a == nil {
+				a = &agg{path: path, depth: strings.Count(path, "/")}
+				aggs[path] = a
+			}
+			a.count++
+			a.total += r.Dur
+			if r.Dur > a.max {
+				a.max = r.Dur
+			}
+		}
+		// Lexicographic order keeps every child row directly under its
+		// parent row, since a child path extends the parent path + "/".
+		rows := make([]*agg, 0, len(aggs))
+		for _, a := range aggs {
+			rows = append(rows, a)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+		b.WriteString("spans:\n")
+		for _, a := range rows {
+			name := a.path
+			if i := strings.LastIndex(name, "/"); i >= 0 {
+				name = name[i+1:]
+			}
+			fmt.Fprintf(&b, "  %s%-*s ×%-5d total %-10s max %s\n",
+				strings.Repeat("  ", a.depth), 34-2*a.depth, name, a.count, round(a.total), round(a.max))
+		}
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-36s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-36s %g\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-36s n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g\n",
+				name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	return b.String()
+}
+
+// round trims durations to a readable precision for the summary table.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(time.Nanosecond)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"quorumplace/internal/obs"
 )
 
 // This file implements the §4.1 optimal single-source layout for the k×k
@@ -113,6 +115,8 @@ type GridResult struct {
 // r*k+c and quorums Q_{ij} = row i ∪ column j); loads must be uniform.
 // The returned placement respects capacities exactly.
 func SolveGridSSQPP(ins *Instance, v0 int) (*GridResult, error) {
+	sp := obs.Start("placement.grid_ssqpp")
+	defer sp.End()
 	nU := ins.Sys.Universe()
 	k := int(math.Round(math.Sqrt(float64(nU))))
 	if k*k != nU {
@@ -168,6 +172,8 @@ func SolveGridSSQPP(ins *Instance, v0 int) (*GridResult, error) {
 // respects capacities exactly and its delay is within 5× of the optimal
 // capacity-respecting placement.
 func SolveGridQPP(ins *Instance) (*GridResult, float64, error) {
+	sp := obs.Start("placement.grid_qpp")
+	defer sp.End()
 	var best *GridResult
 	bestAvg := math.Inf(1)
 	var firstErr error

@@ -1,6 +1,10 @@
 package placement
 
-import "fmt"
+import (
+	"fmt"
+
+	"quorumplace/internal/obs"
+)
 
 // Local-search post-processing. The paper's guarantees come from LP
 // rounding; on concrete instances a placement can often be improved further
@@ -80,6 +84,15 @@ func ImproveLocalSearch(ins *Instance, p Placement, cfg LocalSearchConfig) (Plac
 		maxIter = 10 * nU * n
 	}
 
+	sp := obs.Start("placement.localsearch")
+	defer sp.End()
+	var relocations, swaps, evals int64
+	defer func() {
+		obs.Count("placement.localsearch_moves", relocations+swaps)
+		obs.Count("placement.localsearch_relocations", relocations)
+		obs.Count("placement.localsearch_swaps", swaps)
+		obs.Count("placement.localsearch_evals", evals)
+	}()
 	improved := true
 	for iter := 0; improved && iter < maxIter; iter++ {
 		improved = false
@@ -94,11 +107,13 @@ func ImproveLocalSearch(ins *Instance, p Placement, cfg LocalSearchConfig) (Plac
 					continue
 				}
 				f[u] = v
+				evals++
 				if cand := eval(f); cand < cur-1e-12 {
 					loads[from] -= ins.loads[u]
 					loads[v] += ins.loads[u]
 					cur = cand
 					improved = true
+					relocations++
 					break
 				}
 				f[u] = from
@@ -119,11 +134,13 @@ func ImproveLocalSearch(ins *Instance, p Placement, cfg LocalSearchConfig) (Plac
 					continue
 				}
 				f[a], f[b] = vb, va
+				evals++
 				if cand := eval(f); cand < cur-1e-12 {
 					loads[va] += lb - la
 					loads[vb] += la - lb
 					cur = cand
 					improved = true
+					swaps++
 					break
 				}
 				f[a], f[b] = va, vb

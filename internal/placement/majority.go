@@ -3,6 +3,8 @@ package placement
 import (
 	"fmt"
 	"math"
+
+	"quorumplace/internal/obs"
 )
 
 // This file implements the §4.2 single-source placement for the Majority
@@ -67,6 +69,8 @@ type MajorityResult struct {
 // (any arrangement is optimal by §4.2). The placement respects capacities
 // exactly.
 func SolveMajoritySSQPP(ins *Instance, v0, threshold int) (*MajorityResult, error) {
+	sp := obs.Start("placement.majority_ssqpp")
+	defer sp.End()
 	nU := ins.Sys.Universe()
 	if threshold < 1 || 2*threshold <= nU {
 		return nil, fmt.Errorf("placement: majority threshold %d invalid for universe %d", threshold, nU)
@@ -104,6 +108,8 @@ func SolveMajoritySSQPP(ins *Instance, v0, threshold int) (*MajorityResult, erro
 // source and the placement with the best true average max-delay is
 // returned, along with that average.
 func SolveMajorityQPP(ins *Instance, threshold int) (*MajorityResult, float64, error) {
+	sp := obs.Start("placement.majority_qpp")
+	defer sp.End()
 	var best *MajorityResult
 	bestAvg := math.Inf(1)
 	var firstErr error

@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"quorumplace/internal/obs"
 )
 
 // Parallel QPP solving. SolveQPP runs one independent SSQPP pipeline per
@@ -28,6 +30,13 @@ func SolveQPPParallel(ins *Instance, alpha float64, workers int) (*QPPResult, er
 	if workers > n {
 		workers = n
 	}
+	// Workers run SSQPP pipelines concurrently, so their spans may attribute
+	// to whichever span is innermost at the time (see the obs package doc);
+	// metrics and counters aggregate exactly regardless.
+	sp := obs.Start("placement.qpp_parallel")
+	defer sp.End()
+	obs.Count("placement.qpp_sources", int64(n))
+	obs.Gauge("placement.qpp_workers", float64(workers))
 
 	type outcome struct {
 		res *SSQPPResult

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"quorumplace/internal/obs"
 	"quorumplace/internal/quorum"
 )
 
@@ -44,6 +45,9 @@ func SolveQPP(ins *Instance, alpha float64) (*QPPResult, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("placement: empty network")
 	}
+	sp := obs.Start("placement.qpp")
+	defer sp.End()
+	obs.Count("placement.qpp_sources", int64(n))
 	var best *QPPResult
 	bestRelay := math.Inf(1)
 	maxLP := 0.0
@@ -77,6 +81,7 @@ func SolveQPP(ins *Instance, alpha float64) (*QPPResult, error) {
 	}
 	best.RelayBound = bestRelay
 	best.MaxLPBound = maxLP
+	obs.Gauge("placement.qpp_avg_max_delay", best.AvgMaxDelay)
 	return best, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"quorumplace/internal/gap"
 	"quorumplace/internal/lp"
+	"quorumplace/internal/obs"
 )
 
 // This file implements the Single-Source Quorum Placement Problem
@@ -39,11 +40,15 @@ func SolveSSQPP(ins *Instance, v0 int, alpha float64) (*SSQPPResult, error) {
 	if v0 < 0 || v0 >= ins.M.N() {
 		return nil, fmt.Errorf("placement: source %d out of range [0,%d)", v0, ins.M.N())
 	}
+	sp := obs.Start("placement.ssqpp")
+	defer sp.End()
 	frac, err := solveSSQPPLP(ins, v0)
 	if err != nil {
 		return nil, err
 	}
+	fsp := obs.Start("ssqpp.filter")
 	xt := filter(frac.xu, alpha)
+	fsp.End()
 	pl, err := roundFiltered(ins, frac, xt, alpha)
 	if err != nil {
 		return nil, err
@@ -83,6 +88,8 @@ type ssqppFrac struct {
 // element on a node whose capacity it alone would exceed — is enforced by
 // omitting those variables.
 func solveSSQPPLP(ins *Instance, v0 int) (*ssqppFrac, error) {
+	sp := obs.Start("ssqpp.lp")
+	defer sp.End()
 	n := ins.M.N()
 	nU := ins.Sys.Universe()
 	nQ := ins.Sys.NumQuorums()
@@ -221,6 +228,8 @@ func filter(x [][]float64, alpha float64) [][]float64 {
 // element u on rank t = d_t) and applies Shmoys–Tardos rounding. The
 // resulting load is at most α·cap(v) + max load ≤ (α+1)·cap(v).
 func roundFiltered(ins *Instance, frac *ssqppFrac, xt [][]float64, alpha float64) (Placement, error) {
+	sp := obs.Start("ssqpp.round")
+	defer sp.End()
 	n := ins.M.N()
 	nU := ins.Sys.Universe()
 	g := &gap.Instance{

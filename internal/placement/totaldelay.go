@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"quorumplace/internal/gap"
+	"quorumplace/internal/obs"
 )
 
 // This file implements the total-delay objective of §5 (Theorems 1.4 and
@@ -31,6 +32,8 @@ type TotalDelayResult struct {
 
 // SolveTotalDelay runs the Theorem 5.1 algorithm.
 func SolveTotalDelay(ins *Instance) (*TotalDelayResult, error) {
+	sp := obs.Start("placement.totaldelay")
+	defer sp.End()
 	n := ins.M.N()
 	nU := ins.Sys.Universe()
 	avgDist := make([]float64, n)

@@ -32,11 +32,13 @@
 package quorumplace
 
 import (
+	"io"
 	"math/rand"
 
 	"quorumplace/internal/graph"
 	"quorumplace/internal/migrate"
 	"quorumplace/internal/netsim"
+	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 	"quorumplace/internal/quorum"
 	"quorumplace/internal/recommend"
@@ -414,4 +416,49 @@ type PlannerRecommendation = recommend.Recommendation
 // returns configurations ranked by delay, feasible first.
 func Recommend(m *Metric, caps []float64, req PlannerRequirements) ([]PlannerRecommendation, error) {
 	return recommend.Recommend(m, caps, req)
+}
+
+// --- observability -------------------------------------------------------------
+
+// TelemetryCollector records spans, counters, gauges and histograms emitted
+// by the solver pipeline while enabled. Telemetry is off by default and
+// costs roughly a nanosecond per instrumentation site when disabled.
+type TelemetryCollector = obs.Collector
+
+// TelemetrySnapshot is an immutable copy of a collector's recorded data.
+type TelemetrySnapshot = obs.Snapshot
+
+// TelemetrySpanRecord is one completed span in a snapshot.
+type TelemetrySpanRecord = obs.SpanRecord
+
+// Telemetry returns the currently active collector, or nil when telemetry
+// is disabled.
+func Telemetry() *TelemetryCollector { return obs.Active() }
+
+// EnableTelemetry switches telemetry on with a fresh in-memory collector
+// and returns it. Solver calls made while enabled record spans (LP phases,
+// flow runs, rounding, simulation) and counters; read them with Snapshot.
+func EnableTelemetry() *TelemetryCollector { return obs.Enable(nil) }
+
+// EnableTrace switches telemetry on with a collector that additionally
+// streams every completed span to w as JSON Lines. Counters, gauges and
+// histograms are not streamed; fetch them via Snapshot and WriteJSONL.
+func EnableTrace(w io.Writer) *TelemetryCollector {
+	c := obs.NewCollector()
+	c.AddSink(obs.NewJSONLWriter(w))
+	return obs.Enable(c)
+}
+
+// DisableTelemetry switches telemetry off and returns the collector that
+// was active, if any; its recorded data stays readable via Snapshot.
+func DisableTelemetry() *TelemetryCollector { return obs.Disable() }
+
+// Snapshot captures the active collector's recorded telemetry, or returns
+// nil when telemetry is disabled.
+func Snapshot() *TelemetrySnapshot {
+	c := obs.Active()
+	if c == nil {
+		return nil
+	}
+	return c.Snapshot()
 }

@@ -1,7 +1,10 @@
 package quorumplace
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -109,4 +112,136 @@ func TestFacadeConstructionsCovered(t *testing.T) {
 			t.Error("generator produced a disconnected graph")
 		}
 	}
+}
+
+// TestTelemetryFacade verifies that enabling telemetry through the facade
+// captures the full solver span tree — LP, flow, GAP and rounding phases —
+// with nonzero counters, and that traces serialize to valid JSON Lines.
+func TestTelemetryFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomGeometric(9, 0.6, rng)
+	m, err := NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Grid(2)
+	caps := make([]float64, 9)
+	for i := range caps {
+		caps[i] = 1
+	}
+	ins, err := NewInstance(m, caps, sys, Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if Telemetry() != nil {
+		t.Fatal("telemetry active before EnableTelemetry")
+	}
+	if Snapshot() != nil {
+		t.Fatal("Snapshot non-nil while disabled")
+	}
+	c := EnableTelemetry()
+	defer DisableTelemetry()
+	if Telemetry() != c {
+		t.Fatal("Telemetry() did not return the enabled collector")
+	}
+	if _, err := SolveQPP(ins, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot()
+	if snap == nil {
+		t.Fatal("nil snapshot while enabled")
+	}
+
+	// The span tree must cover every stage of the Theorem 1.2 pipeline.
+	paths := snap.SpanPaths()
+	wantSub := []string{
+		"placement.qpp",
+		"placement.ssqpp",
+		"ssqpp.lp/lp.solve/lp.phase1",
+		"ssqpp.lp/lp.solve/lp.phase2",
+		"ssqpp.filter",
+		"ssqpp.round/gap.round/flow.assign/flow.mincostflow",
+	}
+	joined := strings.Join(paths, "\n")
+	for _, sub := range wantSub {
+		if !strings.Contains(joined, sub) {
+			t.Errorf("span paths missing %q; got:\n%s", sub, joined)
+		}
+	}
+
+	for _, name := range []string{
+		"lp.solves", "lp.pivots", "lp.phase1_iters",
+		"flow.augmentations", "gap.slots", "placement.qpp_sources",
+	} {
+		if snap.Counter(name) <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counter(name))
+		}
+	}
+	// gap.fractional_vars is recorded (possibly zero: rounding may land
+	// integral); it must at least be present.
+	if _, ok := snap.Counters["gap.fractional_vars"]; !ok {
+		t.Error("counter gap.fractional_vars not recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkJSONL(t, buf.String())
+}
+
+// TestEnableTrace verifies the streaming JSONL sink wired via the facade.
+func TestEnableTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomGeometric(8, 0.6, rng)
+	m, err := NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Majority(5, 3)
+	caps := make([]float64, 8)
+	for i := range caps {
+		caps[i] = 1
+	}
+	ins, err := NewInstance(m, caps, sys, Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	EnableTrace(&buf)
+	_, err = SolveSSQPP(ins, 0, 2)
+	DisableTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("EnableTrace wrote no spans")
+	}
+	lines := checkJSONL(t, buf.String())
+	names := map[string]bool{}
+	for _, l := range lines {
+		names[l["name"].(string)] = true
+	}
+	for _, want := range []string{"placement.ssqpp", "ssqpp.lp", "lp.solve", "gap.round", "flow.mincostflow"} {
+		if !names[want] {
+			t.Errorf("trace stream missing span %q", want)
+		}
+	}
+}
+
+// checkJSONL asserts every nonempty line of s parses as a JSON object and
+// returns the parsed lines.
+func checkJSONL(t *testing.T, s string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		out = append(out, m)
+	}
+	return out
 }

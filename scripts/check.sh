@@ -1,0 +1,29 @@
+#!/bin/sh
+# Local mirror of the CI pipeline (.github/workflows/ci.yml).
+# Run from the repository root: ./scripts/check.sh
+set -eu
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== gofmt"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (instrumented packages)"
+go test -race ./internal/obs ./internal/placement ./internal/netsim
+
+echo "== bench smoke (telemetry overhead)"
+go test -run '^$' -bench 'BenchmarkTelemetryOverhead' -benchtime 0.1s .
+
+echo "all checks passed"
