@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 )
 
@@ -38,6 +39,8 @@ func SolveSSQPP(ins *placement.Instance, v0 int) (placement.Placement, float64, 
 	if err := checkSize(ins); err != nil {
 		return placement.Placement{}, 0, err
 	}
+	sp := obs.Start("exact.ssqpp")
+	defer sp.End()
 	row := ins.M.Row(v0)
 	obj := func(f []int) float64 {
 		p := placement.NewPlacement(f)
@@ -76,6 +79,8 @@ func SolveQPP(ins *placement.Instance) (placement.Placement, float64, error) {
 	if err := checkSize(ins); err != nil {
 		return placement.Placement{}, 0, err
 	}
+	sp := obs.Start("exact.qpp")
+	defer sp.End()
 	obj := func(f []int) float64 {
 		return ins.AvgMaxDelay(placement.NewPlacement(f))
 	}
@@ -119,6 +124,8 @@ func SolveTotalDelay(ins *placement.Instance) (placement.Placement, float64, err
 	if err := checkSize(ins); err != nil {
 		return placement.Placement{}, 0, err
 	}
+	sp := obs.Start("exact.total_delay")
+	defer sp.End()
 	obj := func(f []int) float64 {
 		return ins.AvgTotalDelay(placement.NewPlacement(f))
 	}
@@ -162,8 +169,10 @@ func branchAndBound(
 	var bestF []int
 	remaining := append([]float64(nil), ins.Cap...)
 	const tol = 1e-9
+	var nodes int64
 	var rec func(u int)
 	rec = func(u int) {
+		nodes++
 		if u == nU {
 			if val := obj(f); val < best {
 				best = val
@@ -185,6 +194,7 @@ func branchAndBound(
 		}
 	}
 	rec(0)
+	obs.Count("exact.bb_nodes", nodes)
 	if bestF == nil {
 		return nil, 0, fmt.Errorf("exact: no capacity-respecting placement exists")
 	}

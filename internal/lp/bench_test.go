@@ -1,0 +1,76 @@
+package lp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a deterministic GAP-shaped LP (the dominant shape in
+// the placement pipeline): jobs×machines assignment variables, one equality
+// row per job, one capacity row per machine.
+func benchProblem(jobs, machines int) *Problem {
+	rng := rand.New(rand.NewSource(7))
+	p := NewProblem()
+	vars := make([][]int, machines)
+	for i := 0; i < machines; i++ {
+		vars[i] = make([]int, jobs)
+		for j := 0; j < jobs; j++ {
+			vars[i][j] = p.AddVar(rng.Float64()*10, fmt.Sprintf("y_%d_%d", i, j))
+		}
+	}
+	for j := 0; j < jobs; j++ {
+		terms := make([]Term, machines)
+		for i := 0; i < machines; i++ {
+			terms[i] = Term{Var: vars[i][j], Coef: 1}
+		}
+		p.AddConstraint(terms, EQ, 1)
+	}
+	for i := 0; i < machines; i++ {
+		terms := make([]Term, jobs)
+		for j := 0; j < jobs; j++ {
+			terms[j] = Term{Var: vars[i][j], Coef: 0.5 + rng.Float64()}
+		}
+		p.AddConstraint(terms, LE, float64(jobs)/float64(machines))
+	}
+	return p
+}
+
+// BenchmarkSolve measures a full solve through the public entry point
+// (tableau built from scratch each iteration).
+func BenchmarkSolve(b *testing.B) {
+	for _, size := range []struct{ jobs, machines int }{{12, 4}, {30, 8}} {
+		b.Run(fmt.Sprintf("jobs=%d_machines=%d", size.jobs, size.machines), func(b *testing.B) {
+			p := benchProblem(size.jobs, size.machines)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveWarmWorkspace is the steady-state path the placement solver
+// runs: the same problem shape re-solved through an explicitly retained
+// Workspace, so every tableau and scratch slice is recycled from the prior
+// solve. The gap to BenchmarkSolve is the cost of cold allocation.
+func BenchmarkSolveWarmWorkspace(b *testing.B) {
+	for _, size := range []struct{ jobs, machines int }{{12, 4}, {30, 8}} {
+		b.Run(fmt.Sprintf("jobs=%d_machines=%d", size.jobs, size.machines), func(b *testing.B) {
+			p := benchProblem(size.jobs, size.machines)
+			ws := NewWorkspace()
+			if _, err := p.SolveWith(ws); err != nil {
+				b.Fatal(err) // warm-up solve, sizes the workspace
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.SolveWith(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

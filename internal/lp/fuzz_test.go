@@ -1,0 +1,258 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The fuzzer cross-checks the simplex solver against a brute-force oracle
+// on random programs with at most three variables. Over the nonnegative
+// orthant the feasible region is pointed, so if it is nonempty it has a
+// vertex, and a bounded optimum is attained at one; the oracle enumerates
+// every candidate vertex (each choice of n active planes among the
+// constraints-as-equalities and the coordinate planes x_i = 0) and takes
+// the best feasible one. Unboundedness is decided with a box trick: add
+// Σ x_i ≤ B and Σ x_i ≤ 2B — with the small integer coefficients generated
+// here, every true vertex lies far inside the box, so an optimum that keeps
+// improving when the box doubles betrays a descending ray.
+
+type bruteRow struct {
+	a   []float64
+	rel Rel
+	rhs float64
+}
+
+// fuzzPlane is one candidate active hyperplane of the vertex enumeration.
+type fuzzPlane struct {
+	a   []float64
+	rhs float64
+}
+
+// bruteVertexOpt enumerates vertices of {x ≥ 0, rows} in n ≤ 3 dimensions
+// and returns the minimal objective over feasible vertices, or +Inf if no
+// vertex is feasible (empty region, since the region is pointed).
+func bruteVertexOpt(n int, costs []float64, rows []bruteRow) float64 {
+	// Pool of candidate active planes: every row as an equality, plus the
+	// coordinate planes.
+	var planes []fuzzPlane
+	for _, r := range rows {
+		planes = append(planes, fuzzPlane{r.a, r.rhs})
+	}
+	for i := 0; i < n; i++ {
+		a := make([]float64, n)
+		a[i] = 1
+		planes = append(planes, fuzzPlane{a, 0})
+	}
+	feasible := func(x []float64) bool {
+		const tol = 1e-7
+		for _, xi := range x {
+			if xi < -tol {
+				return false
+			}
+		}
+		for _, r := range rows {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += r.a[j] * x[j]
+			}
+			switch r.rel {
+			case LE:
+				if lhs > r.rhs+tol {
+					return false
+				}
+			case GE:
+				if lhs < r.rhs-tol {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-r.rhs) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	best := math.Inf(1)
+	idx := make([]int, n)
+	var rec func(k, from int)
+	rec = func(k, from int) {
+		if k == n {
+			x, ok := fuzzSolveSquare(n, idx, planes)
+			if !ok || !feasible(x) {
+				return
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				obj += costs[j] * x[j]
+			}
+			if obj < best {
+				best = obj
+			}
+			return
+		}
+		for i := from; i < len(planes); i++ {
+			idx[k] = i
+			rec(k+1, i+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// solveSquare solves the n×n system given by the selected planes with
+// Gaussian elimination, reporting failure on (near-)singular systems.
+func fuzzSolveSquare(n int, idx []int, planes []fuzzPlane) ([]float64, bool) {
+	var m [3][4]float64
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			m[r][c] = planes[idx[r]].a[c]
+		}
+		m[r][n] = planes[idx[r]].rhs
+	}
+	for col := 0; col < n; col++ {
+		piv, pv := -1, 1e-9
+		for r := col; r < n; r++ {
+			if av := math.Abs(m[r][col]); av > pv {
+				piv, pv = r, av
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := 0; r < n; r++ {
+		x[r] = m[r][n] / m[r][r]
+	}
+	return x, true
+}
+
+// bruteStatus classifies a random program: Optimal with its value,
+// Infeasible, or Unbounded. It reports ok=false when the classification is
+// numerically ambiguous and the case should be skipped.
+func bruteStatus(n int, costs []float64, rows []bruteRow) (Status, float64, bool) {
+	withBox := func(b float64) float64 {
+		box := bruteRow{a: make([]float64, n), rel: LE, rhs: b}
+		for j := range box.a {
+			box.a[j] = 1
+		}
+		return bruteVertexOpt(n, costs, append(append([]bruteRow(nil), rows...), box))
+	}
+	const b = 1e6
+	v1 := withBox(b)
+	if math.IsInf(v1, 1) {
+		return Infeasible, 0, true
+	}
+	v2 := withBox(2 * b)
+	gap := v1 - v2
+	scale := 1 + math.Abs(v1)
+	switch {
+	case gap > 1e-3*scale:
+		return Unbounded, 0, true
+	case gap > 1e-9*scale:
+		return 0, 0, false // ambiguous: too close to call
+	default:
+		return Optimal, v1, true
+	}
+}
+
+func FuzzSolve(f *testing.F) {
+	for seed := int64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		mRows := rng.Intn(5)
+		costs := make([]float64, n)
+		p := NewProblem()
+		for j := 0; j < n; j++ {
+			costs[j] = float64(rng.Intn(9) - 4)
+			p.AddVar(costs[j], fmt.Sprintf("x%d", j))
+		}
+		rows := make([]bruteRow, 0, mRows)
+		for i := 0; i < mRows; i++ {
+			row := bruteRow{a: make([]float64, n), rel: Rel(rng.Intn(3)), rhs: float64(rng.Intn(17)-4) / 2}
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				row.a[j] = float64(rng.Intn(9) - 4)
+				if row.a[j] != 0 {
+					terms = append(terms, Term{Var: j, Coef: row.a[j]})
+				}
+			}
+			if len(terms) == 0 {
+				continue // all-zero row: the solver rejects or trivially handles it; skip
+			}
+			p.AddConstraint(terms, row.rel, row.rhs)
+			rows = append(rows, row)
+		}
+		wantStatus, wantVal, ok := bruteStatus(n, costs, rows)
+		if !ok {
+			t.Skip("numerically ambiguous instance")
+		}
+		sol, err := p.Solve()
+		switch wantStatus {
+		case Infeasible:
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("oracle says infeasible, solver returned sol=%+v err=%v", sol, err)
+			}
+		case Unbounded:
+			if !errors.Is(err, ErrUnbounded) {
+				t.Fatalf("oracle says unbounded, solver returned sol=%+v err=%v", sol, err)
+			}
+		case Optimal:
+			if err != nil {
+				t.Fatalf("oracle says optimal %v, solver errored: %v", wantVal, err)
+			}
+			tol := 1e-6 * (1 + math.Abs(wantVal))
+			if math.Abs(sol.Objective-wantVal) > tol {
+				t.Fatalf("objective %v, oracle %v", sol.Objective, wantVal)
+			}
+			// The reported point must actually be feasible and match the
+			// reported objective.
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				if sol.X[j] < -1e-7 {
+					t.Fatalf("negative coordinate x%d = %v", j, sol.X[j])
+				}
+				obj += costs[j] * sol.X[j]
+			}
+			if math.Abs(obj-sol.Objective) > tol {
+				t.Fatalf("objective %v does not match point value %v", sol.Objective, obj)
+			}
+			for i, r := range rows {
+				lhs := 0.0
+				for j := 0; j < n; j++ {
+					lhs += r.a[j] * sol.X[j]
+				}
+				switch r.rel {
+				case LE:
+					if lhs > r.rhs+1e-7 {
+						t.Fatalf("constraint %d violated: %v > %v", i, lhs, r.rhs)
+					}
+				case GE:
+					if lhs < r.rhs-1e-7 {
+						t.Fatalf("constraint %d violated: %v < %v", i, lhs, r.rhs)
+					}
+				case EQ:
+					if math.Abs(lhs-r.rhs) > 1e-7 {
+						t.Fatalf("constraint %d violated: %v != %v", i, lhs, r.rhs)
+					}
+				}
+			}
+		}
+	})
+}

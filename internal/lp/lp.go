@@ -1,5 +1,6 @@
 // Package lp implements a general-purpose linear-programming solver: a
-// two-phase dense simplex method with Bland's anti-cycling rule.
+// two-phase simplex method over a flat (single-allocation, row-major)
+// tableau with candidate-list Dantzig pricing and Bland's anti-cycling rule.
 //
 // The quorum-placement algorithms need two LPs solved exactly enough to
 // carry the paper's guarantees: the Single-Source Quorum Placement LP
@@ -15,14 +16,21 @@
 //	p.AddConstraint([]lp.Term{{x, 1}, {y, 1}}, lp.GE, 4)
 //	sol, err := p.Solve()
 //
-// The implementation favors robustness over speed: a dense tableau with
-// Dantzig pricing, falling back to Bland's rule when cycling is suspected.
+// Hot callers that solve many structurally identical programs (the SSQPP
+// pipeline solves one LP per candidate source) use two further hooks:
+//
+//   - a Workspace holds every solver buffer and is reused across solves, so
+//     a warm solve performs no tableau allocation (Solve draws workspaces
+//     from an internal pool; SolveWith pins an explicit one);
+//   - Clone/SetCost/SetRHS/SetFixed re-cost a built model in place instead
+//     of rebuilding it, sharing the constraint sparsity across solves.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"quorumplace/internal/obs"
 )
@@ -80,7 +88,8 @@ func (s Status) String() string {
 }
 
 // ErrInfeasible and ErrUnbounded are returned by Solve for abnormal
-// terminations; the Solution carries the matching Status as well.
+// terminations; the Solution carries the matching Status as well. Returned
+// errors may wrap these sentinels with context, so match with errors.Is.
 var (
 	ErrInfeasible = errors.New("lp: problem is infeasible")
 	ErrUnbounded  = errors.New("lp: problem is unbounded")
@@ -97,6 +106,7 @@ type constraint struct {
 type Problem struct {
 	costs []float64
 	names []string
+	fixed []bool // fixed-to-zero variables; nil = none
 	cons  []constraint
 }
 
@@ -111,6 +121,9 @@ func NewProblem() *Problem {
 func (p *Problem) AddVar(cost float64, name string) int {
 	p.costs = append(p.costs, cost)
 	p.names = append(p.names, name)
+	if p.fixed != nil {
+		p.fixed = append(p.fixed, false)
+	}
 	return len(p.costs) - 1
 }
 
@@ -133,6 +146,60 @@ func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) {
 	p.cons = append(p.cons, constraint{terms: cp, rel: rel, rhs: rhs})
 }
 
+// SetCost overwrites the objective coefficient of variable v.
+func (p *Problem) SetCost(v int, cost float64) {
+	p.costs[v] = cost
+}
+
+// SetRHS overwrites the right-hand side of constraint i (in AddConstraint
+// order), leaving its terms and relation untouched.
+func (p *Problem) SetRHS(i int, rhs float64) {
+	p.cons[i].rhs = rhs
+}
+
+// SetFixed fixes variable v to zero (or releases it). A fixed variable
+// keeps its rows and columns in the model but never enters the basis, which
+// is exactly equivalent to omitting it — the hook lets one model skeleton
+// serve many solves that forbid different variable subsets.
+func (p *Problem) SetFixed(v int, fixed bool) {
+	if p.fixed == nil {
+		if !fixed {
+			return
+		}
+		p.fixed = make([]bool, len(p.costs))
+	}
+	p.fixed[v] = fixed
+}
+
+// Fixed reports whether variable v is fixed to zero.
+func (p *Problem) Fixed(v int) bool {
+	return p.fixed != nil && p.fixed[v]
+}
+
+// Clone returns an independent copy of the problem that shares the
+// (immutable) constraint term slices with the receiver. Costs, right-hand
+// sides and fixed flags are deep-copied, so SetCost/SetRHS/SetFixed on the
+// clone never affect the original — the intended pattern for re-costing one
+// model skeleton concurrently from several goroutines.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{
+		costs: append([]float64(nil), p.costs...),
+		names: append([]string(nil), p.names...),
+		cons:  append([]constraint(nil), p.cons...),
+	}
+	if p.fixed != nil {
+		cp.fixed = append([]bool(nil), p.fixed...)
+	}
+	return cp
+}
+
+func (p *Problem) varName(j int) string {
+	if j < len(p.names) && p.names[j] != "" {
+		return p.names[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}
+
 // Solution is the result of solving a Problem.
 type Solution struct {
 	Status    Status
@@ -146,38 +213,113 @@ const (
 	eps          = 1e-9
 	phase1Tol    = 1e-7
 	blandTrigger = 5000 // iterations of Dantzig pricing before switching to Bland
+	candListCap  = 24   // pricing candidate-list size (partial Dantzig)
 )
 
-// Solve runs the two-phase simplex method. On Status != Optimal the
-// returned error is ErrInfeasible or ErrUnbounded and Solution.X is nil.
+// rowKind is the per-row normalization record built before the tableau.
+type rowKind struct {
+	rel Rel
+	rhs float64
+	neg bool // row was multiplied by -1 to make rhs ≥ 0
+}
+
+// Workspace owns every buffer a solve needs: the flat tableau, the
+// objective row, the basis, and the pricing scratch lists. Reusing one
+// workspace across solves makes a warm solve allocation-free up to the
+// returned Solution. A Workspace is not safe for concurrent use; give each
+// goroutine its own. The zero value is ready to use.
+type Workspace struct {
+	tab   []float64
+	obj   []float64
+	basis []int
+	kinds []rowKind
+	nz    []int
+	cand  []int
+	sx    simplex
+	used  bool
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wsPool recycles workspaces across Solve calls so that steady-state
+// solving through the convenience entry point also runs allocation-free.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// Solve runs the two-phase simplex method using a pooled workspace. On
+// Status != Optimal the returned error wraps ErrInfeasible or ErrUnbounded
+// and Solution.X is nil.
 func (p *Problem) Solve() (*Solution, error) {
+	ws := wsPool.Get().(*Workspace)
+	sol, err := p.SolveWith(ws)
+	wsPool.Put(ws)
+	return sol, err
+}
+
+// SolveWith is Solve with an explicit workspace, for callers that solve in
+// a loop and want buffer reuse pinned rather than pooled.
+func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
 	sp := obs.Start("lp.solve")
 	defer sp.End()
-	n := len(p.costs)
-	m := len(p.cons)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	obs.Count("lp.solves", 1)
-	if m == 0 {
-		// Minimizing c·x over x ≥ 0: bounded iff all costs ≥ 0, optimum 0.
+	n := len(p.costs)
+	if len(p.cons) == 0 {
+		// Minimizing c·x over x ≥ 0: bounded iff all (free) costs ≥ 0,
+		// optimum 0.
 		for j, c := range p.costs {
-			if c < -eps {
-				_ = j
-				return &Solution{Status: Unbounded}, ErrUnbounded
+			if c < -eps && !p.Fixed(j) {
+				return &Solution{Status: Unbounded},
+					fmt.Errorf("%w: variable %s has negative cost %v and no constraints", ErrUnbounded, p.varName(j), c)
 			}
 		}
 		return &Solution{Status: Optimal, X: make([]float64, n)}, nil
 	}
+	sol, err := p.solveSimplex(ws)
+	s := &ws.sx
+	obs.Count("lp.pivots", s.pivots)
+	obs.Count("lp.degenerate_pivots", s.degens)
+	obs.Count("lp.bland_activations", s.blandActivations)
+	obs.Count("lp.pricing_scans", s.pricingScans)
+	obs.Observe("lp.pivots_per_solve", float64(s.pivots))
+	obs.Observe("lp.constraints_per_solve", float64(len(p.cons)))
+	obs.Observe("lp.vars_per_solve", float64(n))
+	return sol, err
+}
+
+// growF resizes a float64 buffer to length n, reusing capacity.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growI resizes an int buffer to length n, reusing capacity.
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// solveSimplex builds the tableau into ws and runs both phases.
+func (p *Problem) solveSimplex(ws *Workspace) (*Solution, error) {
+	n := len(p.costs)
+	m := len(p.cons)
 
 	// Count extra columns: one slack per LE, one surplus per GE,
 	// one artificial per GE or EQ row (and per LE row with negative rhs,
 	// handled by pre-normalizing rhs to be non-negative).
-	type rowKind struct {
-		rel Rel
-		rhs float64
-		neg bool // row was multiplied by -1 to make rhs ≥ 0
+	if cap(ws.kinds) < m {
+		ws.kinds = make([]rowKind, m)
 	}
-	kinds := make([]rowKind, m)
+	kinds := ws.kinds[:m]
 	slackCount, artCount := 0, 0
-	for i, c := range p.cons {
+	for i := range p.cons {
+		c := &p.cons[i]
 		rel, rhs, neg := c.rel, c.rhs, false
 		if rhs < 0 {
 			rhs, neg = -rhs, true
@@ -201,63 +343,81 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	total := n + slackCount + artCount
-	// Tableau: m rows of total+1 (last column = rhs), plus two objective
-	// rows (phase-1 and phase-2 reduced costs) handled separately.
-	tab := make([][]float64, m)
-	for i := range tab {
-		tab[i] = make([]float64, total+1)
+	stride := total + 1 // column `total` is the rhs
+	if ws.used && cap(ws.tab) >= m*stride {
+		obs.Count("lp.workspace_reuses", 1)
 	}
-	basis := make([]int, m)
+	ws.used = true
+
+	// Tableau: m rows of length stride in one contiguous row-major array,
+	// so pivots stream cache-linearly; the two objective rows (phase-1 and
+	// phase-2 reduced costs) live in a separate buffer.
+	ws.tab = growF(ws.tab, m*stride)
+	tab := ws.tab
+	for i := range tab {
+		tab[i] = 0
+	}
+	ws.obj = growF(ws.obj, stride)
+	ws.basis = growI(ws.basis, m)
+	basis := ws.basis
 
 	slackAt := n
 	artAt := n + slackCount
-	for i, c := range p.cons {
+	for i := range p.cons {
+		c := &p.cons[i]
 		k := kinds[i]
 		sign := 1.0
 		if k.neg {
 			sign = -1
 		}
+		row := tab[i*stride : (i+1)*stride]
 		for _, t := range c.terms {
-			tab[i][t.Var] += sign * t.Coef
+			row[t.Var] += sign * t.Coef
 		}
-		tab[i][total] = k.rhs
+		row[total] = k.rhs
 		switch k.rel {
 		case LE:
-			tab[i][slackAt] = 1
+			row[slackAt] = 1
 			basis[i] = slackAt
 			slackAt++
 		case GE:
-			tab[i][slackAt] = -1
+			row[slackAt] = -1
 			slackAt++
-			tab[i][artAt] = 1
+			row[artAt] = 1
 			basis[i] = artAt
 			artAt++
 		case EQ:
-			tab[i][artAt] = 1
+			row[artAt] = 1
 			basis[i] = artAt
 			artAt++
 		}
 	}
 
-	s := &simplex{tab: tab, basis: basis, m: m, total: total, names: p.names}
+	s := &ws.sx
+	*s = simplex{
+		tab:    tab,
+		obj:    ws.obj,
+		stride: stride,
+		m:      m,
+		total:  total,
+		width:  total,
+		basis:  basis,
+		fixed:  p.fixed,
+		nz:     ws.nz,
+		cand:   ws.cand,
+	}
 	defer func() {
-		obs.Count("lp.pivots", s.pivots)
-		obs.Count("lp.degenerate_pivots", s.degens)
-		obs.Count("lp.bland_activations", s.blandActivations)
-		obs.Observe("lp.pivots_per_solve", float64(s.pivots))
-		obs.Observe("lp.constraints_per_solve", float64(m))
-		obs.Observe("lp.vars_per_solve", float64(n))
+		// Return possibly-regrown scratch buffers to the workspace.
+		ws.nz = s.nz
+		ws.cand = s.cand
 	}()
 
+	firstArt := n + slackCount
 	if artCount > 0 {
 		// Phase 1: minimize the sum of artificial variables.
 		p1 := obs.Start("lp.phase1")
-		obj := make([]float64, total+1)
-		for j := n + slackCount; j < total; j++ {
-			obj[j] = 1
-		}
-		s.setObjective(obj)
-		status := s.run(total)
+		s.setPhase1Objective(firstArt)
+		status := s.run()
 		obs.Count("lp.phase1_iters", s.pivots)
 		p1.End()
 		if status == Unbounded {
@@ -268,18 +428,18 @@ func (p *Problem) Solve() (*Solution, error) {
 			return &Solution{Status: Infeasible}, ErrInfeasible
 		}
 		// Drive any remaining artificial variables out of the basis.
-		s.evictArtificials(n + slackCount)
+		s.evictArtificials(firstArt)
 	}
 
 	// Phase 2: original objective over structural + slack columns only.
+	// Shrinking the active width freezes the artificial columns: they can
+	// neither enter the basis nor receive pivot updates (their entries are
+	// dead after phase 1).
 	p2 := obs.Start("lp.phase2")
 	phase1Pivots := s.pivots
-	obj := make([]float64, total+1)
-	copy(obj, p.costs)
-	s.setObjective(obj)
-	// Forbid artificial columns from re-entering.
-	s.maxCol = n + slackCount
-	status := s.run(n + slackCount)
+	s.width = firstArt
+	s.setCostObjective(p.costs)
+	status := s.run()
 	obs.Count("lp.phase2_iters", s.pivots-phase1Pivots)
 	p2.End()
 	if status == Unbounded {
@@ -287,9 +447,9 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	x := make([]float64, n)
-	for i, b := range s.basis {
+	for i, b := range basis {
 		if b < n {
-			x[b] = s.tab[i][total]
+			x[b] = tab[i*stride+total]
 		}
 	}
 	// Clamp tiny negatives introduced by roundoff.
@@ -305,51 +465,81 @@ func (p *Problem) Solve() (*Solution, error) {
 	return &Solution{Status: Optimal, Objective: objVal, X: x}, nil
 }
 
-// simplex holds the dense tableau state shared by the two phases.
+// simplex holds the tableau state shared by the two phases. The tableau is
+// a single row-major array (m rows × stride); row i occupies
+// tab[i*stride : (i+1)*stride] with the rhs in column total = stride-1.
 type simplex struct {
-	tab    [][]float64 // m rows × (total+1); column `total` is the rhs
-	obj    []float64   // reduced-cost row, length total+1 (last entry = -objective value)
-	basis  []int
+	tab    []float64
+	obj    []float64 // reduced-cost row, length stride (last entry = -objective value)
+	stride int
 	m      int
 	total  int
-	maxCol int // columns ≥ maxCol may not enter the basis (0 = no limit)
-	names  []string
+	width  int // columns < width are live (priced and updated); phase 2 freezes artificials
+	basis  []int
+	fixed  []bool // fixed-to-zero structural variables (may be nil)
+
+	// pricing scratch: nz is the nonzero-column index list of the current
+	// pivot row; cand is the candidate list of negative-reduced-cost columns.
+	nz   []int
+	cand []int
 
 	// telemetry tallies, accumulated locally (no per-pivot obs calls) and
 	// reported once per Solve.
 	pivots           int64
 	degens           int64 // pivots with a ~zero leaving ratio (degenerate steps)
 	blandActivations int64
+	pricingScans     int64 // full-width pricing passes (candidate rebuilds + Bland scans)
 }
 
-// setObjective installs a fresh objective row and prices out the current
-// basis so all basic columns have reduced cost zero.
-func (s *simplex) setObjective(obj []float64) {
-	s.obj = make([]float64, s.total+1)
-	copy(s.obj, obj)
+func (s *simplex) isFixed(j int) bool { return j < len(s.fixed) && s.fixed[j] }
+
+// setPhase1Objective installs the sum-of-artificials objective and prices
+// out the initial basis.
+func (s *simplex) setPhase1Objective(firstArt int) {
+	for j := range s.obj {
+		s.obj[j] = 0
+	}
+	for j := firstArt; j < s.total; j++ {
+		s.obj[j] = 1
+	}
+	s.priceOutBasis()
+}
+
+// setCostObjective installs the original costs as the objective row and
+// prices out the current basis.
+func (s *simplex) setCostObjective(costs []float64) {
+	for j := range s.obj {
+		s.obj[j] = 0
+	}
+	copy(s.obj, costs)
+	s.priceOutBasis()
+}
+
+// priceOutBasis zeroes the reduced cost of every basic column. Tableau rows
+// form an identity over the basis columns, so the elimination order does
+// not matter. Any pricing candidates are invalidated.
+func (s *simplex) priceOutBasis() {
 	for i, b := range s.basis {
 		if c := s.obj[b]; c != 0 {
-			for j := 0; j <= s.total; j++ {
-				s.obj[j] -= c * s.tab[i][j]
+			row := s.tab[i*s.stride : (i+1)*s.stride]
+			for j := range s.obj {
+				s.obj[j] -= c * row[j]
 			}
 		}
 	}
+	s.cand = s.cand[:0]
 }
 
 func (s *simplex) objValue() float64 { return -s.obj[s.total] }
 
-// run iterates pivots until optimality or unboundedness. Columns with index
-// ≥ limit never enter the basis.
-func (s *simplex) run(limit int) Status {
-	if s.maxCol > 0 && s.maxCol < limit {
-		limit = s.maxCol
-	}
+// run iterates pivots until optimality or unboundedness.
+func (s *simplex) run() Status {
 	for iter := 0; ; iter++ {
 		bland := iter >= blandTrigger
 		if iter == blandTrigger {
 			s.blandActivations++
 		}
-		enter := s.chooseEntering(limit, bland)
+		enter := s.chooseEntering(bland)
 		if enter < 0 {
 			return Optimal
 		}
@@ -357,23 +547,76 @@ func (s *simplex) run(limit int) Status {
 		if leave < 0 {
 			return Unbounded
 		}
-		if s.tab[leave][s.total] <= eps {
+		if s.tab[leave*s.stride+s.total] <= eps {
 			s.degens++
 		}
 		s.pivot(leave, enter)
 	}
 }
 
-// chooseEntering picks the entering column: the most negative reduced cost
-// under Dantzig pricing, or the lowest-index negative column under Bland.
-func (s *simplex) chooseEntering(limit int, bland bool) int {
-	best, bestVal := -1, -eps
-	for j := 0; j < limit; j++ {
-		if s.obj[j] < bestVal {
-			if bland {
+// chooseEntering picks the entering column. Under Bland's rule it returns
+// the lowest-index column with negative reduced cost (a full scan, which is
+// what guarantees termination). Otherwise it uses candidate-list Dantzig
+// pricing: the most negative column among the cached candidates, falling
+// back to a full rebuild scan only when every candidate has gone
+// non-negative. Optimality is only ever declared by a full scan, so partial
+// pricing never changes the result.
+func (s *simplex) chooseEntering(bland bool) int {
+	if bland {
+		s.pricingScans++
+		for j := 0; j < s.width; j++ {
+			if s.obj[j] < -eps && !s.isFixed(j) {
 				return j
 			}
-			best, bestVal = j, s.obj[j]
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	kept := s.cand[:0]
+	for _, j := range s.cand {
+		if v := s.obj[j]; v < -eps {
+			kept = append(kept, j)
+			if v < bestVal {
+				best, bestVal = j, v
+			}
+		}
+	}
+	s.cand = kept
+	if best >= 0 {
+		return best
+	}
+	return s.rebuildCandidates()
+}
+
+// rebuildCandidates scans every live column once, returning the Dantzig
+// (most negative) column and caching the candListCap most negative columns
+// for the following pivots.
+func (s *simplex) rebuildCandidates() int {
+	s.pricingScans++
+	s.cand = s.cand[:0]
+	best, bestVal := -1, -eps
+	worstIdx, worstVal := -1, math.Inf(-1) // least negative cached candidate
+	for j := 0; j < s.width; j++ {
+		v := s.obj[j]
+		if v >= -eps || s.isFixed(j) {
+			continue
+		}
+		if v < bestVal {
+			best, bestVal = j, v
+		}
+		if len(s.cand) < candListCap {
+			s.cand = append(s.cand, j)
+			if v > worstVal {
+				worstVal, worstIdx = v, len(s.cand)-1
+			}
+		} else if v < worstVal {
+			s.cand[worstIdx] = j
+			worstVal, worstIdx = math.Inf(-1), -1
+			for k, cj := range s.cand {
+				if cv := s.obj[cj]; cv > worstVal {
+					worstVal, worstIdx = cv, k
+				}
+			}
 		}
 	}
 	return best
@@ -386,11 +629,11 @@ func (s *simplex) chooseLeaving(enter int, bland bool) int {
 	best := -1
 	bestRatio := math.Inf(1)
 	for i := 0; i < s.m; i++ {
-		a := s.tab[i][enter]
+		a := s.tab[i*s.stride+enter]
 		if a <= eps {
 			continue
 		}
-		ratio := s.tab[i][s.total] / a
+		ratio := s.tab[i*s.stride+s.total] / a
 		if ratio < bestRatio-eps {
 			best, bestRatio = i, ratio
 			continue
@@ -400,7 +643,7 @@ func (s *simplex) chooseLeaving(enter int, bland bool) int {
 				if s.basis[i] < s.basis[best] {
 					best = i
 				}
-			} else if a > s.tab[best][enter] {
+			} else if a > s.tab[best*s.stride+enter] {
 				// Prefer larger pivots for numerical stability.
 				best, bestRatio = i, ratio
 			}
@@ -409,32 +652,49 @@ func (s *simplex) chooseLeaving(enter int, bland bool) int {
 	return best
 }
 
-// pivot performs a full Gauss–Jordan pivot on (row, col).
+// pivot performs a Gauss–Jordan pivot on (row, col). It first collects the
+// nonzero columns of the (scaled) pivot row, then updates only those
+// columns in every other row: the models this package solves are sparse
+// (2–4 nonzeros per row in the telescoped SSQPP formulation), so early
+// pivot rows touch a handful of columns instead of the full width and the
+// elimination cost tracks fill-in rather than the tableau size.
 func (s *simplex) pivot(row, col int) {
 	s.pivots++
-	pr := s.tab[row]
-	pv := pr[col]
-	inv := 1 / pv
-	for j := 0; j <= s.total; j++ {
-		pr[j] *= inv
+	stride := s.stride
+	rhs := s.total
+	pr := s.tab[row*stride : (row+1)*stride]
+	inv := 1 / pr[col]
+	nz := s.nz[:0]
+	for j := 0; j < s.width; j++ {
+		if v := pr[j]; v != 0 {
+			pr[j] = v * inv
+			nz = append(nz, j)
+		}
 	}
+	pr[rhs] *= inv
 	pr[col] = 1 // kill roundoff
+	s.nz = nz
 	for i := 0; i < s.m; i++ {
 		if i == row {
 			continue
 		}
-		if f := s.tab[i][col]; f != 0 {
-			ri := s.tab[i]
-			for j := 0; j <= s.total; j++ {
-				ri[j] -= f * pr[j]
-			}
-			ri[col] = 0
+		base := i * stride
+		f := s.tab[base+col]
+		if f == 0 {
+			continue
 		}
+		ri := s.tab[base : base+stride]
+		for _, j := range nz {
+			ri[j] -= f * pr[j]
+		}
+		ri[rhs] -= f * pr[rhs]
+		ri[col] = 0
 	}
 	if f := s.obj[col]; f != 0 {
-		for j := 0; j <= s.total; j++ {
+		for _, j := range nz {
 			s.obj[j] -= f * pr[j]
 		}
+		s.obj[rhs] -= f * pr[rhs]
 		s.obj[col] = 0
 	}
 	s.basis[row] = col
@@ -448,10 +708,11 @@ func (s *simplex) evictArtificials(firstArt int) {
 		if s.basis[i] < firstArt {
 			continue
 		}
-		// Find a non-artificial column with a usable pivot in this row.
+		// Find a non-artificial, non-fixed column with a usable pivot in
+		// this row.
 		pivoted := false
 		for j := 0; j < firstArt; j++ {
-			if math.Abs(s.tab[i][j]) > 1e-7 {
+			if math.Abs(s.tab[i*s.stride+j]) > 1e-7 && !s.isFixed(j) {
 				s.pivot(i, j)
 				pivoted = true
 				break
@@ -460,8 +721,9 @@ func (s *simplex) evictArtificials(firstArt int) {
 		if !pivoted {
 			// Redundant row: every structural coefficient is ~0 and the
 			// rhs is ~0 (phase 1 succeeded). Zero it so it never pivots.
-			for j := 0; j <= s.total; j++ {
-				s.tab[i][j] = 0
+			row := s.tab[i*s.stride : (i+1)*s.stride]
+			for j := range row {
+				row[j] = 0
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -82,7 +83,7 @@ func TestInfeasible(t *testing.T) {
 	p.AddConstraint([]Term{{x, 1}}, LE, 1)
 	p.AddConstraint([]Term{{x, 1}}, GE, 2)
 	sol, err := p.Solve()
-	if err != ErrInfeasible {
+	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 	if sol.Status != Infeasible {
@@ -96,7 +97,7 @@ func TestUnbounded(t *testing.T) {
 	y := p.AddVar(0, "y")
 	p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, 1)
 	sol, err := p.Solve()
-	if err != ErrUnbounded {
+	if !errors.Is(err, ErrUnbounded) {
 		t.Fatalf("err = %v, want ErrUnbounded", err)
 	}
 	if sol.Status != Unbounded {
@@ -118,7 +119,7 @@ func TestNoConstraints(t *testing.T) {
 
 	q := NewProblem()
 	q.AddVar(-1, "x")
-	if _, err := q.Solve(); err != ErrUnbounded {
+	if _, err := q.Solve(); !errors.Is(err, ErrUnbounded) {
 		t.Fatalf("err = %v, want ErrUnbounded", err)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"quorumplace/internal/graph"
 	"quorumplace/internal/quorum"
@@ -46,6 +47,13 @@ type Instance struct {
 	Rates []float64
 
 	loads []float64 // cached element loads under Strat
+
+	// Lazily built SSQPP LP skeletons, one per distance-class count (see
+	// ssqppmodel.go). Builds depend only on construction-time state plus the
+	// class count, so the cache is shared by every source and every
+	// concurrent solve.
+	modelMu sync.Mutex
+	models  map[int]*ssqppModel
 }
 
 // NewInstance validates the inputs and caches the element loads.

@@ -1,0 +1,112 @@
+package placement
+
+import (
+	"fmt"
+
+	"quorumplace/internal/lp"
+)
+
+// solveSSQPPLPLegacy is the pre-reformulation SSQPP LP builder, kept as a
+// test oracle: it writes constraint (14) directly as dense prefix-sum rows
+// (O(n²) nonzeros per quorum-element pair) and rebuilds the whole model per
+// source, exactly as the original implementation did. The differential test
+// checks that the sparse prefix skeleton in ssqppmodel.go reaches the same
+// optimum on randomized instances.
+func solveSSQPPLPLegacy(ins *Instance, v0 int) (*ssqppFrac, error) {
+	n := ins.M.N()
+	nU := ins.Sys.Universe()
+	nQ := ins.Sys.NumQuorums()
+	order := ins.M.NodesByDistance(v0)
+	dist := make([]float64, n)
+	for t, v := range order {
+		dist[t] = ins.M.D(v0, v)
+	}
+
+	prob := lp.NewProblem()
+	xu := make([][]int, n) // var ids, -1 = forbidden
+	for t := 0; t < n; t++ {
+		xu[t] = make([]int, nU)
+		capT := ins.Cap[order[t]]
+		for u := 0; u < nU; u++ {
+			if ins.loads[u] > capT*(1+capTol) {
+				xu[t][u] = -1 // constraint (13)
+				continue
+			}
+			xu[t][u] = prob.AddVar(0, fmt.Sprintf("x_t%d_u%d", t, u))
+		}
+	}
+	xq := make([][]int, n)
+	for t := 0; t < n; t++ {
+		xq[t] = make([]int, nQ)
+		for q := 0; q < nQ; q++ {
+			// Objective (9): Σ_Q p0(Q) Σ_t d_t x_{tQ}.
+			xq[t][q] = prob.AddVar(ins.Strat.P(q)*dist[t], fmt.Sprintf("x_t%d_q%d", t, q))
+		}
+	}
+
+	// (10): Σ_t x_{tu} = 1.
+	for u := 0; u < nU; u++ {
+		var terms []lp.Term
+		for t := 0; t < n; t++ {
+			if xu[t][u] >= 0 {
+				terms = append(terms, lp.Term{Var: xu[t][u], Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("placement: element %d (load %v) exceeds every node capacity", u, ins.loads[u])
+		}
+		prob.AddConstraint(terms, lp.EQ, 1)
+	}
+	// (11): Σ_t x_{tQ} = 1.
+	for q := 0; q < nQ; q++ {
+		terms := make([]lp.Term, n)
+		for t := 0; t < n; t++ {
+			terms[t] = lp.Term{Var: xq[t][q], Coef: 1}
+		}
+		prob.AddConstraint(terms, lp.EQ, 1)
+	}
+	// (12): Σ_u load(u) x_{tu} ≤ cap(v_t).
+	for t := 0; t < n; t++ {
+		var terms []lp.Term
+		for u := 0; u < nU; u++ {
+			if xu[t][u] >= 0 && ins.loads[u] > 0 {
+				terms = append(terms, lp.Term{Var: xu[t][u], Coef: ins.loads[u]})
+			}
+		}
+		if len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, ins.Cap[order[t]])
+		}
+	}
+	// (14): Σ_{s≤t} x_{sQ} ≤ Σ_{s≤t} x_{su} for every u ∈ Q and every t.
+	// The t = n-1 instance is implied by (10) and (11), so it is skipped.
+	for q := 0; q < nQ; q++ {
+		for _, u := range ins.Sys.Quorum(q) {
+			for t := 0; t < n-1; t++ {
+				var terms []lp.Term
+				for s := 0; s <= t; s++ {
+					terms = append(terms, lp.Term{Var: xq[s][q], Coef: 1})
+					if xu[s][u] >= 0 {
+						terms = append(terms, lp.Term{Var: xu[s][u], Coef: -1})
+					}
+				}
+				prob.AddConstraint(terms, lp.LE, 0)
+			}
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("placement: legacy SSQPP LP for v0=%d: %w", v0, err)
+	}
+	frac := &ssqppFrac{order: order, dist: dist, obj: sol.Objective}
+	frac.xu = make([][]float64, n)
+	for t := 0; t < n; t++ {
+		frac.xu[t] = make([]float64, nU)
+		for u := 0; u < nU; u++ {
+			if xu[t][u] >= 0 {
+				frac.xu[t][u] = sol.X[xu[t][u]]
+			}
+		}
+	}
+	return frac, nil
+}

@@ -9,34 +9,23 @@ import (
 	"quorumplace/internal/obs"
 )
 
-// Parallel QPP solving. SolveQPP runs one independent SSQPP pipeline per
-// candidate source; the pipelines share nothing mutable, so they
-// parallelize perfectly. SolveQPPParallel fans the sources out over a
-// bounded worker pool and reduces the results deterministically (the same
-// winner as the sequential solver: best average max-delay, ties broken by
-// the smaller source id).
+// The QPP reduction runs one independent SSQPP pipeline per candidate
+// source; the pipelines share nothing mutable beyond the instance's cached
+// LP skeletons, so they parallelize perfectly. solveQPP is the single
+// implementation behind SolveQPP (workers = 1, run inline) and
+// SolveQPPParallel (bounded worker pool): both record per-source outcomes
+// into a slice and reduce them with the same deterministic rule — best
+// average max-delay wins, ties broken by the smaller source id — so the
+// sequential and parallel solvers return identical results.
 
-// SolveQPPParallel is SolveQPP with the per-source SSQPP solves spread
-// across workers goroutines (0 = GOMAXPROCS). The result is identical to
-// SolveQPP's for the same instance and α.
-func SolveQPPParallel(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
+// solveQPP fans the per-source SSQPP solves over the given number of
+// workers (1 = inline, no goroutines) and reduces the outcomes.
+func solveQPP(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
 	n := ins.M.N()
 	if n == 0 {
 		return nil, fmt.Errorf("placement: empty network")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	// Workers run SSQPP pipelines concurrently, so their spans may attribute
-	// to whichever span is innermost at the time (see the obs package doc);
-	// metrics and counters aggregate exactly regardless.
-	sp := obs.Start("placement.qpp_parallel")
-	defer sp.End()
 	obs.Count("placement.qpp_sources", int64(n))
-	obs.Gauge("placement.qpp_workers", float64(workers))
 
 	type outcome struct {
 		res *SSQPPResult
@@ -44,27 +33,41 @@ func SolveQPPParallel(ins *Instance, alpha float64, workers int) (*QPPResult, er
 		err error
 	}
 	outcomes := make([]outcome, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for v0 := range next {
-				res, err := SolveSSQPP(ins, v0, alpha)
-				if err != nil {
-					outcomes[v0] = outcome{err: err}
-					continue
+	// Each worker owns one ssqppSolver: the skeleton builds are shared
+	// through the instance cache, while the re-costable clones and the LP
+	// workspace are reused across all sources the worker handles.
+	solveOne := func(sv *ssqppSolver, v0 int) {
+		res, err := sv.solve(v0, alpha)
+		if err != nil {
+			outcomes[v0] = outcome{err: err}
+			return
+		}
+		outcomes[v0] = outcome{res: res, avg: ins.AvgMaxDelay(res.Placement)}
+	}
+	if workers <= 1 {
+		sv := newSSQPPSolver(ins)
+		for v0 := 0; v0 < n; v0++ {
+			solveOne(sv, v0)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sv := newSSQPPSolver(ins)
+				for v0 := range next {
+					solveOne(sv, v0)
 				}
-				outcomes[v0] = outcome{res: res, avg: ins.AvgMaxDelay(res.Placement)}
-			}
-		}()
+			}()
+		}
+		for v0 := 0; v0 < n; v0++ {
+			next <- v0
+		}
+		close(next)
+		wg.Wait()
 	}
-	for v0 := 0; v0 < n; v0++ {
-		next <- v0
-	}
-	close(next)
-	wg.Wait()
 
 	var best *QPPResult
 	bestRelay := math.Inf(1)
@@ -99,4 +102,24 @@ func SolveQPPParallel(ins *Instance, alpha float64, workers int) (*QPPResult, er
 	best.RelayBound = bestRelay
 	best.MaxLPBound = maxLP
 	return best, nil
+}
+
+// SolveQPPParallel is SolveQPP with the per-source SSQPP solves spread
+// across workers goroutines (0 = GOMAXPROCS). The result is identical to
+// SolveQPP's for the same instance and α.
+func SolveQPPParallel(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
+	n := ins.M.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Workers run SSQPP pipelines concurrently, so their spans may attribute
+	// to whichever span is innermost at the time (see the obs package doc);
+	// metrics and counters aggregate exactly regardless.
+	sp := obs.Start("placement.qpp_parallel")
+	defer sp.End()
+	obs.Gauge("placement.qpp_workers", float64(workers))
+	return solveQPP(ins, alpha, workers)
 }

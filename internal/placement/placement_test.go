@@ -668,6 +668,57 @@ func TestTheorem51TotalDelayContract(t *testing.T) {
 	}
 }
 
+// TestSSQPPLowerBoundAgainstExact pins the reformulated LP against the
+// exact branch-and-bound solvers on randomized instances: every per-source
+// Z*(v0) must lower-bound the exact single-source optimum, and the smallest
+// Z* over sources must lower-bound the exact QPP optimum (the optimal
+// placement is a feasible SSQPP solution for the Lemma 3.1 relay node, and
+// min_v0 Δ_{f*}(v0) ≤ Avg_v Δ_{f*}(v)). SolveQPP and SolveQPPParallel must
+// also keep returning the same winner on top of the shared LP pipeline.
+func TestSSQPPLowerBoundAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		ins := randomInstance(t, rng)
+		n := ins.M.N()
+		minLP := math.Inf(1)
+		for v0 := 0; v0 < n; v0++ {
+			lb, err := placement.SSQPPLowerBound(ins, v0)
+			if err != nil {
+				t.Fatalf("trial %d v0=%d: %v", trial, v0, err)
+			}
+			_, opt, err := exact.SolveSSQPP(ins, v0)
+			if err != nil {
+				t.Fatalf("trial %d v0=%d: exact: %v", trial, v0, err)
+			}
+			if lb > opt+1e-6 {
+				t.Fatalf("trial %d v0=%d: LP bound %v exceeds exact SSQPP optimum %v", trial, v0, lb, opt)
+			}
+			if lb < minLP {
+				minLP = lb
+			}
+		}
+		_, qopt, err := exact.SolveQPP(ins)
+		if err != nil {
+			t.Fatalf("trial %d: exact QPP: %v", trial, err)
+		}
+		if minLP > qopt+1e-6 {
+			t.Fatalf("trial %d: min_v0 Z* = %v exceeds exact QPP optimum %v", trial, minLP, qopt)
+		}
+		seq, err := placement.SolveQPP(ins, 2)
+		if err != nil {
+			t.Fatalf("trial %d: SolveQPP: %v", trial, err)
+		}
+		par, err := placement.SolveQPPParallel(ins, 2, 3)
+		if err != nil {
+			t.Fatalf("trial %d: SolveQPPParallel: %v", trial, err)
+		}
+		if seq.BestV0 != par.BestV0 || seq.AvgMaxDelay != par.AvgMaxDelay {
+			t.Fatalf("trial %d: sequential (v0=%d, %v) and parallel (v0=%d, %v) disagree",
+				trial, seq.BestV0, seq.AvgMaxDelay, par.BestV0, par.AvgMaxDelay)
+		}
+	}
+}
+
 func TestBaselinesRespectCapacities(t *testing.T) {
 	rng := rand.New(rand.NewSource(59))
 	for trial := 0; trial < 10; trial++ {

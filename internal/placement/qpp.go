@@ -40,47 +40,15 @@ type QPPResult struct {
 }
 
 // SolveQPP runs the Theorem 1.2 algorithm with filtering parameter α > 1.
+// It is solveQPP with a single inline worker: one ssqppSolver sweeps every
+// source, reusing the instance's LP skeletons and one workspace throughout.
 func SolveQPP(ins *Instance, alpha float64) (*QPPResult, error) {
-	n := ins.M.N()
-	if n == 0 {
-		return nil, fmt.Errorf("placement: empty network")
-	}
 	sp := obs.Start("placement.qpp")
 	defer sp.End()
-	obs.Count("placement.qpp_sources", int64(n))
-	var best *QPPResult
-	bestRelay := math.Inf(1)
-	maxLP := 0.0
-	var firstErr error
-	for v0 := 0; v0 < n; v0++ {
-		res, err := SolveSSQPP(ins, v0, alpha)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		if relay := ins.AvgDistToNode(v0) + alpha/(alpha-1)*res.LPBound; relay < bestRelay {
-			bestRelay = relay
-		}
-		if res.LPBound > maxLP {
-			maxLP = res.LPBound
-		}
-		avg := ins.AvgMaxDelay(res.Placement)
-		if best == nil || avg < best.AvgMaxDelay {
-			best = &QPPResult{
-				Placement:   res.Placement,
-				AvgMaxDelay: avg,
-				BestV0:      v0,
-				Alpha:       alpha,
-			}
-		}
+	best, err := solveQPP(ins, alpha, 1)
+	if err != nil {
+		return nil, err
 	}
-	if best == nil {
-		return nil, fmt.Errorf("placement: SSQPP failed for every source: %w", firstErr)
-	}
-	best.RelayBound = bestRelay
-	best.MaxLPBound = maxLP
 	obs.Gauge("placement.qpp_avg_max_delay", best.AvgMaxDelay)
 	return best, nil
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"quorumplace/internal/gap"
-	"quorumplace/internal/lp"
 	"quorumplace/internal/obs"
 )
 
@@ -34,6 +33,14 @@ type SSQPPResult struct {
 // parameter α > 1. It returns an error if the LP relaxation is infeasible
 // (no capacity-respecting placement exists at all) or if α ≤ 1.
 func SolveSSQPP(ins *Instance, v0 int, alpha float64) (*SSQPPResult, error) {
+	return newSSQPPSolver(ins).solve(v0, alpha)
+}
+
+// solve runs the Theorem 3.7 pipeline for one source against the solver's
+// shared model skeleton. Callers solving many sources (the QPP reduction)
+// reuse one solver so the LP skeleton and workspace are built only once.
+func (sv *ssqppSolver) solve(v0 int, alpha float64) (*SSQPPResult, error) {
+	ins := sv.ins
 	if alpha <= 1 {
 		return nil, fmt.Errorf("placement: filtering parameter alpha = %v must exceed 1", alpha)
 	}
@@ -42,7 +49,7 @@ func SolveSSQPP(ins *Instance, v0 int, alpha float64) (*SSQPPResult, error) {
 	}
 	sp := obs.Start("placement.ssqpp")
 	defer sp.End()
-	frac, err := solveSSQPPLP(ins, v0)
+	frac, err := sv.solveLP(v0)
 	if err != nil {
 		return nil, err
 	}
@@ -81,111 +88,13 @@ type ssqppFrac struct {
 	obj   float64     // Z*
 }
 
-// solveSSQPPLP builds and solves the LP (9)–(14).
-//
-// Variables: x_{tu} (element u placed on the t-th closest node) and x_{tQ}
-// (quorum Q completed within the t closest nodes). Constraint (13) — no
-// element on a node whose capacity it alone would exceed — is enforced by
-// omitting those variables.
+// solveSSQPPLP builds (or reuses) the instance's LP skeleton and solves the
+// relaxation (9)–(14) for source v0. The model lives in ssqppmodel.go: the
+// telescoped prefix formulation with constraint (13) enforced by fixing the
+// forbidden x_{tu} to zero. One-shot callers go through this wrapper;
+// multi-source callers hold an ssqppSolver to reuse the clone and workspace.
 func solveSSQPPLP(ins *Instance, v0 int) (*ssqppFrac, error) {
-	sp := obs.Start("ssqpp.lp")
-	defer sp.End()
-	n := ins.M.N()
-	nU := ins.Sys.Universe()
-	nQ := ins.Sys.NumQuorums()
-	order := ins.M.NodesByDistance(v0)
-	dist := make([]float64, n)
-	for t, v := range order {
-		dist[t] = ins.M.D(v0, v)
-	}
-
-	prob := lp.NewProblem()
-	xu := make([][]int, n) // var ids, -1 = forbidden
-	for t := 0; t < n; t++ {
-		xu[t] = make([]int, nU)
-		capT := ins.Cap[order[t]]
-		for u := 0; u < nU; u++ {
-			if ins.loads[u] > capT*(1+capTol) {
-				xu[t][u] = -1 // constraint (13)
-				continue
-			}
-			xu[t][u] = prob.AddVar(0, fmt.Sprintf("x_t%d_u%d", t, u))
-		}
-	}
-	xq := make([][]int, n)
-	for t := 0; t < n; t++ {
-		xq[t] = make([]int, nQ)
-		for q := 0; q < nQ; q++ {
-			// Objective (9): Σ_Q p0(Q) Σ_t d_t x_{tQ}.
-			xq[t][q] = prob.AddVar(ins.Strat.P(q)*dist[t], fmt.Sprintf("x_t%d_q%d", t, q))
-		}
-	}
-
-	// (10): Σ_t x_{tu} = 1.
-	for u := 0; u < nU; u++ {
-		var terms []lp.Term
-		for t := 0; t < n; t++ {
-			if xu[t][u] >= 0 {
-				terms = append(terms, lp.Term{Var: xu[t][u], Coef: 1})
-			}
-		}
-		if len(terms) == 0 {
-			return nil, fmt.Errorf("placement: element %d (load %v) exceeds every node capacity", u, ins.loads[u])
-		}
-		prob.AddConstraint(terms, lp.EQ, 1)
-	}
-	// (11): Σ_t x_{tQ} = 1.
-	for q := 0; q < nQ; q++ {
-		terms := make([]lp.Term, n)
-		for t := 0; t < n; t++ {
-			terms[t] = lp.Term{Var: xq[t][q], Coef: 1}
-		}
-		prob.AddConstraint(terms, lp.EQ, 1)
-	}
-	// (12): Σ_u load(u) x_{tu} ≤ cap(v_t).
-	for t := 0; t < n; t++ {
-		var terms []lp.Term
-		for u := 0; u < nU; u++ {
-			if xu[t][u] >= 0 && ins.loads[u] > 0 {
-				terms = append(terms, lp.Term{Var: xu[t][u], Coef: ins.loads[u]})
-			}
-		}
-		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, ins.Cap[order[t]])
-		}
-	}
-	// (14): Σ_{s≤t} x_{sQ} ≤ Σ_{s≤t} x_{su} for every u ∈ Q and every t.
-	// The t = n-1 instance is implied by (10) and (11), so it is skipped.
-	for q := 0; q < nQ; q++ {
-		for _, u := range ins.Sys.Quorum(q) {
-			for t := 0; t < n-1; t++ {
-				var terms []lp.Term
-				for s := 0; s <= t; s++ {
-					terms = append(terms, lp.Term{Var: xq[s][q], Coef: 1})
-					if xu[s][u] >= 0 {
-						terms = append(terms, lp.Term{Var: xu[s][u], Coef: -1})
-					}
-				}
-				prob.AddConstraint(terms, lp.LE, 0)
-			}
-		}
-	}
-
-	sol, err := prob.Solve()
-	if err != nil {
-		return nil, fmt.Errorf("placement: SSQPP LP for v0=%d: %w", v0, err)
-	}
-	frac := &ssqppFrac{order: order, dist: dist, obj: sol.Objective}
-	frac.xu = make([][]float64, n)
-	for t := 0; t < n; t++ {
-		frac.xu[t] = make([]float64, nU)
-		for u := 0; u < nU; u++ {
-			if xu[t][u] >= 0 {
-				frac.xu[t][u] = sol.X[xu[t][u]]
-			}
-		}
-	}
-	return frac, nil
+	return newSSQPPSolver(ins).solveLP(v0)
 }
 
 // filterTol treats tiny fractional masses as zero during filtering.

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Benchmark harness: runs the E1-E16 experiment benchmarks, the ablation
+# benchmarks and the LP substrate micro-benchmarks with a fixed -benchtime,
+# and writes the parsed results as BENCH_<utc-date><suffix>.json so
+# successive PRs leave a perf trajectory in the repo.
+#
+# Usage:
+#   scripts/bench.sh [suffix]        # e.g. scripts/bench.sh -baseline
+#   BENCHTIME=0.1s scripts/bench.sh  # shorter runs (CI smoke uses 0.05s)
+#   OUT=/dev/stdout scripts/bench.sh # print instead of writing a file
+#
+# Every benchmark line is recorded with its iteration count, ns/op,
+# B/op, allocs/op and any custom metrics the benchmark reports
+# (pivots/op, augments/op, events/sec, ...). Run from the repo root.
+set -eu
+
+BENCHTIME="${BENCHTIME:-0.5s}"
+SUFFIX="${1:-}"
+DATE=$(date -u +%Y-%m-%d)
+OUT="${OUT:-BENCH_${DATE}${SUFFIX}.json}"
+PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallelQPP|BenchmarkSolve|BenchmarkWorkspace)}"
+PKGS="${PKGS:-. ./internal/lp}"
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# shellcheck disable=SC2086 # PKGS is intentionally word-split
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$raw"
+
+awk -v date="$DATE" -v benchtime="$BENCHTIME" -v commit="$COMMIT" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, commit, benchtime
+    n = 0
+}
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ && NF >= 4 {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS
+    if (n++) printf ","
+    printf "\n    {\"pkg\": \"%s\", \"name\": \"%s\", \"iters\": %s", pkg, name, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" >"$OUT"
+
+echo "wrote $OUT"
