@@ -1,0 +1,203 @@
+// Command benchdiff compares two BENCH_*.json snapshots produced by
+// scripts/bench.sh and exits nonzero when the newer one regresses, so the
+// perf trajectory the snapshots record can gate CI.
+//
+// A benchmark regresses when its ns/op grows beyond the noise threshold
+// (default ±10%) or its allocs/op grows at all (allocations are
+// deterministic, so the default comparison is exact). Improvements and
+// benchmarks present on only one side are reported but do not fail the
+// gate, except that -require-all turns benchmarks missing from NEW into
+// failures.
+//
+// ns/op is only comparable between runs on the same machine; across
+// machines (e.g. a committed snapshot vs a CI runner) pass -ignore-ns and
+// let the machine-independent allocs/op carry the gate.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD.json NEW.json
+//	  -threshold 0.10       ns/op noise band (fraction)
+//	  -per name=frac,...    per-benchmark ns/op threshold overrides
+//	  -allocs-threshold 0   allocs/op tolerance (0 = exact)
+//	  -ignore-ns            skip ns/op comparison (cross-machine runs)
+//	  -require-all          fail when NEW lacks a benchmark OLD has
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// snapshot mirrors the JSON layout scripts/bench.sh writes.
+type snapshot struct {
+	Date       string      `json:"date"`
+	Commit     string      `json:"commit"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "ns/op noise band as a fraction (new > old·(1+t) fails)")
+	per := fs.String("per", "", "comma-separated name=fraction per-benchmark ns/op threshold overrides")
+	allocsThreshold := fs.Float64("allocs-threshold", 0, "allocs/op tolerance as a fraction (0 = exact match)")
+	ignoreNS := fs.Bool("ignore-ns", false, "skip the ns/op comparison (for cross-machine snapshots)")
+	requireAll := fs.Bool("require-all", false, "fail when NEW lacks a benchmark present in OLD")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2, fmt.Errorf("want exactly two snapshot files, got %d", fs.NArg())
+	}
+	overrides, err := parseOverrides(*per)
+	if err != nil {
+		return 2, err
+	}
+
+	oldSnap, err := readSnapshot(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	newSnap, err := readSnapshot(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(stdout, "benchdiff: %s (%s, %s) -> %s (%s, %s)\n",
+		fs.Arg(0), oldSnap.Commit, oldSnap.Benchtime, fs.Arg(1), newSnap.Commit, newSnap.Benchtime)
+
+	oldBy := index(oldSnap)
+	newBy := index(newSnap)
+
+	keys := make([]string, 0, len(oldBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	for _, k := range keys {
+		o := oldBy[k]
+		n, ok := newBy[k]
+		if !ok {
+			if *requireAll {
+				regressions++
+				fmt.Fprintf(stdout, "MISSING   %s (present in OLD only)\n", k)
+			} else {
+				fmt.Fprintf(stdout, "missing   %s (present in OLD only; not gating)\n", k)
+			}
+			continue
+		}
+		t := *threshold
+		if ov, ok := overrides[o.Name]; ok {
+			t = ov
+		}
+		nsDelta := rel(o.NsPerOp, n.NsPerOp)
+		allocsDelta := rel(o.AllocsPerOp, n.AllocsPerOp)
+		switch {
+		case !*ignoreNS && n.NsPerOp > o.NsPerOp*(1+t):
+			regressions++
+			fmt.Fprintf(stdout, "REGRESS   %-60s ns/op %12.1f -> %12.1f  (%+.1f%%, limit +%.1f%%)\n",
+				k, o.NsPerOp, n.NsPerOp, 100*nsDelta, 100*t)
+		case n.AllocsPerOp > o.AllocsPerOp*(1+*allocsThreshold):
+			regressions++
+			fmt.Fprintf(stdout, "REGRESS   %-60s allocs/op %g -> %g (limit +%.1f%%)\n",
+				k, o.AllocsPerOp, n.AllocsPerOp, 100**allocsThreshold)
+		case !*ignoreNS && n.NsPerOp < o.NsPerOp*(1-t):
+			fmt.Fprintf(stdout, "improved  %-60s ns/op %12.1f -> %12.1f  (%+.1f%%)\n",
+				k, o.NsPerOp, n.NsPerOp, 100*nsDelta)
+		case n.AllocsPerOp < o.AllocsPerOp:
+			fmt.Fprintf(stdout, "improved  %-60s allocs/op %g -> %g\n", k, o.AllocsPerOp, n.AllocsPerOp)
+		default:
+			fmt.Fprintf(stdout, "ok        %-60s ns/op %+.1f%%  allocs/op %+.1f%%\n",
+				k, 100*nsDelta, 100*allocsDelta)
+		}
+	}
+	added := 0
+	for k := range newBy {
+		if _, ok := oldBy[k]; !ok {
+			added++
+			fmt.Fprintf(stdout, "new       %s\n", k)
+		}
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d compared, %d regressions, %d new\n",
+		len(keys), regressions, added)
+	if regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func readSnapshot(path string) (*snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return &s, nil
+}
+
+func index(s *snapshot) map[string]benchLine {
+	m := make(map[string]benchLine, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		m[b.Pkg+"/"+b.Name] = b
+	}
+	return m
+}
+
+func parseOverrides(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, frac, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -per entry %q (want name=fraction)", part)
+		}
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad -per fraction %q", frac)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// rel returns the relative change from old to new, 0 when old is 0.
+func rel(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name string, lines []benchLine) string {
+	t.Helper()
+	s := snapshot{Date: "2026-08-06", Commit: "abc", Benchtime: "1x", Benchmarks: lines}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func diff(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code, err := run(args, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errOut.String())
+	}
+	return code, out.String()
+}
+
+func TestRegressionDetection(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 5},
+		{Pkg: "quorumplace", Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 5},
+	})
+	now := writeSnap(t, dir, "new.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 125, AllocsPerOp: 5}, // +25% ns
+		{Pkg: "quorumplace", Name: "BenchmarkB", NsPerOp: 105, AllocsPerOp: 5}, // within band
+	})
+
+	code, out := diff(t, old, now)
+	if code != 1 || !strings.Contains(out, "REGRESS") || !strings.Contains(out, "BenchmarkA") {
+		t.Fatalf("code %d, out:\n%s", code, out)
+	}
+	if !strings.Contains(out, "1 regressions") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+
+	// A looser per-benchmark override waives the failure.
+	code, _ = diff(t, "-per", "BenchmarkA=0.30", old, now)
+	if code != 0 {
+		t.Fatalf("override not applied, code %d", code)
+	}
+}
+
+func TestAllocRegressionExact(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 5},
+	})
+	now := writeSnap(t, dir, "new.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 6},
+	})
+	code, out := diff(t, old, now)
+	if code != 1 || !strings.Contains(out, "allocs/op") {
+		t.Fatalf("one extra alloc not flagged; code %d:\n%s", code, out)
+	}
+	// -ignore-ns still gates allocations.
+	code, _ = diff(t, "-ignore-ns", old, now)
+	if code != 1 {
+		t.Fatalf("-ignore-ns dropped the alloc gate, code %d", code)
+	}
+}
+
+func TestIgnoreNSSkipsTimings(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 5},
+	})
+	now := writeSnap(t, dir, "new.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: 5}, // different machine
+	})
+	code, out := diff(t, "-ignore-ns", old, now)
+	if code != 0 {
+		t.Fatalf("cross-machine ns/op delta failed the gate:\n%s", out)
+	}
+}
+
+func TestMissingAndNew(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkGone", NsPerOp: 1, AllocsPerOp: 0},
+	})
+	now := writeSnap(t, dir, "new.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkFresh", NsPerOp: 1, AllocsPerOp: 0},
+	})
+	code, out := diff(t, old, now)
+	if code != 0 || !strings.Contains(out, "missing") || !strings.Contains(out, "new") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+	code, out = diff(t, "-require-all", old, now)
+	if code != 1 || !strings.Contains(out, "MISSING") {
+		t.Fatalf("-require-all did not gate, code %d:\n%s", code, out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code, err := run([]string{empty, empty}, &out, &out); err == nil || code != 2 {
+		t.Fatalf("empty snapshot accepted (code %d, err %v)", code, err)
+	}
+	if code, err := run([]string{"one-arg-only"}, &out, &out); err == nil || code != 2 {
+		t.Fatalf("single arg accepted (code %d, err %v)", code, err)
+	}
+	if code, err := run([]string{"-per", "nonsense", empty, empty}, &out, &out); err == nil || code != 2 {
+		t.Fatalf("bad -per accepted (code %d, err %v)", code, err)
+	}
+}

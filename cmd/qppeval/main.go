@@ -2,9 +2,17 @@
 // DESIGN.md) and prints one table per experiment, pairing each paper bound
 // with the measured quantity. EXPERIMENTS.md is generated from its output.
 //
+// -trace-out installs a process-wide access recorder, so every discrete-event
+// simulation the experiments run (E11 validation, E13 failures, E15
+// queueing) captures per-access traces; they are written as one Chrome
+// trace-event JSON file loadable in Perfetto, with solver telemetry spans
+// on a separate track when -stats or -trace is also given. All simulations
+// derive their seeds from -seed (fixed default 1), so traces reproduce.
+//
 // Usage:
 //
 //	qppeval [-seed N] [-quick] [-csv] [-only E7] [-trace FILE] [-stats]
+//	        [-trace-out t.json] [-trace-sample 100] [-timeseries 0.5]
 package main
 
 import (
@@ -35,6 +43,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	md := fs.Bool("md", false, "emit GitHub-flavored markdown tables")
 	only := fs.String("only", "", "run a single experiment by id (e.g. E7)")
 	traceFile := fs.String("trace", "", "write a JSONL telemetry trace (solver spans and counters) to this file")
+	traceOut := fs.String("trace-out", "", "write per-access simulation traces as Chrome trace-event JSON (Perfetto) to this file")
+	traceSample := fs.Int("trace-sample", 1, "with -trace-out: record every k-th access only")
+	timeseries := fs.Float64("timeseries", 0, "with -trace-out: sample simulator gauges every this many virtual-time units")
 	stats := fs.Bool("stats", false, "print a telemetry summary table to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
@@ -89,6 +100,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if *stats {
 				fmt.Fprint(stderr, snap.Summary())
 			}
+		}()
+	}
+	if *traceOut != "" {
+		rec := qp.NewSimRecorder(0, *traceSample, *timeseries)
+		qp.SetDefaultSimRecorder(rec)
+		// Registered after the telemetry defer so it runs first (LIFO),
+		// while the collector is still installed and Snapshot() works.
+		defer func() {
+			qp.SetDefaultSimRecorder(nil)
+			t := &qp.ChromeTrace{}
+			rec.AppendChromeTrace(t)
+			if snap := qp.Snapshot(); snap != nil {
+				snap.AppendChromeTrace(t, 0)
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "qppeval: trace-out: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := t.Write(f); err != nil {
+				fmt.Fprintf(stderr, "qppeval: trace-out: %v\n", err)
+				return
+			}
+			fmt.Fprint(stderr, rec.Breakdown())
+			fmt.Fprintf(stderr, "qppeval: wrote %s — open it at ui.perfetto.dev\n", *traceOut)
 		}()
 	}
 

@@ -5,9 +5,19 @@
 // places each system on a random geometric network and reports simulated
 // access-latency statistics (mean, p50, p95, p99).
 //
+// With -trace-out the simulated accesses are additionally captured as
+// per-access traces (one probe span per contacted quorum member) and
+// written as Chrome trace-event JSON loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing, together with a plain-text
+// per-node/per-quorum latency-percentile breakdown on stdout. -trace-sample
+// thins the capture to every k-th access; -timeseries adds gauge counter
+// tracks sampled at the given virtual-time interval. Runs are seeded
+// (-seed, default 1), so traces are reproducible.
+//
 // Usage:
 //
 //	quorumstat [-p 0.1,0.2,0.3] [-system grid:3] [-sim 200 -nodes 16 -seed 1]
+//	           [-trace-out t.json] [-trace-sample 10] [-timeseries 0.5]
 package main
 
 import (
@@ -36,7 +46,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	only := fs.String("system", "", "show a single system (grid:k | majority:n:t | fpp:q | wheel:n | recmajority:h | cwall:w1,w2,...)")
 	simN := fs.Int("sim", 0, "simulate N accesses per client on a geometric network and print latency percentiles")
 	nodes := fs.Int("nodes", 16, "network size for -sim")
-	seed := fs.Int64("seed", 1, "random seed for -sim")
+	seed := fs.Int64("seed", 1, "random seed for -sim (fixed default keeps traces reproducible)")
+	traceOut := fs.String("trace-out", "", "with -sim: write per-access traces as Chrome trace-event JSON (Perfetto) to this file")
+	traceSample := fs.Int("trace-sample", 1, "with -trace-out: record every k-th access only")
+	timeseries := fs.Float64("timeseries", 0, "with -trace-out: sample gauge counters every this many virtual-time units")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +69,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		systems = []*qp.System{s}
+	}
+
+	var rec *qp.SimRecorder
+	if *traceOut != "" {
+		if *simN <= 0 {
+			return fmt.Errorf("-trace-out requires -sim")
+		}
+		rec = qp.NewSimRecorder(0, *traceSample, *timeseries)
 	}
 
 	fmt.Fprintf(stdout, "%-18s  %5s  %7s  %6s  %9s  %9s  %10s  %3s", "system", "n", "quorums", "c(S)", "opt load", "load LB", "resilience", "ND")
@@ -86,13 +107,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "  %9.4f", f)
 		}
 		if *simN > 0 {
-			sim, err := simulateSystem(s, *nodes, *simN, *seed)
+			if rec != nil {
+				rec.NextRunLabel(s.Name())
+			}
+			sim, err := simulateSystem(s, *nodes, *simN, *seed, rec)
 			if err != nil {
 				return fmt.Errorf("%s: sim: %v", s.Name(), err)
 			}
 			fmt.Fprintf(stdout, "  %8.4f  %8.4f  %8.4f  %8.4f", sim.Mean, sim.P50, sim.P95, sim.P99)
 		}
 		fmt.Fprintln(stdout)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, rec.Breakdown())
+		fmt.Fprintf(stdout, "wrote %s — open it at ui.perfetto.dev or chrome://tracing\n", *traceOut)
 	}
 	return nil
 }
@@ -104,8 +144,9 @@ type simSummary struct {
 
 // simulateSystem places sys greedily on a random geometric network with
 // auto-sized uniform capacities and runs the parallel-access simulator,
-// returning the latency digest.
-func simulateSystem(sys *qp.System, nodes, accesses int, seed int64) (*simSummary, error) {
+// returning the latency digest. A non-nil recorder captures per-access
+// traces and time-series samples of the run.
+func simulateSystem(sys *qp.System, nodes, accesses int, seed int64, rec *qp.SimRecorder) (*simSummary, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := qp.RandomGeometric(nodes, 0.4, rng)
 	m, err := qp.NewMetricFromGraph(g)
@@ -143,6 +184,7 @@ func simulateSystem(sys *qp.System, nodes, accesses int, seed int64) (*simSummar
 		Mode:              qp.SimParallel,
 		AccessesPerClient: accesses,
 		Seed:              seed,
+		Recorder:          rec,
 	})
 	if err != nil {
 		return nil, err

@@ -77,7 +77,7 @@ func TestRunSim(t *testing.T) {
 		}
 	}
 
-	sim, err := simulateSystem(qp.Grid(2), 12, 200, 3)
+	sim, err := simulateSystem(qp.Grid(2), 12, 200, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

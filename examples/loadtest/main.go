@@ -6,12 +6,21 @@
 // that overloads the central nodes — and prints their full latency
 // distributions (quantile rows and a histogram), showing the tail blowing
 // up exactly where capacities are violated.
+//
+// It then re-runs the overloaded placement with an access recorder
+// attached, exports the per-access traces as Chrome trace-event JSON
+// (loadtest_trace.json, loadable at ui.perfetto.dev), and — to show the
+// trace is machine-readable, not just a picture — parses the file back and
+// identifies the straggler: the node whose probes most often determine
+// access latency, and how much of that is queue wait.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	qp "quorumplace"
 	"quorumplace/internal/netsim"
@@ -101,4 +110,75 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(viz.Histogram(stats.Latencies(), 8, 36))
+
+	// Re-run the overloaded placement with tracing on and export the
+	// traces for Perfetto.
+	const traceFile = "loadtest_trace.json"
+	rec := netsim.NewRecorder(4096, 1, 25)
+	rec.NextRunLabel("colocated")
+	if _, err := netsim.RunQueueing(netsim.QueueConfig{
+		Instance: ins, Placement: colocated,
+		ArrivalRate: 0.04, ServiceMean: 1,
+		AccessesPerClient: 400, Seed: 29, Recorder: rec,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("\nwrote %s — open it at ui.perfetto.dev or chrome://tracing\n", traceFile)
+
+	node, share, wait := topStraggler(traceFile)
+	fmt.Printf("read back from the trace: node %d is the straggler on %.0f%% of accesses,\n", node, 100*share)
+	fmt.Printf("with a mean queue wait of %.2f time units on those straggling probes —\n", wait)
+	fmt.Printf("the colocated median node (%d) saturating, as the queueing means predicted\n", med)
+}
+
+// topStraggler parses an exported Chrome trace-event file and returns the
+// node whose probes most often determined access latency, the share of
+// accesses it straggled, and the mean queue wait on those probes.
+func topStraggler(path string) (node int, share, meanWait float64) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat  string `json:"cat"`
+			Args struct {
+				Node      int     `json:"node"`
+				Straggler bool    `json:"straggler"`
+				QueueWait float64 `json:"queue_wait"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		log.Fatal(err)
+	}
+	byNode := map[int]int{}
+	waitSum := map[int]float64{}
+	total := 0
+	for _, e := range doc.TraceEvents {
+		if e.Cat != "probe" || !e.Args.Straggler {
+			continue
+		}
+		total++
+		byNode[e.Args.Node]++
+		waitSum[e.Args.Node] += e.Args.QueueWait
+	}
+	if total == 0 {
+		log.Fatalf("%s holds no straggler probes", path)
+	}
+	best := -1
+	for n, c := range byNode {
+		if best < 0 || c > byNode[best] {
+			best = n
+		}
+	}
+	return best, float64(byNode[best]) / float64(total), waitSum[best] / float64(byNode[best])
 }

@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"quorumplace/internal/obs"
+)
+
+// Chrome trace-event export of recorded access traces and time-series
+// samples. Each simulation run maps to a block of Perfetto "processes":
+// one process per client (the access span on thread 0, one thread per
+// quorum-member slot for the probe spans) plus one gauges process carrying
+// the counter tracks (in-flight accesses, cumulative per-node hits,
+// per-node queue depth). Virtual time units are exported as microseconds;
+// Perfetto only renders the relative timeline.
+
+// pidStride separates the pid blocks of successive runs sharing a recorder.
+// Pid block 0 is left free for other tracks sharing the file (e.g. solver
+// spans appended via obs.Snapshot.AppendChromeTrace).
+const pidStride = 1 << 16
+
+// gaugePID returns the pid of a run's counter-track process.
+func gaugePID(run int) int { return (run + 1) * pidStride }
+
+// clientPID returns the pid of a run's per-client process.
+func clientPID(run, client int) int { return (run+1)*pidStride + client + 1 }
+
+// accessArgs annotates an exported access span.
+type accessArgs struct {
+	ID       int64   `json:"id"`
+	Client   int     `json:"client"`
+	Quorum   int     `json:"quorum"`
+	Mode     string  `json:"mode"`
+	Latency  float64 `json:"latency"`
+	Attempts int     `json:"attempts,omitempty"`
+	Aborted  bool    `json:"aborted,omitempty"`
+}
+
+// probeArgs annotates an exported probe span.
+type probeArgs struct {
+	Access    int64   `json:"access"`
+	Member    int     `json:"member"`
+	Node      int     `json:"node"`
+	QueueWait float64 `json:"queue_wait"`
+	Service   float64 `json:"service"`
+	NetDelay  float64 `json:"net_delay"`
+	Straggler bool    `json:"straggler"`
+	Failed    bool    `json:"failed,omitempty"`
+}
+
+// counterValue is the single-series counter payload.
+type counterValue struct {
+	Value float64 `json:"value"`
+}
+
+// AppendChromeTrace adds every retained trace and time-series sample to t.
+// Events are appended in a deterministic order: traces oldest-first (each
+// access span followed by its probe spans), then samples, then track
+// metadata.
+func (r *Recorder) AppendChromeTrace(t *obs.ChromeTrace) {
+	type track struct {
+		run, client int
+		maxSlot     int
+	}
+	seen := map[int]*track{} // by pid
+	var order []int
+
+	for _, tr := range r.Traces() {
+		pid := clientPID(tr.Run, tr.Client)
+		tk := seen[pid]
+		if tk == nil {
+			tk = &track{run: tr.Run, client: tr.Client, maxSlot: -1}
+			seen[pid] = tk
+			order = append(order, pid)
+		}
+		t.AddSpan(fmt.Sprintf("access q%d", tr.Quorum), "access", pid, 0,
+			tr.Start, tr.End-tr.Start, accessArgs{
+				ID: tr.ID, Client: tr.Client, Quorum: tr.Quorum,
+				Mode: tr.Mode.String(), Latency: tr.Latency,
+				Attempts: tr.Attempts, Aborted: tr.Aborted,
+			})
+		for slot, p := range tr.Probes {
+			if slot > tk.maxSlot {
+				tk.maxSlot = slot
+			}
+			t.AddSpan(fmt.Sprintf("probe u%d@n%d", p.Member, p.Node), "probe", pid, slot+1,
+				p.Dispatch, p.Complete-p.Dispatch, probeArgs{
+					Access: tr.ID, Member: p.Member, Node: p.Node,
+					QueueWait: p.QueueWait, Service: p.Service, NetDelay: p.NetDelay,
+					Straggler: p.Straggler, Failed: p.Failed,
+				})
+		}
+	}
+
+	gauges := map[int]bool{} // runs with exported samples
+	var gaugeOrder []int
+	for _, s := range r.Series() {
+		pid := gaugePID(s.Run)
+		if !gauges[s.Run] {
+			gauges[s.Run] = true
+			gaugeOrder = append(gaugeOrder, s.Run)
+		}
+		t.AddCounter("in_flight", pid, s.At, counterValue{Value: float64(s.InFlight)})
+		t.AddCounter("accesses", pid, s.At, counterValue{Value: float64(s.Accesses)})
+		if len(s.NodeHits) > 0 {
+			t.AddCounter("node_hits", pid, s.At, perNodeArgs(s.NodeHits))
+		}
+		if len(s.QueueDepth) > 0 {
+			depths := make([]int64, len(s.QueueDepth))
+			for i, d := range s.QueueDepth {
+				depths[i] = int64(d)
+			}
+			t.AddCounter("queue_depth", pid, s.At, perNodeArgs(depths))
+		}
+	}
+
+	for _, pid := range order {
+		tk := seen[pid]
+		t.NameProcess(pid, runPrefix(r, tk.run)+fmt.Sprintf("client %d", tk.client))
+		t.NameThread(pid, 0, "access")
+		for slot := 0; slot <= tk.maxSlot; slot++ {
+			t.NameThread(pid, slot+1, fmt.Sprintf("probe %d", slot))
+		}
+	}
+	for _, run := range gaugeOrder {
+		t.NameProcess(gaugePID(run), runPrefix(r, run)+"gauges")
+	}
+}
+
+// runPrefix renders "label · " or "run N · " when disambiguation helps.
+func runPrefix(r *Recorder, run int) string {
+	if label := r.runLabel(run); label != "" {
+		return label + " · "
+	}
+	r.mu.Lock()
+	multi := r.runs > 1
+	r.mu.Unlock()
+	if multi {
+		return fmt.Sprintf("run %d · ", run)
+	}
+	return ""
+}
+
+// perNodeArgs builds a deterministic multi-series counter payload
+// {"n0": v0, "n1": v1, ...} without map-ordering hazards.
+func perNodeArgs(vals []int64) json.RawMessage {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\"n")
+		b.WriteString(strconv.Itoa(i))
+		b.WriteString("\":")
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	b.WriteByte('}')
+	return json.RawMessage(b.Bytes())
+}
+
+// WriteChromeTrace writes the recorder's contents as a standalone Chrome
+// trace-event JSON document loadable in Perfetto or chrome://tracing.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	t := &obs.ChromeTrace{}
+	r.AppendChromeTrace(t)
+	return t.Write(w)
+}

@@ -33,6 +33,11 @@ type FailureConfig struct {
 	RetryPenalty      float64
 	AccessesPerClient int
 	Seed              int64
+	// Recorder, when non-nil, captures per-access traces; probes of failed
+	// attempts carry Failed=true and the access records its retry count.
+	// Nil falls back to the SetDefaultRecorder recorder. Accesses are laid
+	// out back-to-back per client on the virtual timeline.
+	Recorder *Recorder
 }
 
 // FailureStats is the outcome of a failure-injection run.
@@ -100,8 +105,17 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		obs.Count("netsim.retries", int64(stats.Retries))
 	}()
 
+	rec := recorderFor(cfg.Recorder)
+	runID := 0
+	var traced int64
+	if rec != nil {
+		runID = rec.beginRun()
+		defer func() { obs.Count("netsim.traced_accesses", traced) }()
+	}
+
 	for v := 0; v < n; v++ {
 		row := ins.M.Row(v)
+		clock := 0.0 // per-client virtual time, accesses back-to-back
 		for a := 0; a < cfg.AccessesPerClient; a++ {
 			// Sample the crash state for this access epoch.
 			for i := range alive {
@@ -113,19 +127,44 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 				noLiveQuorumFirstAttempt++
 			}
 			stats.Accesses++
+			var tr *AccessTrace
+			if rec != nil && rec.shouldTrace() {
+				tr = &AccessTrace{Run: runID, Client: v, Mode: cfg.Mode, Start: clock}
+			}
 			penalty := 0.0
 			success := false
 			for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 				qi := sampleQuorum()
+				attemptStart := clock + penalty
+				attemptProbes := 0
+				if tr != nil {
+					attemptProbes = len(tr.Probes)
+				}
 				ok := true
 				var latency float64
 				for _, u := range ins.Sys.Quorum(qi) {
 					node := cfg.Placement.Node(u)
 					if !alive[node] {
+						if tr != nil {
+							tr.Probes = append(tr.Probes, ProbeSpan{
+								Member: u, Node: node, Dispatch: attemptStart,
+								Complete: attemptStart, Failed: true,
+							})
+						}
 						ok = false
 						break
 					}
 					d := row[node]
+					if tr != nil {
+						dispatch := attemptStart
+						if cfg.Mode == Sequential {
+							dispatch += latency
+						}
+						tr.Probes = append(tr.Probes, ProbeSpan{
+							Member: u, Node: node,
+							Dispatch: dispatch, NetDelay: d, Complete: dispatch + d,
+						})
+					}
 					if cfg.Mode == Parallel {
 						if d > latency {
 							latency = d
@@ -138,6 +177,16 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 					stats.Succeeded++
 					latencySum += latency + penalty
 					success = true
+					if tr != nil {
+						tr.Quorum = qi
+						tr.Attempts = attempt
+						tr.Latency = latency + penalty
+						tr.End = tr.Start + tr.Latency
+						markStragglerIn(cfg.Mode, tr.Probes[attemptProbes:])
+						rec.add(*tr)
+						traced++
+					}
+					clock += latency + penalty
 					break
 				}
 				if attempt < cfg.MaxRetries {
@@ -147,6 +196,15 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 			}
 			if !success {
 				stats.FailedOutright++
+				if tr != nil {
+					tr.Attempts = cfg.MaxRetries + 1
+					tr.Aborted = true
+					tr.Latency = penalty
+					tr.End = tr.Start + penalty
+					rec.add(*tr)
+					traced++
+				}
+				clock += penalty
 			}
 		}
 	}

@@ -59,6 +59,11 @@ type Config struct {
 	// client's accesses (virtual time units). Zero means back-to-back.
 	InterAccessTime float64
 	Seed            int64
+	// Recorder, when non-nil, captures per-access traces and time-series
+	// samples for this run. When nil, the run falls back to the recorder
+	// installed with SetDefaultRecorder, if any; with neither, tracing is
+	// off and costs one nil check per access.
+	Recorder *Recorder
 }
 
 // Stats is the outcome of a simulation run.
@@ -71,6 +76,7 @@ type Stats struct {
 	EmpiricalLoad []float64 // NodeHits normalized by total accesses
 	Clock         float64   // virtual time at which the last access completed
 	latencies     []float64 // raw access latencies, for quantiles
+	sorted        []float64 // lazily cached ascending copy of latencies
 }
 
 // Percentile returns the q-quantile (0 ≤ q ≤ 1) of the access latency
@@ -86,8 +92,7 @@ func (s *Stats) Percentile(q float64) float64 {
 	if len(s.latencies) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.latencies...)
-	sort.Float64s(sorted)
+	sorted := s.sortedLatencies()
 	n := len(sorted)
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
@@ -96,6 +101,18 @@ func (s *Stats) Percentile(q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// sortedLatencies returns an ascending copy of the latency samples, sorted
+// once and cached: summary paths (the quorumstat table calls Percentile four
+// times per system) reuse the same sorted slice instead of re-sorting per
+// call. The cache refreshes if samples were appended since it was built.
+func (s *Stats) sortedLatencies() []float64 {
+	if len(s.sorted) != len(s.latencies) {
+		s.sorted = append(s.sorted[:0], s.latencies...)
+		sort.Float64s(s.sorted)
+	}
+	return s.sorted
 }
 
 // Latencies returns a copy of the raw per-access latency samples.
@@ -205,6 +222,16 @@ func Run(cfg Config) (*Stats, error) {
 		obs.GaugeMax("netsim.max_queue_depth", float64(maxQueueDepth))
 	}()
 
+	rec := recorderFor(cfg.Recorder)
+	var ts *tsState
+	runID := 0
+	var traced int64
+	if rec != nil {
+		runID = rec.beginRun()
+		ts = newTSState(rec, runID)
+		defer func() { obs.Count("netsim.traced_accesses", traced) }()
+	}
+
 	var q eventQueue
 	seq := 0
 	for v := 0; v < n; v++ {
@@ -217,10 +244,25 @@ func Run(cfg Config) (*Stats, error) {
 		}
 		e := q.pop()
 		events++
+		if ts != nil {
+			// Emit every time-series boundary crossed before this event; all
+			// previously processed events are ≤ each boundary, so the gauges
+			// are consistent at the sample instant.
+			ts.advance(e.at, func(at float64, s *TSample) {
+				ts.done.popTo(at)
+				s.InFlight = len(ts.done)
+				s.Accesses = stats.Accesses
+				s.NodeHits = append([]int64(nil), stats.NodeHits...)
+			})
+		}
 		v := e.client
 		qi := sample()
 		if qi >= nQ {
 			qi = nQ - 1
+		}
+		var tr *AccessTrace
+		if rec != nil && rec.shouldTrace() {
+			tr = &AccessTrace{Run: runID, Client: v, Quorum: qi, Mode: cfg.Mode, Start: e.at}
 		}
 		row := ins.M.Row(v)
 		var latency float64
@@ -229,6 +271,16 @@ func Run(cfg Config) (*Stats, error) {
 			d := row[node]
 			stats.NodeHits[node]++
 			messages++
+			if tr != nil {
+				dispatch := e.at
+				if cfg.Mode == Sequential {
+					dispatch += latency
+				}
+				tr.Probes = append(tr.Probes, ProbeSpan{
+					Member: u, Node: node,
+					Dispatch: dispatch, NetDelay: d, Complete: dispatch + d,
+				})
+			}
 			switch cfg.Mode {
 			case Parallel:
 				if d > latency {
@@ -247,6 +299,16 @@ func Run(cfg Config) (*Stats, error) {
 		stats.latencies = append(stats.latencies, latency)
 		stats.PerClient[v] += latency
 		perClientCount[v]++
+		if tr != nil {
+			tr.End = done
+			tr.Latency = latency
+			markStraggler(tr)
+			rec.add(*tr)
+			traced++
+		}
+		if ts != nil {
+			ts.done.push(done)
+		}
 		if e.access+1 < cfg.AccessesPerClient {
 			think := 0.0
 			if cfg.InterAccessTime > 0 {

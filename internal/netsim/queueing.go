@@ -33,6 +33,10 @@ type QueueConfig struct {
 	ServiceMean       float64
 	AccessesPerClient int
 	Seed              int64
+	// Recorder, when non-nil, captures per-access traces (with queue-wait
+	// and service-time probe spans) and time-series samples; nil falls back
+	// to the SetDefaultRecorder recorder.
+	Recorder *Recorder
 }
 
 // QueueStats is the outcome of a queueing simulation.
@@ -53,6 +57,8 @@ type queueEvent struct {
 	client, access int
 	// message routing
 	node int
+	// probe slot within the traced access, -1 when untraced
+	slot int
 }
 
 type queueEventHeap []queueEvent
@@ -78,6 +84,7 @@ func (h *queueEventHeap) Pop() any {
 type pendingMsg struct {
 	client, access int
 	arrivedAt      float64
+	slot           int // probe slot within the traced access, -1 when untraced
 }
 
 // RunQueueing executes the queueing simulation.
@@ -132,6 +139,7 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		remaining int
 		issuedAt  float64
 		lastResp  float64
+		tr        *AccessTrace // non-nil when this access is traced
 	}
 	states := map[[2]int]*accessState{}
 	queues := make([][]pendingMsg, n)
@@ -158,6 +166,20 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		}
 	}
 
+	rec := recorderFor(cfg.Recorder)
+	var ts *tsState
+	runID := 0
+	var traced int64
+	if rec != nil {
+		runID = rec.beginRun()
+		ts = newTSState(rec, runID)
+		defer func() { obs.Count("netsim.traced_accesses", traced) }()
+	}
+	var nodeHits []int64
+	if ts != nil {
+		nodeHits = make([]int64, n)
+	}
+
 	startService := func(v int, now float64) {
 		if busy[v] || len(queues[v]) == 0 {
 			return
@@ -166,12 +188,19 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		msg := queues[v][0]
 		waitSum += now - msg.arrivedAt
 		msgCount++
-		st := 0.0
+		svc := 0.0
 		if serviceMean[v] > 0 {
-			st = rng.ExpFloat64() * serviceMean[v]
+			svc = rng.ExpFloat64() * serviceMean[v]
 		}
-		busyTime[v] += st
-		push(queueEvent{at: now + st, kind: 2, client: msg.client, access: msg.access, node: v})
+		busyTime[v] += svc
+		if msg.slot >= 0 {
+			if st := states[[2]int{msg.client, msg.access}]; st != nil && st.tr != nil {
+				p := &st.tr.Probes[msg.slot]
+				p.QueueWait = now - msg.arrivedAt
+				p.Service = svc
+			}
+		}
+		push(queueEvent{at: now + svc, kind: 2, client: msg.client, access: msg.access, node: v, slot: msg.slot})
 	}
 
 	sp := obs.Start("netsim.queueing")
@@ -185,6 +214,17 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 	for h.Len() > 0 {
 		e := heap.Pop(h).(queueEvent)
 		events++
+		if ts != nil {
+			ts.advance(e.at, func(at float64, s *TSample) {
+				s.InFlight = len(states)
+				s.Accesses = stats.Accesses
+				s.NodeHits = append([]int64(nil), nodeHits...)
+				s.QueueDepth = make([]int, n)
+				for v := range queues {
+					s.QueueDepth[v] = len(queues[v])
+				}
+			})
+		}
 		if e.at > stats.Clock {
 			stats.Clock = e.at
 		}
@@ -193,15 +233,31 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 			qi := sampleQuorum()
 			row := ins.M.Row(e.client)
 			q := ins.Sys.Quorum(qi)
-			states[[2]int{e.client, e.access}] = &accessState{remaining: len(q), issuedAt: e.at}
-			for _, u := range q {
+			st := &accessState{remaining: len(q), issuedAt: e.at}
+			if rec != nil && rec.shouldTrace() {
+				st.tr = &AccessTrace{Run: runID, Client: e.client, Quorum: qi, Start: e.at}
+				st.tr.Probes = make([]ProbeSpan, len(q))
+			}
+			states[[2]int{e.client, e.access}] = st
+			for slot, u := range q {
 				node := cfg.Placement.Node(u)
-				push(queueEvent{at: e.at + row[node], kind: 1, client: e.client, access: e.access, node: node})
+				msgSlot := -1
+				if st.tr != nil {
+					msgSlot = slot
+					st.tr.Probes[slot] = ProbeSpan{
+						Member: u, Node: node, Dispatch: e.at,
+						NetDelay: row[node] + ins.M.D(node, e.client),
+					}
+				}
+				push(queueEvent{at: e.at + row[node], kind: 1, client: e.client, access: e.access, node: node, slot: msgSlot})
 			}
 		case 1: // message arrives at a node queue
 			queues[e.node] = append(queues[e.node], pendingMsg{
-				client: e.client, access: e.access, arrivedAt: e.at,
+				client: e.client, access: e.access, arrivedAt: e.at, slot: e.slot,
 			})
+			if nodeHits != nil {
+				nodeHits[e.node]++
+			}
 			if len(queues[e.node]) > maxNodeQueue {
 				maxNodeQueue = len(queues[e.node])
 			}
@@ -214,12 +270,22 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 			key := [2]int{e.client, e.access}
 			st := states[key]
 			st.remaining--
+			if st.tr != nil && e.slot >= 0 {
+				st.tr.Probes[e.slot].Complete = respAt
+			}
 			if respAt > st.lastResp {
 				st.lastResp = respAt
 			}
 			if st.remaining == 0 {
 				stats.Accesses++
 				latencySum += st.lastResp - st.issuedAt
+				if st.tr != nil {
+					st.tr.End = st.lastResp
+					st.tr.Latency = st.lastResp - st.issuedAt
+					markStraggler(st.tr)
+					rec.add(*st.tr)
+					traced++
+				}
 				delete(states, key)
 			}
 		}

@@ -1,0 +1,444 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTraceProbesMatchLatency pins the acceptance invariant: in parallel
+// mode the max probe completion equals the access's recorded latency; in
+// sequential mode the probes chain back-to-back and the last completion
+// does.
+func TestTraceProbesMatchLatency(t *testing.T) {
+	ins, p := buildInstance(t)
+	for _, mode := range []Mode{Parallel, Sequential} {
+		rec := NewRecorder(0, 1, 0)
+		stats, err := Run(Config{
+			Instance: ins, Placement: p, Mode: mode,
+			AccessesPerClient: 40, Seed: 3, Recorder: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := rec.Traces()
+		if len(traces) != stats.Accesses {
+			t.Fatalf("%v: traced %d of %d accesses at sample=1", mode, len(traces), stats.Accesses)
+		}
+		for _, tr := range traces {
+			var maxComplete float64
+			stragglers := 0
+			for _, pr := range tr.Probes {
+				if pr.Complete > maxComplete {
+					maxComplete = pr.Complete
+				}
+				if pr.Straggler {
+					stragglers++
+				}
+				if pr.Dispatch < tr.Start || pr.Complete > tr.End+1e-12 {
+					t.Fatalf("%v: probe [%v,%v] outside access [%v,%v]",
+						mode, pr.Dispatch, pr.Complete, tr.Start, tr.End)
+				}
+			}
+			if math.Abs(maxComplete-tr.Start-tr.Latency) > 1e-12 {
+				t.Fatalf("%v: max probe completion %v != start %v + latency %v",
+					mode, maxComplete, tr.Start, tr.Latency)
+			}
+			if math.Abs(tr.End-tr.Start-tr.Latency) > 1e-12 {
+				t.Fatalf("%v: end-start %v != latency %v", mode, tr.End-tr.Start, tr.Latency)
+			}
+			if stragglers != 1 {
+				t.Fatalf("%v: %d stragglers, want exactly 1", mode, stragglers)
+			}
+		}
+	}
+}
+
+// TestTraceSampling: 1-in-k sampling records every k-th access.
+func TestTraceSampling(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(0, 10, 0)
+	stats, err := Run(Config{
+		Instance: ins, Placement: p, Mode: Parallel,
+		AccessesPerClient: 50, Seed: 3, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((stats.Accesses + 9) / 10)
+	if rec.Recorded() != want {
+		t.Fatalf("sample=10 recorded %d of %d accesses, want %d", rec.Recorded(), stats.Accesses, want)
+	}
+}
+
+// TestTraceRingBounded: the ring keeps the newest traces, reports drops,
+// and returns them oldest-first.
+func TestTraceRingBounded(t *testing.T) {
+	rec := NewRecorder(8, 1, 0)
+	for i := 0; i < 20; i++ {
+		rec.add(AccessTrace{Client: i})
+	}
+	if rec.Recorded() != 20 {
+		t.Fatalf("Recorded = %d, want 20", rec.Recorded())
+	}
+	if rec.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", rec.Dropped())
+	}
+	traces := rec.Traces()
+	if len(traces) != 8 {
+		t.Fatalf("retained %d traces, want 8", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.Client != 12+i || tr.ID != int64(12+i) {
+			t.Fatalf("trace %d = client %d id %d, want client/id %d (oldest-first)", i, tr.Client, tr.ID, 12+i)
+		}
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from parallel simulation runs
+// while snapshotting concurrently; run with -race.
+func TestRecorderConcurrent(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(256, 2, 0.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			if _, err := Run(Config{
+				Instance: ins, Placement: p, Mode: Parallel,
+				AccessesPerClient: 30, InterAccessTime: 1, Seed: seed, Recorder: rec,
+			}); err != nil {
+				t.Error(err)
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			rec.Traces()
+			rec.Series()
+			rec.Breakdown()
+			rec.Recorded()
+			rec.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if rec.Recorded() == 0 {
+		t.Fatal("no traces recorded")
+	}
+	runs := map[int]bool{}
+	for _, tr := range rec.Traces() {
+		runs[tr.Run] = true
+	}
+	if len(runs) < 2 {
+		t.Fatalf("traces from %d runs retained, want several", len(runs))
+	}
+}
+
+// TestDefaultRecorder: runs without an explicit recorder fall back to the
+// installed default, and uninstalling stops recording.
+func TestDefaultRecorder(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(0, 1, 0)
+	SetDefaultRecorder(rec)
+	defer SetDefaultRecorder(nil)
+	if _, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recorded() == 0 {
+		t.Fatal("default recorder captured nothing")
+	}
+	n := rec.Recorded()
+	SetDefaultRecorder(nil)
+	if _, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recorded() != n {
+		t.Fatal("recorder still capturing after uninstall")
+	}
+}
+
+// TestTimeSeriesSamples: interval sampling emits monotonic virtual-time
+// samples with sane gauges.
+func TestTimeSeriesSamples(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(0, 1, 0.25)
+	stats, err := Run(Config{
+		Instance: ins, Placement: p, Mode: Parallel,
+		AccessesPerClient: 100, InterAccessTime: 0.5, Seed: 7, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := rec.Series()
+	if len(series) == 0 {
+		t.Fatal("no time-series samples")
+	}
+	prev := 0.0
+	for i, s := range series {
+		if s.At <= prev && i > 0 {
+			t.Fatalf("sample %d At %v not increasing (prev %v)", i, s.At, prev)
+		}
+		prev = s.At
+		if s.InFlight < 0 || s.Accesses < 0 || s.Accesses > stats.Accesses {
+			t.Fatalf("sample %d has bad gauges: %+v", i, s)
+		}
+		if len(s.NodeHits) != ins.M.N() {
+			t.Fatalf("sample %d NodeHits len %d, want %d", i, len(s.NodeHits), ins.M.N())
+		}
+	}
+	last := series[len(series)-1]
+	if last.Accesses == 0 {
+		t.Fatal("cumulative access gauge never advanced")
+	}
+}
+
+// TestQueueingTraceProbes: queueing probes decompose exactly into
+// propagation + queue wait + service, and the last response is the access
+// latency.
+func TestQueueingTraceProbes(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(0, 1, 1)
+	stats, err := RunQueueing(QueueConfig{
+		Instance: ins, Placement: p,
+		ArrivalRate: 0.2, ServiceMean: 0.5,
+		AccessesPerClient: 50, Seed: 5, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := rec.Traces()
+	if len(traces) != stats.Accesses {
+		t.Fatalf("traced %d of %d accesses", len(traces), stats.Accesses)
+	}
+	sawWait := false
+	for _, tr := range traces {
+		var last float64
+		for _, pr := range tr.Probes {
+			want := pr.Dispatch + pr.NetDelay + pr.QueueWait + pr.Service
+			if math.Abs(pr.Complete-want) > 1e-9 {
+				t.Fatalf("probe complete %v != dispatch+net+wait+service %v", pr.Complete, want)
+			}
+			if pr.QueueWait > 0 {
+				sawWait = true
+			}
+			if pr.Complete > last {
+				last = pr.Complete
+			}
+		}
+		if math.Abs(last-tr.End) > 1e-9 || math.Abs(tr.End-tr.Start-tr.Latency) > 1e-9 {
+			t.Fatalf("access end %v latency %v inconsistent with last response %v", tr.End, tr.Latency, last)
+		}
+	}
+	if !sawWait {
+		t.Fatal("no probe ever waited in queue under load")
+	}
+	sawDepth := false
+	for _, s := range rec.Series() {
+		if len(s.QueueDepth) != ins.M.N() {
+			t.Fatalf("queueing sample without per-node depths: %+v", s)
+		}
+		for _, d := range s.QueueDepth {
+			if d > 0 {
+				sawDepth = true
+			}
+		}
+	}
+	if !sawDepth {
+		t.Fatal("queue depth gauge never nonzero under load")
+	}
+}
+
+// TestFailureTraceAttempts: failure-sim traces record retries, failed
+// probes, and aborted accesses.
+func TestFailureTraceAttempts(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(0, 1, 0)
+	stats, err := RunWithFailures(FailureConfig{
+		Instance: ins, Placement: p, Mode: Parallel,
+		NodeFailureProb: 0.4, MaxRetries: 2, RetryPenalty: 1,
+		AccessesPerClient: 60, Seed: 9, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := rec.Traces()
+	if len(traces) != stats.Accesses {
+		t.Fatalf("traced %d of %d accesses", len(traces), stats.Accesses)
+	}
+	var retried, aborted, failedProbes int
+	for _, tr := range traces {
+		if tr.Attempts > 0 {
+			retried++
+		}
+		if tr.Aborted {
+			aborted++
+			if tr.Latency != float64(tr.Attempts-1)*1 {
+				t.Fatalf("aborted access latency %v, want %v penalties", tr.Latency, float64(tr.Attempts-1))
+			}
+		}
+		for _, pr := range tr.Probes {
+			if pr.Failed {
+				failedProbes++
+				if pr.Straggler {
+					t.Fatal("failed probe marked straggler")
+				}
+			}
+		}
+	}
+	if retried == 0 || failedProbes == 0 {
+		t.Fatalf("no retries (%d) or failed probes (%d) at p=0.4", retried, failedProbes)
+	}
+	if aborted != stats.FailedOutright {
+		t.Fatalf("aborted traces %d != FailedOutright %d", aborted, stats.FailedOutright)
+	}
+}
+
+// TestBreakdown: the plain-text table carries the per-node and per-quorum
+// sections and straggler percentages.
+func TestBreakdown(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(0, 1, 0)
+	if _, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: 50, Seed: 3, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Breakdown()
+	for _, want := range []string{"per-node probe latency", "per-quorum access latency", "straggler", "p99"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// goldenRun is the seeded 2-client configuration whose exported Chrome
+// trace is pinned byte-for-byte by testdata/chrometrace_golden.json.
+func goldenRun(t *testing.T) *Recorder {
+	t.Helper()
+	g := graph.Path(2)
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := quorum.Majority(2, 2)
+	ins, err := placement.NewInstance(m, []float64{1, 1}, sys, quorum.Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.NewPlacement([]int{0, 1})
+	rec := NewRecorder(0, 1, 0.4)
+	if _, err := Run(Config{
+		Instance: ins, Placement: p, Mode: Parallel,
+		AccessesPerClient: 3, InterAccessTime: 0.3, Seed: 42, Recorder: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestChromeTraceGolden pins the exported trace-event JSON of a seeded
+// 2-client run: it must be valid JSON in the Chrome trace-event shape and
+// byte-identical to the golden file (regenerate with go test -run
+// ChromeTraceGolden -update).
+func TestChromeTraceGolden(t *testing.T) {
+	rec := goldenRun(t)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural validity: the document parses and every event has a phase;
+	// X events have nonnegative durations.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("malformed document: unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	var spans, counters, metas int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 0 {
+				t.Fatalf("negative duration on %q", e.Name)
+			}
+		case "C":
+			counters++
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected phase %q on %q", e.Ph, e.Name)
+		}
+	}
+	if spans == 0 || counters == 0 || metas == 0 {
+		t.Fatalf("want spans, counters and metadata; got %d/%d/%d", spans, counters, metas)
+	}
+
+	golden := filepath.Join("testdata", "chrometrace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exported trace differs from golden (len %d vs %d); regenerate with -update if intended",
+			buf.Len(), len(want))
+	}
+}
+
+// TestPercentileCaching: repeated Percentile calls reuse the cached sorted
+// slice without disturbing the sample order Latencies reports, and the
+// cache refreshes when samples are appended.
+func TestPercentileCaching(t *testing.T) {
+	s := &Stats{latencies: []float64{4, 1, 3, 2}}
+	if got := s.Percentile(0.5); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	// Second call hits the cache and must agree.
+	if got := s.Percentile(0.5); got != 2.5 {
+		t.Fatalf("cached median = %v, want 2.5", got)
+	}
+	if got := s.Latencies(); got[0] != 4 {
+		t.Fatalf("Latencies reordered by Percentile: %v", got)
+	}
+	// Appending samples invalidates the cache.
+	s.latencies = append(s.latencies, 0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("min after append = %v, want 0", got)
+	}
+	if got := s.Percentile(1); got != 4 {
+		t.Fatalf("max after append = %v, want 4", got)
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestChromeTraceWrite(t *testing.T) {
+	tr := &ChromeTrace{}
+	tr.AddSpan("solve", "span", 1, 0, 0, 1500, map[string]int{"id": 1})
+	tr.AddCounter("depth", 1, 2, struct {
+		Value float64 `json:"value"`
+	}{3})
+	tr.NameProcess(1, "solver")
+	tr.NameThread(1, 0, "spans")
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 4 {
+		t.Fatalf("unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	// One event per line keeps goldens diffable.
+	if got := strings.Count(buf.String(), "\n"); got < 4 {
+		t.Fatalf("%d newlines, want one event per line:\n%s", got, buf.String())
+	}
+
+	// Writing twice is deterministic.
+	var buf2 bytes.Buffer
+	if err := tr.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("repeated Write not byte-identical")
+	}
+}
+
+func TestSnapshotAppendChromeTrace(t *testing.T) {
+	c := NewCollector()
+	outer := c.Start("solve")
+	c.Start("lp").End()
+	outer.End()
+
+	tr := &ChromeTrace{}
+	c.Snapshot().AppendChromeTrace(tr, 7)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.PID != 7 {
+			t.Fatalf("event %q on pid %d, want 7", e.Name, e.PID)
+		}
+		if e.Ph == "X" {
+			spans[e.Name] = true
+			if e.Dur < 0 {
+				t.Fatalf("negative duration on %q", e.Name)
+			}
+		}
+	}
+	if !spans["solve"] || !spans["lp"] {
+		t.Fatalf("span events missing: %v", spans)
+	}
+}
+
+// TestJSONLSinkConcurrent drives the streaming JSONL sink from parallel
+// span writers while snapshotting concurrently; run with -race. Every
+// emitted line must still be intact JSON.
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf lockedBuffer
+	jw := NewJSONLWriter(&buf)
+	c := NewCollector()
+	c.AddSink(jw)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := c.Start("worker")
+				c.Count("ops", 1)
+				sp.End()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			snap := c.Snapshot()
+			_ = snap.Summary()
+			var w bytes.Buffer
+			if err := snap.WriteJSONL(&w); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if jw.Err() != nil {
+		t.Fatal(jw.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("streamed %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("torn JSONL line %q: %v", line, err)
+		}
+	}
+	if got := c.Snapshot().Counter("ops"); got != 800 {
+		t.Fatalf("ops = %d, want 800", got)
+	}
+}
+
+// lockedBuffer makes bytes.Buffer safe for the sink's concurrent writes so
+// the race detector checks the sink, not the test fixture.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

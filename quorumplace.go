@@ -227,6 +227,40 @@ const (
 // RunSim executes a discrete-event simulation of quorum accesses.
 func RunSim(cfg SimConfig) (*SimStats, error) { return netsim.Run(cfg) }
 
+// --- access tracing ------------------------------------------------------------
+
+// SimRecorder captures per-access traces (one probe span per contacted
+// quorum member) and virtual-time time-series samples from simulation runs
+// into a bounded ring buffer; attach one via SimConfig.Recorder or install
+// a process-wide default with SetDefaultSimRecorder.
+type SimRecorder = netsim.Recorder
+
+// SimAccessTrace is one traced quorum access.
+type SimAccessTrace = netsim.AccessTrace
+
+// SimProbeSpan is one quorum-member contact within a traced access.
+type SimProbeSpan = netsim.ProbeSpan
+
+// SimTimeSample is one time-series snapshot of simulator gauges.
+type SimTimeSample = netsim.TSample
+
+// NewSimRecorder returns a recorder holding up to capacity traces (≤0 for
+// the default 4096), tracing every sampleEvery-th access (≤1 for all), and
+// sampling gauges every tsInterval virtual-time units (≤0 disables).
+func NewSimRecorder(capacity, sampleEvery int, tsInterval float64) *SimRecorder {
+	return netsim.NewRecorder(capacity, sampleEvery, tsInterval)
+}
+
+// SetDefaultSimRecorder installs r as the recorder used by simulation runs
+// that do not attach one explicitly (nil uninstalls), letting tracing reach
+// simulations buried in call stacks such as the experiment suite.
+func SetDefaultSimRecorder(r *SimRecorder) { netsim.SetDefaultRecorder(r) }
+
+// ChromeTrace accumulates events in the Chrome trace-event format that
+// Perfetto (ui.perfetto.dev) and chrome://tracing load; recorder contents
+// and telemetry snapshots can be appended into one file.
+type ChromeTrace = obs.ChromeTrace
+
 // --- availability & resilience -------------------------------------------------
 
 // Quorum-system quality measures (element-level, Naor–Wool): exact and
