@@ -532,23 +532,53 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
-// BenchmarkParallelQPP compares the sequential and parallel QPP solvers.
+// BenchmarkParallelQPP measures the parallel scaling of the QPP reduction
+// on the E7 broom family at k = 5 (a single quorum over all n = k²+1 nodes,
+// so every per-source SSQPP solve carries a real LP). All sub-benchmarks
+// solve the identical instance with a fixed worker count; the ratio of
+// workers=1 to workers=4 ns/op is the parallel speedup and is gated by
+// `benchdiff -speedup` in CI. Worker counts beyond GOMAXPROCS only
+// interleave, so compare sub-benchmarks under `-cpu N` pinning (or on a
+// machine) with at least as many cores as workers; scripts/bench.sh records
+// the run's GOMAXPROCS in the snapshot for exactly this reason.
 func BenchmarkParallelQPP(b *testing.B) {
-	ins := benchInstance(b, 8, Grid(2))
-	b.Run("sequential", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := SolveQPP(ins, 2); err != nil {
-				b.Fatal(err)
+	g := Broom(5)
+	n := g.N()
+	m, err := NewMetricFromGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	sys, err := NewSystem("single", n, [][]int{all})
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 1
+	}
+	ins, err := NewInstance(m, caps, sys, Uniform(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the instance's LP model-skeleton cache so every timed iteration
+	// measures steady state; otherwise allocs/op depends on how many
+	// iterations the benchtime amortizes the one-time build over.
+	if _, err := SolveQPPParallel(ins, 2, 1); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveQPPParallel(ins, 2, w); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("parallel", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := SolveQPPParallel(ins, 2, 0); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkMigration measures the GAP-based migration planner.

@@ -13,6 +13,15 @@
 // machines (e.g. a committed snapshot vs a CI runner) pass -ignore-ns and
 // let the machine-independent allocs/op carry the gate.
 //
+// A second mode, -speedup, gates a ratio between two benchmarks of the
+// SAME snapshot — e.g. the parallel-QPP scaling, where workers=1 vs
+// workers=4 of one run must differ by at least the stated factor. Because
+// both numbers come from one machine and one run, the ratio is
+// machine-comparable even though the absolute ns/op are not. A speedup
+// gate that depends on core count pairs with -min-cpus: snapshots record
+// the GOMAXPROCS they ran under, and the gate is skipped (successfully)
+// when the recording machine had fewer cores than the gate needs.
+//
 // Usage:
 //
 //	benchdiff [flags] OLD.json NEW.json
@@ -21,6 +30,9 @@
 //	  -allocs-threshold 0   allocs/op tolerance (0 = exact)
 //	  -ignore-ns            skip ns/op comparison (cross-machine runs)
 //	  -require-all          fail when NEW lacks a benchmark OLD has
+//
+//	benchdiff -speedup SLOW:FAST:MINRATIO[,...] [-min-cpus N] SNAP.json
+//	  fails unless ns/op(SLOW) / ns/op(FAST) >= MINRATIO for every entry
 package main
 
 import (
@@ -43,11 +55,13 @@ func main() {
 	os.Exit(code)
 }
 
-// snapshot mirrors the JSON layout scripts/bench.sh writes.
+// snapshot mirrors the JSON layout scripts/bench.sh writes. MaxProcs is the
+// GOMAXPROCS of the recording run (0 in snapshots predating the field).
 type snapshot struct {
 	Date       string      `json:"date"`
 	Commit     string      `json:"commit"`
 	Benchtime  string      `json:"benchtime"`
+	MaxProcs   int         `json:"maxprocs"`
 	Benchmarks []benchLine `json:"benchmarks"`
 }
 
@@ -67,8 +81,17 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	allocsThreshold := fs.Float64("allocs-threshold", 0, "allocs/op tolerance as a fraction (0 = exact match)")
 	ignoreNS := fs.Bool("ignore-ns", false, "skip the ns/op comparison (for cross-machine snapshots)")
 	requireAll := fs.Bool("require-all", false, "fail when NEW lacks a benchmark present in OLD")
+	speedup := fs.String("speedup", "", "comma-separated SLOW:FAST:MINRATIO gates over one snapshot (ns/op ratio)")
+	minCPUs := fs.Int("min-cpus", 0, "with -speedup: pass trivially when the snapshot's maxprocs is below this")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *speedup != "" {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2, fmt.Errorf("-speedup wants exactly one snapshot file, got %d", fs.NArg())
+		}
+		return runSpeedup(*speedup, *minCPUs, fs.Arg(0), stdout)
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
@@ -147,6 +170,63 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	fmt.Fprintf(stdout, "benchdiff: %d compared, %d regressions, %d new\n",
 		len(keys), regressions, added)
 	if regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runSpeedup evaluates SLOW:FAST:MINRATIO gates against one snapshot. The
+// gate is skipped — counted as passing, with a note — when the snapshot
+// records fewer than minCPUs GOMAXPROCS, because a worker-scaling ratio is
+// meaningless on a machine that cannot run the workers in parallel.
+func runSpeedup(spec string, minCPUs int, path string, stdout io.Writer) (int, error) {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return 2, err
+	}
+	if minCPUs > 0 && snap.MaxProcs < minCPUs {
+		fmt.Fprintf(stdout, "benchdiff: %s recorded with maxprocs=%d < %d; speedup gate skipped\n",
+			path, snap.MaxProcs, minCPUs)
+		return 0, nil
+	}
+	// Accept either the bare benchmark name or the pkg/name key.
+	byName := map[string]benchLine{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+		byName[b.Pkg+"/"+b.Name] = b
+	}
+	failures := 0
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return 2, fmt.Errorf("bad -speedup entry %q (want SLOW:FAST:MINRATIO)", part)
+		}
+		minRatio, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || minRatio <= 0 {
+			return 2, fmt.Errorf("bad -speedup ratio %q", fields[2])
+		}
+		slow, ok := byName[fields[0]]
+		if !ok {
+			return 2, fmt.Errorf("%s: benchmark %q not in snapshot", path, fields[0])
+		}
+		fast, ok := byName[fields[1]]
+		if !ok {
+			return 2, fmt.Errorf("%s: benchmark %q not in snapshot", path, fields[1])
+		}
+		if fast.NsPerOp <= 0 {
+			return 2, fmt.Errorf("%s: benchmark %q has non-positive ns/op", path, fields[1])
+		}
+		ratio := slow.NsPerOp / fast.NsPerOp
+		if ratio < minRatio {
+			failures++
+			fmt.Fprintf(stdout, "REGRESS   %s / %s = %.2fx (want >= %.2fx)\n",
+				fields[0], fields[1], ratio, minRatio)
+		} else {
+			fmt.Fprintf(stdout, "ok        %s / %s = %.2fx (>= %.2fx)\n",
+				fields[0], fields[1], ratio, minRatio)
+		}
+	}
+	if failures > 0 {
 		return 1, nil
 	}
 	return 0, nil

@@ -10,8 +10,12 @@ import (
 )
 
 func writeSnap(t *testing.T, dir, name string, lines []benchLine) string {
+	return writeSnapProcs(t, dir, name, 8, lines)
+}
+
+func writeSnapProcs(t *testing.T, dir, name string, maxProcs int, lines []benchLine) string {
 	t.Helper()
-	s := snapshot{Date: "2026-08-06", Commit: "abc", Benchtime: "1x", Benchmarks: lines}
+	s := snapshot{Date: "2026-08-06", Commit: "abc", Benchtime: "1x", MaxProcs: maxProcs, Benchmarks: lines}
 	b, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
@@ -107,6 +111,76 @@ func TestMissingAndNew(t *testing.T) {
 	code, out = diff(t, "-require-all", old, now)
 	if code != 1 || !strings.Contains(out, "MISSING") {
 		t.Fatalf("-require-all did not gate, code %d:\n%s", code, out)
+	}
+}
+
+func TestSpeedupGate(t *testing.T) {
+	dir := t.TempDir()
+	snap := writeSnap(t, dir, "snap.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkParallelQPP/workers=1", NsPerOp: 1000},
+		{Pkg: "quorumplace", Name: "BenchmarkParallelQPP/workers=4", NsPerOp: 400},
+	})
+
+	// 1000/400 = 2.5x >= 1.8 passes.
+	code, out := diff(t, "-speedup", "BenchmarkParallelQPP/workers=1:BenchmarkParallelQPP/workers=4:1.8", snap)
+	if code != 0 || !strings.Contains(out, "2.50x") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+
+	// 2.5x < 3.0 fails.
+	code, out = diff(t, "-speedup", "BenchmarkParallelQPP/workers=1:BenchmarkParallelQPP/workers=4:3.0", snap)
+	if code != 1 || !strings.Contains(out, "REGRESS") {
+		t.Fatalf("unmet ratio did not gate, code %d:\n%s", code, out)
+	}
+
+	// pkg-qualified names resolve too.
+	code, _ = diff(t, "-speedup",
+		"quorumplace/BenchmarkParallelQPP/workers=1:quorumplace/BenchmarkParallelQPP/workers=4:1.8", snap)
+	if code != 0 {
+		t.Fatalf("pkg-qualified names rejected, code %d", code)
+	}
+}
+
+func TestSpeedupMinCPUsSkip(t *testing.T) {
+	dir := t.TempDir()
+	// Recorded on a 1-CPU box: workers can't overlap, so the ratio is ~1x.
+	snap := writeSnapProcs(t, dir, "snap.json", 1, []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkParallelQPP/workers=1", NsPerOp: 1000},
+		{Pkg: "quorumplace", Name: "BenchmarkParallelQPP/workers=4", NsPerOp: 1000},
+	})
+	code, out := diff(t, "-speedup", "BenchmarkParallelQPP/workers=1:BenchmarkParallelQPP/workers=4:1.8",
+		"-min-cpus", "4", snap)
+	if code != 0 || !strings.Contains(out, "skipped") {
+		t.Fatalf("1-CPU snapshot not skipped, code %d:\n%s", code, out)
+	}
+	// Without -min-cpus the flat ratio fails.
+	code, _ = diff(t, "-speedup", "BenchmarkParallelQPP/workers=1:BenchmarkParallelQPP/workers=4:1.8", snap)
+	if code != 1 {
+		t.Fatalf("flat ratio passed without -min-cpus, code %d", code)
+	}
+}
+
+func TestSpeedupBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	snap := writeSnap(t, dir, "snap.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 100},
+	})
+	var out bytes.Buffer
+	// Malformed spec.
+	if code, err := run([]string{"-speedup", "onlyonefield", snap}, &out, &out); err == nil || code != 2 {
+		t.Fatalf("bad spec accepted (code %d, err %v)", code, err)
+	}
+	// Unknown benchmark.
+	if code, err := run([]string{"-speedup", "BenchmarkNope:BenchmarkA:2", snap}, &out, &out); err == nil || code != 2 {
+		t.Fatalf("unknown benchmark accepted (code %d, err %v)", code, err)
+	}
+	// Non-positive ratio.
+	if code, err := run([]string{"-speedup", "BenchmarkA:BenchmarkA:0", snap}, &out, &out); err == nil || code != 2 {
+		t.Fatalf("zero ratio accepted (code %d, err %v)", code, err)
+	}
+	// Two snapshot args in speedup mode.
+	if code, err := run([]string{"-speedup", "BenchmarkA:BenchmarkA:1", snap, snap}, &out, &out); err == nil || code != 2 {
+		t.Fatalf("two args accepted in -speedup mode (code %d, err %v)", code, err)
 	}
 }
 

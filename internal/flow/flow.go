@@ -8,6 +8,11 @@
 // shortest path algorithm with Johnson potentials, which handles negative
 // edge costs (as long as the initial network has no negative cycles, which
 // bipartite assignment networks never do).
+//
+// Callers that solve many small networks in a row (the per-source SSQPP
+// roundings of the QPP reduction) hold a Workspace, mirroring lp.Workspace:
+// every arc array and solver scratch slice is recycled across solves, so the
+// steady-state path performs no network allocations at all.
 package flow
 
 import (
@@ -17,8 +22,57 @@ import (
 	"quorumplace/internal/obs"
 )
 
+// Workspace owns every buffer a network build and a min-cost-flow solve
+// need: the arc arrays of the network under construction and the
+// dist/parent/potential/heap scratch of the successive-shortest-path loop.
+// Reusing one workspace across solves eliminates the per-solve allocations.
+// A Workspace is not safe for concurrent use; give each worker its own.
+type Workspace struct {
+	nw Network // network storage recycled by NewNetwork
+
+	dist  []float64
+	inArc []int
+	pot   []float64
+	hNode []int
+	hDist []float64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// NewNetwork returns an empty network on n nodes whose arc storage reuses
+// the workspace's buffers. The returned network is only valid until the next
+// NewNetwork call on the same workspace.
+func (ws *Workspace) NewNetwork(n int) *Network {
+	nw := &ws.nw
+	if cap(nw.head) < n {
+		nw.head = make([]int, n)
+	}
+	nw.head = nw.head[:n]
+	for i := range nw.head {
+		nw.head[i] = -1
+	}
+	nw.n = n
+	nw.next = nw.next[:0]
+	nw.to = nw.to[:0]
+	nw.cap = nw.cap[:0]
+	nw.cost = nw.cost[:0]
+	nw.edges = nw.edges[:0]
+	nw.ws = ws
+	return nw
+}
+
+// grow returns s resized to n, reusing its backing array when possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Network is a directed flow network on nodes 0..n-1 built incrementally
-// with AddEdge. Create one with NewNetwork.
+// with AddEdge. Create one with NewNetwork, or with Workspace.NewNetwork to
+// reuse the arc storage of previous solves.
 type Network struct {
 	n     int
 	head  []int   // head[v] = first arc index of v, -1 if none
@@ -27,9 +81,11 @@ type Network struct {
 	cap   []int64 // residual capacity
 	cost  []float64
 	edges []int // indices of the original (non-reverse) arcs, in AddEdge order
+
+	ws *Workspace // scratch owner; nil for standalone networks
 }
 
-// NewNetwork returns an empty network on n nodes.
+// NewNetwork returns an empty standalone network on n nodes.
 func NewNetwork(n int) *Network {
 	h := make([]int, n)
 	for i := range h {
@@ -74,20 +130,52 @@ type Result struct {
 	Cost float64
 }
 
+// hasNegativeCost reports whether any positive-capacity arc carries a
+// negative cost. Reverse arcs start with zero capacity, so a network built
+// from non-negative edges (every GAP slot graph: distances are ≥ 0) passes
+// this check and the Bellman–Ford potential bootstrap can be skipped — the
+// all-zero potential already makes every reduced cost non-negative.
+func (nw *Network) hasNegativeCost() bool {
+	for a, c := range nw.cost {
+		if c < 0 && nw.cap[a] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // MinCostFlow pushes up to maxFlow units from s to t along successive
 // shortest (reduced-cost) paths, returning the total flow actually routed
 // and its cost. Pass math.MaxInt64 to compute a true min-cost max-flow.
 //
 // Costs may be negative on individual edges, but the network must not
-// contain a negative-cost cycle of positive capacity; the initial potentials
-// are computed with Bellman–Ford so negative edges are handled correctly.
+// contain a negative-cost cycle of positive capacity. The initial potentials
+// start at zero when every edge cost is non-negative (detected at entry) and
+// fall back to one Bellman–Ford pass otherwise, so negative edges are still
+// handled correctly.
+//
+// Networks created with Workspace.NewNetwork solve into the workspace's
+// scratch buffers; standalone networks allocate their own.
 func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
 		panic(fmt.Sprintf("flow: terminal out of range: s=%d t=%d n=%d", s, t, nw.n))
 	}
 	sp := obs.Start("flow.mincostflow")
 	defer sp.End()
-	pot := nw.bellmanFord(s)
+	ws := nw.ws
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.pot = grow(ws.pot, nw.n)
+	if nw.hasNegativeCost() {
+		nw.bellmanFord(s, ws.pot)
+		obs.Count("flow.bellman_ford_runs", 1)
+	} else {
+		for i := range ws.pot {
+			ws.pot[i] = 0
+		}
+	}
+	pot := ws.pot
 	var totalFlow int64
 	totalCost := 0.0
 	var augmentations, potentialUpdates int64
@@ -96,8 +184,10 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 		obs.Count("flow.potential_updates", potentialUpdates)
 		obs.Observe("flow.augmentations_per_run", float64(augmentations))
 	}()
-	dist := make([]float64, nw.n)
-	inArc := make([]int, nw.n)
+	ws.dist = grow(ws.dist, nw.n)
+	ws.inArc = grow(ws.inArc, nw.n)
+	dist, inArc := ws.dist, ws.inArc
+	h := pairHeap{node: ws.hNode[:0], dist: ws.hDist[:0]}
 	for totalFlow < maxFlow {
 		// Dijkstra on reduced costs.
 		for i := range dist {
@@ -105,7 +195,7 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 			inArc[i] = -1
 		}
 		dist[s] = 0
-		h := &pairHeap{}
+		h.node, h.dist = h.node[:0], h.dist[:0]
 		h.push(s, 0)
 		for h.len() > 0 {
 			u, du := h.pop()
@@ -158,25 +248,24 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 		totalFlow += push
 		augmentations++
 	}
+	// Return the (possibly grown) heap arrays to the workspace.
+	ws.hNode, ws.hDist = h.node, h.dist
 	return Result{Flow: totalFlow, Cost: totalCost}
 }
 
 // bellmanFord computes shortest path potentials from s over positive-capacity
-// arcs, tolerating negative costs. Unreachable nodes get potential 0, which
-// is safe because they can only become reachable after an augmentation that
-// passes through reachable nodes first.
-func (nw *Network) bellmanFord(s int) []float64 {
-	pot := make([]float64, nw.n)
-	reach := make([]bool, nw.n)
+// arcs into pot (length n), tolerating negative costs. Unreachable nodes get
+// potential 0, which is safe because they can only become reachable after an
+// augmentation that passes through reachable nodes first.
+func (nw *Network) bellmanFord(s int, pot []float64) {
 	for i := range pot {
 		pot[i] = math.Inf(1)
 	}
 	pot[s] = 0
-	reach[s] = true
 	for iter := 0; iter < nw.n; iter++ {
 		changed := false
 		for u := 0; u < nw.n; u++ {
-			if !reach[u] {
+			if math.IsInf(pot[u], 1) {
 				continue
 			}
 			for a := nw.head[u]; a >= 0; a = nw.next[a] {
@@ -186,7 +275,6 @@ func (nw *Network) bellmanFord(s int) []float64 {
 				v := nw.to[a]
 				if nd := pot[u] + nw.cost[a]; nd < pot[v]-1e-12 {
 					pot[v] = nd
-					reach[v] = true
 					changed = true
 				}
 			}
@@ -200,10 +288,10 @@ func (nw *Network) bellmanFord(s int) []float64 {
 			pot[i] = 0
 		}
 	}
-	return pot
 }
 
-// pairHeap is a tiny binary min-heap of (node, dist) pairs.
+// pairHeap is a tiny binary min-heap of (node, dist) pairs backed by
+// workspace slices.
 type pairHeap struct {
 	node []int
 	dist []float64
@@ -252,22 +340,28 @@ func (h *pairHeap) pop() (int, float64) {
 
 // Assign solves a min-cost bipartite assignment: left items 0..nl-1 must
 // each be matched to exactly one right item 0..nr-1; right item j can host
-// at most rightCap[j] left items; allowed[i][j] gives the cost of pairing i
+// at most rightCap[j] left items; costs[i][j] gives the cost of pairing i
 // with j, with NaN marking a forbidden pair. It returns match[i] = j for
 // every left item and the total cost, or an error if no complete assignment
 // exists.
 func Assign(costs [][]float64, rightCap []int64) ([]int, float64, error) {
-	sp := obs.Start("flow.assign")
-	defer sp.End()
+	return AssignWith(nil, costs, rightCap)
+}
+
+// AssignWith is Assign solving into ws (nil behaves like Assign); reuse one
+// workspace across calls to avoid reallocating the network and solver
+// scratch.
+func AssignWith(ws *Workspace, costs [][]float64, rightCap []int64) ([]int, float64, error) {
 	nl := len(costs)
 	nr := len(rightCap)
 	// Nodes: 0 = source, 1..nl = left, nl+1..nl+nr = right, nl+nr+1 = sink.
 	src, snk := 0, nl+nr+1
-	nw := NewNetwork(nl + nr + 2)
-	// Costs can be negative; shift is unnecessary because SSP with
-	// Bellman–Ford initial potentials handles them.
-	type pair struct{ i, j int }
-	handles := map[pair]int{}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	nw := ws.NewNetwork(nl + nr + 2)
+	// Costs can be negative; shift is unnecessary because SSP handles them
+	// via Bellman–Ford initial potentials.
 	for i := 0; i < nl; i++ {
 		if len(costs[i]) != nr {
 			return nil, 0, fmt.Errorf("flow: costs row %d has %d entries, want %d", i, len(costs[i]), nr)
@@ -275,30 +369,53 @@ func Assign(costs [][]float64, rightCap []int64) ([]int, float64, error) {
 		nw.AddEdge(src, 1+i, 1, 0)
 		for j := 0; j < nr; j++ {
 			if !math.IsNaN(costs[i][j]) {
-				handles[pair{i, j}] = nw.AddEdge(1+i, 1+nl+j, 1, costs[i][j])
+				nw.AddEdge(1+i, 1+nl+j, 1, costs[i][j])
 			}
 		}
 	}
 	for j := 0; j < nr; j++ {
 		nw.AddEdge(1+nl+j, snk, rightCap[j], 0)
 	}
-	res := nw.MinCostFlow(src, snk, int64(nl))
-	if res.Flow != int64(nl) {
-		return nil, 0, fmt.Errorf("flow: assignment infeasible: matched %d of %d items", res.Flow, nl)
+	res, err := nw.SolveAssignment(src, snk, int64(nl))
+	if err != nil {
+		return nil, 0, err
 	}
 	match := make([]int, nl)
-	for i := range match {
-		match[i] = -1
-	}
-	for pr, h := range handles {
-		if nw.Flow(h) > 0 {
-			match[pr.i] = pr.j
-		}
-	}
-	for i, j := range match {
-		if j < 0 {
+	for i := 0; i < nl; i++ {
+		match[i] = nw.MatchedNeighbor(1 + i)
+		if match[i] < 0 {
 			return nil, 0, fmt.Errorf("flow: internal error: item %d unmatched after full flow", i)
 		}
+		match[i] -= 1 + nl
 	}
 	return match, res.Cost, nil
+}
+
+// SolveAssignment runs the min-cost flow of a bipartite assignment already
+// built on the network: exactly items unit-flow units must travel from src
+// to snk. It returns an error when fewer than items units fit. Callers that
+// construct assignment networks themselves (the GAP rounding) share this
+// entry point with AssignWith so both paths report the same telemetry span
+// and infeasibility error.
+func (nw *Network) SolveAssignment(src, snk int, items int64) (Result, error) {
+	sp := obs.Start("flow.assign")
+	defer sp.End()
+	res := nw.MinCostFlow(src, snk, items)
+	if res.Flow != items {
+		return res, fmt.Errorf("flow: assignment infeasible: matched %d of %d items", res.Flow, items)
+	}
+	return res, nil
+}
+
+// MatchedNeighbor returns the head of the first forward arc leaving node u
+// that carries positive flow, or -1 if none does. It lets assignment
+// extraction walk the adjacency lists directly instead of retaining
+// per-edge handles.
+func (nw *Network) MatchedNeighbor(u int) int {
+	for a := nw.head[u]; a >= 0; a = nw.next[a] {
+		if a&1 == 0 && nw.cap[a^1] > 0 { // forward arc with pushed flow
+			return nw.to[a]
+		}
+	}
+	return -1
 }

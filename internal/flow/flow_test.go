@@ -259,3 +259,149 @@ func TestFlowHandleTracksEdge(t *testing.T) {
 		t.Fatalf("flow=%d edgeFlow=%d, want 3, 3", res.Flow, nw.Flow(e))
 	}
 }
+
+// TestPotentialBootstrapBranches pins both initializations of the solve: an
+// all-non-negative network must skip Bellman–Ford (zero potentials), a
+// network with a negative edge must run it, and both must produce the same
+// optimum as each other on equivalent instances.
+func TestPotentialBootstrapBranches(t *testing.T) {
+	build := func(shift float64) *Network {
+		nw := NewNetwork(4)
+		nw.AddEdge(0, 1, 1, 1+shift)
+		nw.AddEdge(1, 3, 1, 0+shift)
+		nw.AddEdge(0, 2, 1, 10+shift)
+		nw.AddEdge(2, 3, 1, 0+shift)
+		return nw
+	}
+	nonneg := build(0)
+	if nonneg.hasNegativeCost() {
+		t.Fatal("non-negative network misdetected as negative")
+	}
+	neg := build(-2) // shifts two path edges below zero
+	if !neg.hasNegativeCost() {
+		t.Fatal("negative network not detected")
+	}
+	rn := nonneg.MinCostFlow(0, 3, math.MaxInt64)
+	rg := neg.MinCostFlow(0, 3, math.MaxInt64)
+	if rn.Flow != 2 || rg.Flow != 2 {
+		t.Fatalf("flows %d/%d, want 2/2", rn.Flow, rg.Flow)
+	}
+	// Each unit crosses two edges, so shifting all costs by -2 lowers the
+	// total cost by 2 edges x 2 units x 2 = 8.
+	if rn.Cost != 11 || rg.Cost != 11-8 {
+		t.Fatalf("costs %v/%v, want 11/3", rn.Cost, rg.Cost)
+	}
+}
+
+// TestZeroPotentialSkipMatchesBellmanFord cross-checks the bootstrap
+// detection on random all-non-negative networks: a zero-capacity
+// negative-cost arc must not trigger the Bellman–Ford branch, and its
+// presence must not change the optimum.
+func TestZeroPotentialSkipMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(5)
+		type edge struct {
+			u, v int
+			c    int64
+			cost float64
+		}
+		var edges []edge
+		for u := 0; u < n-1; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.6 {
+					edges = append(edges, edge{u, v, int64(1 + rng.Intn(3)), float64(rng.Intn(8))})
+				}
+			}
+		}
+		// Same network twice: once as-is (non-negative, zero-potential
+		// branch), once with one extra negative-cost detour edge that keeps
+		// the optimum (cost below any path it shortcuts is avoided by making
+		// it expensive in capacity 0). Use a parallel duplicate arc with
+		// negative cost and capacity 0: detection must ignore it.
+		a := NewNetwork(n)
+		b := NewNetwork(n)
+		for _, e := range edges {
+			a.AddEdge(e.u, e.v, e.c, e.cost)
+			b.AddEdge(e.u, e.v, e.c, e.cost)
+		}
+		b.AddEdge(0, n-1, 0, -100) // zero capacity: must not trigger Bellman-Ford
+		if b.hasNegativeCost() {
+			t.Fatalf("trial %d: zero-capacity negative arc triggered detection", trial)
+		}
+		ra := a.MinCostFlow(0, n-1, math.MaxInt64)
+		rb := b.MinCostFlow(0, n-1, math.MaxInt64)
+		if ra.Flow != rb.Flow || math.Abs(ra.Cost-rb.Cost) > 1e-9 {
+			t.Fatalf("trial %d: results differ: %+v vs %+v", trial, ra, rb)
+		}
+	}
+}
+
+// TestWorkspaceReuse solves many assignment instances through one workspace
+// and cross-checks every result against the standalone path.
+func TestWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	ws := NewWorkspace()
+	for trial := 0; trial < 40; trial++ {
+		nl := 1 + rng.Intn(6)
+		nr := 1 + rng.Intn(5)
+		costs := make([][]float64, nl)
+		for i := range costs {
+			costs[i] = make([]float64, nr)
+			for j := range costs[i] {
+				if rng.Float64() < 0.1 {
+					costs[i][j] = math.NaN()
+				} else {
+					costs[i][j] = math.Round(rng.Float64()*20 - 5)
+				}
+			}
+		}
+		caps := make([]int64, nr)
+		for j := range caps {
+			caps[j] = int64(1 + rng.Intn(3))
+		}
+		m1, c1, err1 := Assign(costs, caps)
+		m2, c2, err2 := AssignWith(ws, costs, caps)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: feasibility differs: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("trial %d: costs differ: %v vs %v", trial, c1, c2)
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("trial %d: matches differ: %v vs %v", trial, m1, m2)
+			}
+		}
+	}
+}
+
+// TestWorkspaceNetworkReuse pins that rebuilding a network on a workspace
+// reuses the arc storage (no per-solve growth after warm-up).
+func TestWorkspaceNetworkReuse(t *testing.T) {
+	ws := NewWorkspace()
+	build := func() *Network {
+		nw := ws.NewNetwork(4)
+		nw.AddEdge(0, 1, 1, 1)
+		nw.AddEdge(1, 3, 1, 0)
+		nw.AddEdge(0, 2, 1, 10)
+		nw.AddEdge(2, 3, 1, 0)
+		return nw
+	}
+	nw := build()
+	if res := nw.MinCostFlow(0, 3, math.MaxInt64); res.Flow != 2 || res.Cost != 11 {
+		t.Fatalf("first solve: %+v", res)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		nw := build()
+		if res := nw.MinCostFlow(0, 3, math.MaxInt64); res.Flow != 2 {
+			t.Fatal("bad flow")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm workspace solve allocates %v times per run, want 0", allocs)
+	}
+}

@@ -131,6 +131,30 @@ func SolveLP(ins *Instance) ([][]float64, float64, error) {
 // as zero during rounding (LP roundoff noise).
 const fracTol = 1e-9
 
+// Workspace carries the scratch of Round across calls: the slot-graph edge
+// buffers and the flow solver's network and scratch arrays. Reusing one
+// workspace makes the warm rounding path allocation-free except for the
+// returned assignment. A Workspace is not safe for concurrent use.
+type Workspace struct {
+	flow        *flow.Workspace
+	slotMachine []int       // slot index → machine
+	jobs        []int       // per-machine fractional job scratch
+	edges       []roundEdge // job×slot edges in generation order
+	sorted      []roundEdge // edges counting-sorted by job
+	jobStart    []int       // counting-sort offsets (len n+1)
+}
+
+// NewWorkspace returns an empty rounding workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{flow: flow.NewWorkspace()}
+}
+
+// roundEdge is one allowed job→slot pairing in the rounding graph.
+type roundEdge struct {
+	job, slot int
+	cost      float64
+}
+
 // Round applies the Shmoys–Tardos rounding (Theorem 3.11) to the fractional
 // solution y[machine][job]: each job j must have Σ_i y_ij ≈ 1. It returns
 // assign[job] = machine with:
@@ -142,8 +166,20 @@ const fracTol = 1e-9
 // Jobs are only ever assigned to machines they were fractionally assigned
 // to, which is what the SSQPP filtering argument (Lemma 3.9) relies on.
 func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
+	return RoundWith(nil, ins, y)
+}
+
+// RoundWith is Round solving against a reusable Workspace (nil behaves like
+// Round). Callers rounding many fractional solutions in a row — the
+// per-source SSQPP roundings of the QPP reduction — hold one workspace per
+// worker so the slot graph and the min-cost-flow scratch are recycled
+// instead of reallocated.
+func RoundWith(ws *Workspace, ins *Instance, y [][]float64) ([]int, float64, error) {
 	sp := obs.Start("gap.round")
 	defer sp.End()
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	if err := ins.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -182,35 +218,29 @@ func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
 	// solution as a fractional matching, so a min-cost integral matching
 	// costs no more; because slots are filled in load order, machine i
 	// receives at most one job "extra" beyond its fractional load.
-	type slot struct {
-		machine int
-	}
-	var slots []slot
-	// edge costs: jobCost[j][s] for slot s, NaN if job j not in slot s.
-	edges := make([]map[int]float64, n)
-	for j := range edges {
-		edges[j] = make(map[int]float64)
-	}
+	slotMachine := ws.slotMachine[:0]
+	edges := ws.edges[:0]
 	for i := 0; i < m; i++ {
-		jobs := make([]int, 0, n)
+		jobs := ws.jobs[:0]
 		for j := 0; j < n; j++ {
 			if y[i][j] > fracTol {
 				jobs = append(jobs, j)
 			}
 		}
 		if len(jobs) == 0 {
+			ws.jobs = jobs
 			continue
 		}
 		sort.SliceStable(jobs, func(a, b int) bool {
 			return ins.Load[i][jobs[a]] > ins.Load[i][jobs[b]]
 		})
-		cur := len(slots)
-		slots = append(slots, slot{machine: i})
+		cur := len(slotMachine)
+		slotMachine = append(slotMachine, i)
 		room := 1.0
 		for _, j := range jobs {
 			rem := y[i][j]
 			for rem > fracTol {
-				edges[j][cur] = ins.Cost[i][j]
+				edges = append(edges, roundEdge{job: j, slot: cur, cost: ins.Cost[i][j]})
 				if rem <= room+fracTol {
 					room -= rem
 					rem = 0
@@ -219,38 +249,76 @@ func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
 					room = 0
 				}
 				if room <= fracTol && rem > fracTol {
-					cur = len(slots)
-					slots = append(slots, slot{machine: i})
+					cur = len(slotMachine)
+					slotMachine = append(slotMachine, i)
 					room = 1.0
 				}
 			}
 		}
+		ws.jobs = jobs
 	}
+	ws.slotMachine, ws.edges = slotMachine, edges
+	ns := len(slotMachine)
+	obs.Count("gap.slots", int64(ns))
 
-	costs := make([][]float64, n)
+	// Counting-sort the edges by job (stable, so each job's slots stay in
+	// increasing order), giving the same arc insertion order as the dense
+	// job-major assignment matrix the rounding used to build — the min-cost
+	// matching, and hence tie-breaking among equal-cost optima, is
+	// bit-identical to the dense path while touching only the real edges.
+	if cap(ws.jobStart) < n+1 {
+		ws.jobStart = make([]int, n+1)
+	}
+	jobStart := ws.jobStart[:n+1]
+	for j := range jobStart {
+		jobStart[j] = 0
+	}
+	for _, e := range edges {
+		jobStart[e.job+1]++
+	}
+	for j := 1; j <= n; j++ {
+		jobStart[j] += jobStart[j-1]
+	}
+	if cap(ws.sorted) < len(edges) {
+		ws.sorted = make([]roundEdge, len(edges))
+	}
+	sorted := ws.sorted[:len(edges)]
+	next := jobStart[:n] // consumed as write cursors; restored below
+	for _, e := range edges {
+		sorted[next[e.job]] = e
+		next[e.job]++
+	}
+	// next[j] now equals the start of job j+1's run; sorted[start:next[j]]
+	// with start = 0 for j = 0 and next[j-1] otherwise spans job j's edges.
+
+	// Build the assignment network directly: 0 = source, 1..n = jobs,
+	// n+1..n+ns = slots, n+ns+1 = sink; every slot holds one job.
+	src, snk := 0, n+ns+1
+	nw := ws.flow.NewNetwork(n + ns + 2)
+	start := 0
 	for j := 0; j < n; j++ {
-		costs[j] = make([]float64, len(slots))
-		for s := range costs[j] {
-			costs[j][s] = math.NaN()
+		nw.AddEdge(src, 1+j, 1, 0)
+		for _, e := range sorted[start:next[j]] {
+			nw.AddEdge(1+j, 1+n+e.slot, 1, e.cost)
 		}
-		for s, c := range edges[j] {
-			costs[j][s] = c
-		}
+		start = next[j]
 	}
-	caps := make([]int64, len(slots))
-	for s := range caps {
-		caps[s] = 1
+	for s := 0; s < ns; s++ {
+		nw.AddEdge(1+n+s, snk, 1, 0)
 	}
-	obs.Count("gap.slots", int64(len(slots)))
-	match, cost, err := flow.Assign(costs, caps)
+	res, err := nw.SolveAssignment(src, snk, int64(n))
 	if err != nil {
 		return nil, 0, fmt.Errorf("gap: rounding matching failed: %w", err)
 	}
 	assign := make([]int, n)
-	for j, s := range match {
-		assign[j] = slots[s].machine
+	for j := 0; j < n; j++ {
+		s := nw.MatchedNeighbor(1 + j)
+		if s < 0 {
+			return nil, 0, fmt.Errorf("gap: internal error: job %d unmatched after full flow", j)
+		}
+		assign[j] = slotMachine[s-1-n]
 	}
-	return assign, cost, nil
+	return assign, res.Cost, nil
 }
 
 // Solve runs SolveLP followed by Round, returning the integral assignment,

@@ -137,16 +137,18 @@ func (g *Graph) ShortestPathsFrom(src int) []float64 {
 
 // Metric is a finite metric space on points 0..n-1, typically the
 // shortest-path closure of a Graph. Distances are symmetric with zero
-// diagonal and satisfy the triangle inequality.
+// diagonal and satisfy the triangle inequality. The n×n matrix is stored
+// row-major in one backing slice: one allocation, cache-contiguous row
+// scans, and Row views carved by re-slicing.
 type Metric struct {
 	n int
-	d [][]float64
+	d []float64 // row-major, d[u*n+v] = d(u, v)
 }
 
 // NewMetricFromGraph computes the all-pairs shortest-path metric of g.
 // It returns ErrDisconnected if any pair of vertices is unreachable.
 func NewMetricFromGraph(g *Graph) (*Metric, error) {
-	d := make([][]float64, g.n)
+	d := make([]float64, g.n*g.n)
 	for v := 0; v < g.n; v++ {
 		row := g.ShortestPathsFrom(v)
 		for _, x := range row {
@@ -154,7 +156,7 @@ func NewMetricFromGraph(g *Graph) (*Metric, error) {
 				return nil, ErrDisconnected
 			}
 		}
-		d[v] = row
+		copy(d[v*g.n:(v+1)*g.n], row)
 	}
 	return &Metric{n: g.n, d: d}, nil
 }
@@ -164,14 +166,14 @@ func NewMetricFromGraph(g *Graph) (*Metric, error) {
 // inequality. The matrix is copied.
 func NewMetricFromMatrix(d [][]float64) (*Metric, error) {
 	n := len(d)
-	cp := make([][]float64, n)
+	flat := make([]float64, n*n)
 	for i := range d {
 		if len(d[i]) != n {
 			return nil, fmt.Errorf("graph: distance matrix row %d has length %d, want %d", i, len(d[i]), n)
 		}
-		cp[i] = append([]float64(nil), d[i]...)
+		copy(flat[i*n:(i+1)*n], d[i])
 	}
-	m := &Metric{n: n, d: cp}
+	m := &Metric{n: n, d: flat}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -186,24 +188,24 @@ const metricTol = 1e-9
 // first violation found.
 func (m *Metric) Validate() error {
 	for i := 0; i < m.n; i++ {
-		if m.d[i][i] != 0 {
-			return fmt.Errorf("graph: d(%d,%d) = %v, want 0", i, i, m.d[i][i])
+		if m.D(i, i) != 0 {
+			return fmt.Errorf("graph: d(%d,%d) = %v, want 0", i, i, m.D(i, i))
 		}
 		for j := 0; j < m.n; j++ {
-			if m.d[i][j] < 0 || math.IsNaN(m.d[i][j]) || math.IsInf(m.d[i][j], 0) {
-				return fmt.Errorf("graph: d(%d,%d) = %v is not a finite non-negative value", i, j, m.d[i][j])
+			if m.D(i, j) < 0 || math.IsNaN(m.D(i, j)) || math.IsInf(m.D(i, j), 0) {
+				return fmt.Errorf("graph: d(%d,%d) = %v is not a finite non-negative value", i, j, m.D(i, j))
 			}
-			if math.Abs(m.d[i][j]-m.d[j][i]) > metricTol*(1+math.Abs(m.d[i][j])) {
-				return fmt.Errorf("graph: asymmetric distances d(%d,%d)=%v, d(%d,%d)=%v", i, j, m.d[i][j], j, i, m.d[j][i])
+			if math.Abs(m.D(i, j)-m.D(j, i)) > metricTol*(1+math.Abs(m.D(i, j))) {
+				return fmt.Errorf("graph: asymmetric distances d(%d,%d)=%v, d(%d,%d)=%v", i, j, m.D(i, j), j, i, m.D(j, i))
 			}
 		}
 	}
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
 			for k := 0; k < m.n; k++ {
-				if m.d[i][j] > m.d[i][k]+m.d[k][j]+metricTol*(1+m.d[i][j]) {
+				if m.D(i, j) > m.D(i, k)+m.D(k, j)+metricTol*(1+m.D(i, j)) {
 					return fmt.Errorf("graph: triangle inequality violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
-						i, j, m.d[i][j], i, k, k, j, m.d[i][k]+m.d[k][j])
+						i, j, m.D(i, j), i, k, k, j, m.D(i, k)+m.D(k, j))
 				}
 			}
 		}
@@ -215,19 +217,26 @@ func (m *Metric) Validate() error {
 func (m *Metric) N() int { return m.n }
 
 // D returns the distance between points u and v.
-func (m *Metric) D(u, v int) float64 { return m.d[u][v] }
+func (m *Metric) D(u, v int) float64 { return m.d[u*m.n+v] }
 
-// Row returns the distances from src to every point. The returned slice is
-// owned by the metric and must not be modified.
-func (m *Metric) Row(src int) []float64 { return m.d[src] }
+// Row returns the distances from src to every point as a view into the
+// metric's backing storage. The returned slice is owned by the metric and
+// must not be modified (the full-slice expression keeps appends from
+// spilling into the next row).
+func (m *Metric) Row(src int) []float64 {
+	lo, hi := src*m.n, (src+1)*m.n
+	return m.d[lo:hi:hi]
+}
 
 // AvgDistTo returns the average distance from all points to v, the quantity
 // Avg_{v'∈V} d(v', v) used by the total-delay reduction (§5) and by
-// Lemma 3.1's relay analysis.
+// Lemma 3.1's relay analysis. It strides down column v rather than scanning
+// row v: the two differ only by float rounding of symmetric Dijkstra runs,
+// but downstream tie-breaking pins the exact column values.
 func (m *Metric) AvgDistTo(v int) float64 {
 	sum := 0.0
 	for u := 0; u < m.n; u++ {
-		sum += m.d[u][v]
+		sum += m.d[u*m.n+v]
 	}
 	return sum / float64(m.n)
 }
@@ -252,7 +261,7 @@ func (m *Metric) NodesByDistance(src int) []int {
 	for i := range order {
 		order[i] = i
 	}
-	row := m.d[src]
+	row := m.Row(src)
 	sort.SliceStable(order, func(a, b int) bool {
 		if row[order[a]] != row[order[b]] {
 			return row[order[a]] < row[order[b]]
@@ -267,8 +276,8 @@ func (m *Metric) Diameter() float64 {
 	max := 0.0
 	for i := 0; i < m.n; i++ {
 		for j := i + 1; j < m.n; j++ {
-			if m.d[i][j] > max {
-				max = m.d[i][j]
+			if d := m.D(i, j); d > max {
+				max = d
 			}
 		}
 	}

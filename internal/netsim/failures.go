@@ -130,6 +130,7 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 			var tr *AccessTrace
 			if rec != nil && rec.shouldTrace() {
 				tr = &AccessTrace{Run: runID, Client: v, Mode: cfg.Mode, Start: clock}
+				tr.Probes = rec.getProbes(0)
 			}
 			penalty := 0.0
 			success := false

@@ -263,6 +263,7 @@ func Run(cfg Config) (*Stats, error) {
 		var tr *AccessTrace
 		if rec != nil && rec.shouldTrace() {
 			tr = &AccessTrace{Run: runID, Client: v, Quorum: qi, Mode: cfg.Mode, Start: e.at}
+			tr.Probes = rec.getProbes(len(ins.Sys.Quorum(qi)))[:0]
 		}
 		row := ins.M.Row(v)
 		var latency float64

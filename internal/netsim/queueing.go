@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -18,6 +17,13 @@ import (
 // completes when the last response returns. It demonstrates *why* the
 // capacity constraints matter: placements that violate capacities see
 // queueing delay blow up even though their propagation delay is optimal.
+//
+// The event loop is allocation-free once warm: events live in a value-typed
+// binary heap (no container/heap interface boxing), per-access bookkeeping
+// sits in one dense slice indexed by (client, access), and the per-node FIFO
+// queues are index-linked lists over one shared message arena with a free
+// list, so enqueue/dequeue recycle arena slots instead of growing and
+// re-slicing per-node slices.
 
 // QueueConfig describes a queueing simulation run.
 type QueueConfig struct {
@@ -61,30 +67,75 @@ type queueEvent struct {
 	slot int
 }
 
+// queueEventHeap is a value-typed binary min-heap ordered by (at, seq). The
+// explicit sift loops avoid container/heap's per-operation interface boxing
+// (two heap-escaping allocations per event), which dominated the simulator's
+// allocation profile.
 type queueEventHeap []queueEvent
 
-func (h queueEventHeap) Len() int { return len(h) }
-func (h queueEventHeap) Less(i, j int) bool {
+func (h queueEventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h queueEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *queueEventHeap) Push(x any)   { *h = append(*h, x.(queueEvent)) }
-func (h *queueEventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *queueEventHeap) push(e queueEvent) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
 }
 
-// pendingMsg is a message waiting in or being served by a node queue.
+func (h *queueEventHeap) pop() queueEvent {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && q.less(l, m) {
+			m = l
+		}
+		if r < last && q.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}
+
+// pendingMsg is a message waiting in or being served by a node queue. Slots
+// live in one shared arena; next links them into per-node FIFO lists and,
+// when free, into the arena's free list.
 type pendingMsg struct {
 	client, access int
 	arrivedAt      float64
 	slot           int // probe slot within the traced access, -1 when untraced
+	next           int // next message in the node FIFO / free list, -1 = none
+}
+
+// accessState tracks one in-flight access in the dense (client, access)
+// state table.
+type accessState struct {
+	remaining int
+	issuedAt  float64
+	lastResp  float64
+	tr        *AccessTrace // non-nil when this access is traced
 }
 
 // RunQueueing executes the queueing simulation.
@@ -135,14 +186,50 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		}
 	}
 
-	type accessState struct {
-		remaining int
-		issuedAt  float64
-		lastResp  float64
-		tr        *AccessTrace // non-nil when this access is traced
+	// Dense per-access state, indexed client*AccessesPerClient + access.
+	states := make([]accessState, n*cfg.AccessesPerClient)
+	inFlight := 0
+
+	// Per-node FIFO queues as index-linked lists over the msgs arena.
+	msgs := make([]pendingMsg, 0, 64)
+	freeMsg := -1
+	qHead := make([]int, n)
+	qTail := make([]int, n)
+	qLen := make([]int, n)
+	for v := 0; v < n; v++ {
+		qHead[v], qTail[v] = -1, -1
 	}
-	states := map[[2]int]*accessState{}
-	queues := make([][]pendingMsg, n)
+	allocMsg := func(m pendingMsg) int {
+		if i := freeMsg; i >= 0 {
+			freeMsg = msgs[i].next
+			msgs[i] = m
+			return i
+		}
+		msgs = append(msgs, m)
+		return len(msgs) - 1
+	}
+	enqueue := func(v int, m pendingMsg) {
+		m.next = -1
+		i := allocMsg(m)
+		if qTail[v] < 0 {
+			qHead[v] = i
+		} else {
+			msgs[qTail[v]].next = i
+		}
+		qTail[v] = i
+		qLen[v]++
+	}
+	dequeue := func(v int) {
+		i := qHead[v]
+		qHead[v] = msgs[i].next
+		if qHead[v] < 0 {
+			qTail[v] = -1
+		}
+		qLen[v]--
+		msgs[i].next = freeMsg
+		freeMsg = i
+	}
+
 	busy := make([]bool, n)
 	busyTime := make([]float64, n)
 
@@ -150,12 +237,12 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 	var latencySum, waitSum float64
 	var msgCount int
 
-	h := &queueEventHeap{}
+	h := make(queueEventHeap, 0, n*cfg.AccessesPerClient)
 	seq := 0
 	push := func(e queueEvent) {
 		e.seq = seq
 		seq++
-		heap.Push(h, e)
+		h.push(e)
 	}
 	// Schedule all access issue times up front (open loop).
 	for v := 0; v < n; v++ {
@@ -181,11 +268,11 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 	}
 
 	startService := func(v int, now float64) {
-		if busy[v] || len(queues[v]) == 0 {
+		if busy[v] || qLen[v] == 0 {
 			return
 		}
 		busy[v] = true
-		msg := queues[v][0]
+		msg := msgs[qHead[v]]
 		waitSum += now - msg.arrivedAt
 		msgCount++
 		svc := 0.0
@@ -194,7 +281,7 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		}
 		busyTime[v] += svc
 		if msg.slot >= 0 {
-			if st := states[[2]int{msg.client, msg.access}]; st != nil && st.tr != nil {
+			if st := &states[msg.client*cfg.AccessesPerClient+msg.access]; st.tr != nil {
 				p := &st.tr.Probes[msg.slot]
 				p.QueueWait = now - msg.arrivedAt
 				p.Service = svc
@@ -211,18 +298,15 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		obs.Count("netsim.events", events)
 		obs.GaugeMax("netsim.max_queue_depth", float64(maxNodeQueue))
 	}()
-	for h.Len() > 0 {
-		e := heap.Pop(h).(queueEvent)
+	for len(h) > 0 {
+		e := h.pop()
 		events++
 		if ts != nil {
 			ts.advance(e.at, func(at float64, s *TSample) {
-				s.InFlight = len(states)
+				s.InFlight = inFlight
 				s.Accesses = stats.Accesses
 				s.NodeHits = append([]int64(nil), nodeHits...)
-				s.QueueDepth = make([]int, n)
-				for v := range queues {
-					s.QueueDepth[v] = len(queues[v])
-				}
+				s.QueueDepth = append([]int(nil), qLen...)
 			})
 		}
 		if e.at > stats.Clock {
@@ -233,12 +317,14 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 			qi := sampleQuorum()
 			row := ins.M.Row(e.client)
 			q := ins.Sys.Quorum(qi)
-			st := &accessState{remaining: len(q), issuedAt: e.at}
+			st := &states[e.client*cfg.AccessesPerClient+e.access]
+			st.remaining = len(q)
+			st.issuedAt = e.at
+			inFlight++
 			if rec != nil && rec.shouldTrace() {
 				st.tr = &AccessTrace{Run: runID, Client: e.client, Quorum: qi, Start: e.at}
-				st.tr.Probes = make([]ProbeSpan, len(q))
+				st.tr.Probes = rec.getProbes(len(q))
 			}
-			states[[2]int{e.client, e.access}] = st
 			for slot, u := range q {
 				node := cfg.Placement.Node(u)
 				msgSlot := -1
@@ -252,23 +338,22 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 				push(queueEvent{at: e.at + row[node], kind: 1, client: e.client, access: e.access, node: node, slot: msgSlot})
 			}
 		case 1: // message arrives at a node queue
-			queues[e.node] = append(queues[e.node], pendingMsg{
+			enqueue(e.node, pendingMsg{
 				client: e.client, access: e.access, arrivedAt: e.at, slot: e.slot,
 			})
 			if nodeHits != nil {
 				nodeHits[e.node]++
 			}
-			if len(queues[e.node]) > maxNodeQueue {
-				maxNodeQueue = len(queues[e.node])
+			if qLen[e.node] > maxNodeQueue {
+				maxNodeQueue = qLen[e.node]
 			}
 			startService(e.node, e.at)
 		case 2: // service completes; response propagates back
-			queues[e.node] = queues[e.node][1:]
+			dequeue(e.node)
 			busy[e.node] = false
 			startService(e.node, e.at)
 			respAt := e.at + ins.M.D(e.node, e.client)
-			key := [2]int{e.client, e.access}
-			st := states[key]
+			st := &states[e.client*cfg.AccessesPerClient+e.access]
 			st.remaining--
 			if st.tr != nil && e.slot >= 0 {
 				st.tr.Probes[e.slot].Complete = respAt
@@ -285,8 +370,9 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 					markStraggler(st.tr)
 					rec.add(*st.tr)
 					traced++
+					st.tr = nil
 				}
-				delete(states, key)
+				inFlight--
 			}
 		}
 	}

@@ -82,6 +82,11 @@ type Recorder struct {
 	nextLabel string
 	labels    map[int]string
 	series    []TSample
+	// free recycles the Probes backing arrays of overwritten ring entries
+	// back to the simulators (getProbes), so a saturated ring stops
+	// allocating probe slices. Bounded: each overwrite donates one slice and
+	// each traced access consumes at most one.
+	free [][]ProbeSpan
 }
 
 // NewRecorder returns a Recorder holding up to capacity traces (≤ 0 means
@@ -138,7 +143,9 @@ func (r *Recorder) shouldTrace() bool {
 	return ok
 }
 
-// add records a completed trace into the ring, assigning its ID.
+// add records a completed trace into the ring, assigning its ID. When the
+// full ring overwrites an entry, the evicted trace's probe array goes back
+// to the free pool (safe because Traces deep-copies what it hands out).
 func (r *Recorder) add(tr AccessTrace) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -149,8 +156,32 @@ func (r *Recorder) add(tr AccessTrace) {
 		r.next = len(r.ring) % r.capacity
 		return
 	}
+	if old := r.ring[r.next].Probes; cap(old) > 0 {
+		r.free = append(r.free, old[:0])
+	}
 	r.ring[r.next] = tr
 	r.next = (r.next + 1) % r.capacity
+}
+
+// getProbes returns a zeroed ProbeSpan slice of length n, backed when
+// possible by memory recycled from overwritten ring entries. Simulators
+// call it instead of make for trace probe windows; slices flow back via add.
+func (r *Recorder) getProbes(n int) []ProbeSpan {
+	r.mu.Lock()
+	var s []ProbeSpan
+	if k := len(r.free); k > 0 {
+		s = r.free[k-1]
+		r.free = r.free[:k-1]
+	}
+	r.mu.Unlock()
+	if cap(s) < n {
+		return make([]ProbeSpan, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = ProbeSpan{}
+	}
+	return s
 }
 
 // addSample appends one time-series sample.
@@ -160,16 +191,23 @@ func (r *Recorder) addSample(s TSample) {
 	r.mu.Unlock()
 }
 
-// Traces returns the retained traces, oldest first.
+// Traces returns the retained traces, oldest first. Probe slices are deep
+// copies: the ring recycles its probe memory as new traces arrive, so the
+// returned traces must not alias it.
 func (r *Recorder) Traces() []AccessTrace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]AccessTrace, 0, len(r.ring))
 	if len(r.ring) < r.capacity {
-		return append(out, r.ring...)
+		out = append(out, r.ring...)
+	} else {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
 	}
-	out = append(out, r.ring[r.next:]...)
-	return append(out, r.ring[:r.next]...)
+	for i := range out {
+		out[i].Probes = append([]ProbeSpan(nil), out[i].Probes...)
+	}
+	return out
 }
 
 // Series returns a copy of the recorded time-series samples in order.

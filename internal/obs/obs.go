@@ -80,30 +80,44 @@ type hist struct {
 	samples  []float64
 }
 
+// counterCell is one counter's accumulator. Cells live in an immutable
+// name→cell map behind an atomic pointer, so the Count hot path is two
+// atomic loads, a map lookup and an atomic add — no collector mutex, and
+// therefore no cross-worker serialization when telemetry is on. The solver
+// call sites batch high-frequency events (pivots, augmentations) into one
+// Count per solve, so per-cell cache-line traffic stays negligible.
+type counterCell struct{ v atomic.Int64 }
+
 // Collector accumulates spans and metrics for one run. It is safe for
 // concurrent use. The zero value is not usable; create with NewCollector.
 type Collector struct {
 	epoch time.Time
 
-	mu       sync.Mutex
-	nextID   uint64
-	stack    []uint64 // open spans, innermost last
-	spans    []SpanRecord
-	counters map[string]int64
-	gauges   map[string]float64
-	hists    map[string]*hist
-	sinks    []Sink
+	mu     sync.Mutex
+	nextID uint64
+	stack  []uint64 // open spans, innermost last
+	spans  []SpanRecord
+	gauges map[string]float64
+	hists  map[string]*hist
+	sinks  []Sink
+
+	// counters is read lock-free; counterMu serializes only the
+	// clone-and-swap that registers a new counter name.
+	counterMu sync.Mutex
+	counters  atomic.Pointer[map[string]*counterCell]
 }
 
 // NewCollector returns an empty collector whose span clock starts now.
 func NewCollector() *Collector {
-	return &Collector{
-		epoch:    time.Now(),
-		nextID:   1,
-		counters: make(map[string]int64),
-		gauges:   make(map[string]float64),
-		hists:    make(map[string]*hist),
+	c := &Collector{
+		epoch:  time.Now(),
+		nextID: 1,
+		gauges: make(map[string]float64),
+		hists:  make(map[string]*hist),
 	}
+	empty := make(map[string]*counterCell)
+	c.counters.Store(&empty)
+	return c
 }
 
 // AddSink attaches a streaming sink that observes every span as it ends.
@@ -153,11 +167,27 @@ func (c *Collector) endSpan(s *Span, dur time.Duration) {
 	c.mu.Unlock()
 }
 
-// Count adds delta to a monotonic counter.
+// Count adds delta to a monotonic counter. Existing counters are bumped
+// lock-free; only the first use of a new name takes a (registration) lock.
 func (c *Collector) Count(name string, delta int64) {
-	c.mu.Lock()
-	c.counters[name] += delta
-	c.mu.Unlock()
+	if cell, ok := (*c.counters.Load())[name]; ok {
+		cell.v.Add(delta)
+		return
+	}
+	c.counterMu.Lock()
+	old := *c.counters.Load()
+	cell, ok := old[name]
+	if !ok {
+		next := make(map[string]*counterCell, len(old)+1)
+		for k, v := range old {
+			next[k] = v
+		}
+		cell = &counterCell{}
+		next[name] = cell
+		c.counters.Store(&next)
+	}
+	c.counterMu.Unlock()
+	cell.v.Add(delta)
 }
 
 // Gauge sets a gauge to its most recent value.
@@ -204,10 +234,13 @@ func (c *Collector) Observe(name string, v float64) {
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.spans = nil
-	c.counters = make(map[string]int64)
 	c.gauges = make(map[string]float64)
 	c.hists = make(map[string]*hist)
 	c.mu.Unlock()
+	c.counterMu.Lock()
+	empty := make(map[string]*counterCell)
+	c.counters.Store(&empty)
+	c.counterMu.Unlock()
 }
 
 // HistStats is the snapshot form of a histogram. Quantiles interpolate
@@ -231,18 +264,22 @@ type Snapshot struct {
 }
 
 // Snapshot returns a consistent copy of everything recorded so far.
+// Counter values are read with per-counter atomicity: a Count racing the
+// snapshot is either fully included or fully excluded, but two different
+// counters are not guaranteed to be cut at the same instant.
 func (c *Collector) Snapshot() *Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	cmap := *c.counters.Load()
 	snap := &Snapshot{
 		Duration:   time.Since(c.epoch),
 		Spans:      append([]SpanRecord(nil), c.spans...),
-		Counters:   make(map[string]int64, len(c.counters)),
+		Counters:   make(map[string]int64, len(cmap)),
 		Gauges:     make(map[string]float64, len(c.gauges)),
 		Histograms: make(map[string]HistStats, len(c.hists)),
 	}
-	for k, v := range c.counters {
-		snap.Counters[k] = v
+	for k, cell := range cmap {
+		snap.Counters[k] = cell.v.Load()
 	}
 	for k, v := range c.gauges {
 		snap.Gauges[k] = v

@@ -301,3 +301,62 @@ func BenchmarkEnabledCount(b *testing.B) {
 		Count("hot", 1)
 	}
 }
+
+// TestCountRegistrationRace hammers many counter names from many goroutines
+// so first-use registrations (the clone-and-swap of the counter map) race
+// with lock-free bumps of already-registered cells; every total must still
+// be exact.
+func TestCountRegistrationRace(t *testing.T) {
+	c := Enable(NewCollector())
+	defer Disable()
+	const goroutines, perName = 8, 500
+	names := []string{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perName; i++ {
+				// Rotate the starting name per goroutine so registrations
+				// of different names race each other, not just the bumps.
+				for k := range names {
+					Count(names[(g+k)%len(names)], 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	for _, n := range names {
+		if got := snap.Counter(n); got != goroutines*perName {
+			t.Fatalf("counter %q = %d, want %d", n, got, goroutines*perName)
+		}
+	}
+}
+
+// TestCountAfterReset checks that cells registered before a Reset do not
+// leak stale totals into counts recorded after it.
+func TestCountAfterReset(t *testing.T) {
+	c := Enable(NewCollector())
+	defer Disable()
+	Count("x", 5)
+	c.Reset()
+	Count("x", 2)
+	if got := c.Snapshot().Counter("x"); got != 2 {
+		t.Fatalf("counter after reset = %d, want 2", got)
+	}
+}
+
+// BenchmarkEnabledCountParallel measures cross-goroutine contention on one
+// hot counter with telemetry on: the lock-free cell keeps workers from
+// serializing on the collector mutex.
+func BenchmarkEnabledCountParallel(b *testing.B) {
+	Enable(NewCollector())
+	defer Disable()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			Count("hot", 1)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"quorumplace/internal/graph"
 	"quorumplace/internal/quorum"
@@ -51,9 +52,10 @@ type Instance struct {
 	// Lazily built SSQPP LP skeletons, one per distance-class count (see
 	// ssqppmodel.go). Builds depend only on construction-time state plus the
 	// class count, so the cache is shared by every source and every
-	// concurrent solve.
+	// concurrent solve. Readers load the immutable map through the atomic
+	// pointer without locking; writers clone-and-swap under modelMu.
 	modelMu sync.Mutex
-	models  map[int]*ssqppModel
+	models  atomic.Pointer[map[int]*ssqppModel]
 }
 
 // NewInstance validates the inputs and caches the element loads.

@@ -5,18 +5,83 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"quorumplace/internal/obs"
 )
 
 // The QPP reduction runs one independent SSQPP pipeline per candidate
 // source; the pipelines share nothing mutable beyond the instance's cached
-// LP skeletons, so they parallelize perfectly. solveQPP is the single
-// implementation behind SolveQPP (workers = 1, run inline) and
-// SolveQPPParallel (bounded worker pool): both record per-source outcomes
-// into a slice and reduce them with the same deterministic rule — best
-// average max-delay wins, ties broken by the smaller source id — so the
-// sequential and parallel solvers return identical results.
+// LP skeletons (read lock-free once pre-built), so they parallelize
+// perfectly. solveQPP is the single implementation behind SolveQPP
+// (workers = 1, run inline) and SolveQPPParallel (bounded worker pool).
+//
+// The parallel path is shaped to keep workers off shared state:
+//
+//  1. prebuild — every skeleton class count the sources induce is built
+//     up-front, so workers only ever take the lock-free read path of the
+//     model cache and never serialize on Instance.modelMu;
+//  2. fan-out — workers claim chunked index ranges off one atomic counter
+//     (no per-item channel handoff, no send/recv wakeup per source);
+//  3. reduce — each worker folds its sources into a private qppPartial
+//     (including the AvgMaxDelay evaluation of each candidate placement),
+//     and the partials are merged deterministically at the end.
+//
+// The reduction rule — best average max-delay wins, exact ties broken by
+// the smaller source id — is associative and commutative, so the merge
+// order cannot change the result and sequential and parallel solvers
+// return identical placements and bounds.
+
+// qppPartial folds per-source SSQPP outcomes. Its accumulate/merge rule
+// reproduces the sequential ascending-v0 scan exactly: strictly smaller
+// average wins, an equal average keeps the smaller source id, the relay
+// bound is a min, the LP bound a max, and the surviving error is the one
+// from the smallest failing source.
+type qppPartial struct {
+	res   *SSQPPResult
+	avg   float64
+	v0    int
+	relay float64
+	maxLP float64
+	err   error
+	errV0 int
+}
+
+func (p *qppPartial) init() { p.relay = math.Inf(1) }
+
+func (p *qppPartial) add(ins *Instance, alpha float64, v0 int, res *SSQPPResult, err error) {
+	if err != nil {
+		if p.err == nil || v0 < p.errV0 {
+			p.err, p.errV0 = err, v0
+		}
+		return
+	}
+	if relay := ins.AvgDistToNode(v0) + alpha/(alpha-1)*res.LPBound; relay < p.relay {
+		p.relay = relay
+	}
+	if res.LPBound > p.maxLP {
+		p.maxLP = res.LPBound
+	}
+	avg := ins.AvgMaxDelay(res.Placement)
+	if p.res == nil || avg < p.avg || (avg == p.avg && v0 < p.v0) {
+		p.res, p.avg, p.v0 = res, avg, v0
+	}
+}
+
+func (p *qppPartial) merge(q *qppPartial) {
+	if q.err != nil && (p.err == nil || q.errV0 < p.errV0) {
+		p.err, p.errV0 = q.err, q.errV0
+	}
+	if q.relay < p.relay {
+		p.relay = q.relay
+	}
+	if q.maxLP > p.maxLP {
+		p.maxLP = q.maxLP
+	}
+	if q.res != nil && (p.res == nil || q.avg < p.avg || (q.avg == p.avg && q.v0 < p.v0)) {
+		p.res, p.avg, p.v0 = q.res, q.avg, q.v0
+	}
+}
 
 // solveQPP fans the per-source SSQPP solves over the given number of
 // workers (1 = inline, no goroutines) and reduces the outcomes.
@@ -27,81 +92,69 @@ func solveQPP(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
 	}
 	obs.Count("placement.qpp_sources", int64(n))
 
-	type outcome struct {
-		res *SSQPPResult
-		avg float64
-		err error
-	}
-	outcomes := make([]outcome, n)
-	// Each worker owns one ssqppSolver: the skeleton builds are shared
-	// through the instance cache, while the re-costable clones and the LP
-	// workspace are reused across all sources the worker handles.
-	solveOne := func(sv *ssqppSolver, v0 int) {
-		res, err := sv.solve(v0, alpha)
-		if err != nil {
-			outcomes[v0] = outcome{err: err}
-			return
-		}
-		outcomes[v0] = outcome{res: res, avg: ins.AvgMaxDelay(res.Placement)}
-	}
+	var total qppPartial
+	total.init()
 	if workers <= 1 {
+		// Each solver owns re-costable skeleton clones, an LP workspace and
+		// a rounding-flow workspace, all reused across the sources it
+		// handles; only the skeleton builds are shared through the instance
+		// cache.
 		sv := newSSQPPSolver(ins)
 		for v0 := 0; v0 < n; v0++ {
-			solveOne(sv, v0)
+			res, err := sv.solve(v0, alpha)
+			total.add(ins, alpha, v0, res, err)
 		}
 	} else {
+		ins.prebuildSSQPPModels()
+		// Chunks of a few sources amortize the atomic claim without
+		// sacrificing balance: ~4 claims per worker keeps the tail short
+		// even when per-source solve times vary.
+		chunk := n / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		partials := make([]qppPartial, workers)
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		next := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(p *qppPartial) {
 				defer wg.Done()
+				p.init()
 				sv := newSSQPPSolver(ins)
-				for v0 := range next {
-					solveOne(sv, v0)
+				for {
+					lo := int(next.Add(int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					for v0 := lo; v0 < hi; v0++ {
+						res, err := sv.solve(v0, alpha)
+						p.add(ins, alpha, v0, res, err)
+					}
 				}
-			}()
+			}(&partials[w])
 		}
-		for v0 := 0; v0 < n; v0++ {
-			next <- v0
-		}
-		close(next)
 		wg.Wait()
+		for w := range partials {
+			total.merge(&partials[w])
+		}
 	}
 
-	var best *QPPResult
-	bestRelay := math.Inf(1)
-	maxLP := 0.0
-	var firstErr error
-	for v0 := 0; v0 < n; v0++ {
-		o := outcomes[v0]
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
-			continue
-		}
-		if relay := ins.AvgDistToNode(v0) + alpha/(alpha-1)*o.res.LPBound; relay < bestRelay {
-			bestRelay = relay
-		}
-		if o.res.LPBound > maxLP {
-			maxLP = o.res.LPBound
-		}
-		if best == nil || o.avg < best.AvgMaxDelay {
-			best = &QPPResult{
-				Placement:   o.res.Placement,
-				AvgMaxDelay: o.avg,
-				BestV0:      v0,
-				Alpha:       alpha,
-			}
-		}
+	if total.res == nil {
+		return nil, fmt.Errorf("placement: SSQPP failed for every source: %w", total.err)
 	}
-	if best == nil {
-		return nil, fmt.Errorf("placement: SSQPP failed for every source: %w", firstErr)
-	}
-	best.RelayBound = bestRelay
-	best.MaxLPBound = maxLP
-	return best, nil
+	return &QPPResult{
+		Placement:   total.res.Placement,
+		AvgMaxDelay: total.avg,
+		BestV0:      total.v0,
+		Alpha:       alpha,
+		RelayBound:  total.relay,
+		MaxLPBound:  total.maxLP,
+	}, nil
 }
 
 // SolveQPPParallel is SolveQPP with the per-source SSQPP solves spread

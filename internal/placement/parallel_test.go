@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"quorumplace/internal/graph"
+	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 	"quorumplace/internal/quorum"
 )
@@ -35,6 +36,54 @@ func TestParallelMatchesSequential(t *testing.T) {
 				math.Abs(par.MaxLPBound-seq.MaxLPBound) > 1e-9 {
 				t.Fatalf("trial %d: bounds differ: %v/%v vs %v/%v",
 					trial, par.RelayBound, par.MaxLPBound, seq.RelayBound, seq.MaxLPBound)
+			}
+		}
+	}
+}
+
+// TestParallelDifferential pins the parallel solver to the sequential one
+// bit-for-bit across many randomized instances, every worker count the
+// chunked fan-out exercises, and both telemetry states (the telemetry-on
+// path takes the lock-free obs counter/model-cache branches, so it gets its
+// own column). The reduction over per-source results is associative and
+// tie-broken identically to the sequential scan, so equality here is exact
+// (==), not within a tolerance.
+func TestParallelDifferential(t *testing.T) {
+	const trials = 50
+	rng := rand.New(rand.NewSource(811))
+	for trial := 0; trial < trials; trial++ {
+		ins := randomInstance(t, rng)
+		seq, seqErr := placement.SolveQPP(ins, 2)
+		for _, telemetry := range []bool{false, true} {
+			if telemetry {
+				obs.Enable(nil)
+			}
+			for workers := 2; workers <= 8; workers++ {
+				par, parErr := placement.SolveQPPParallel(ins, 2, workers)
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("trial %d workers %d telemetry %v: err %v vs %v",
+						trial, workers, telemetry, parErr, seqErr)
+				}
+				if seqErr != nil {
+					if parErr.Error() != seqErr.Error() {
+						t.Fatalf("trial %d workers %d: error %q vs %q", trial, workers, parErr, seqErr)
+					}
+					continue
+				}
+				if par.BestV0 != seq.BestV0 || par.AvgMaxDelay != seq.AvgMaxDelay ||
+					par.RelayBound != seq.RelayBound || par.MaxLPBound != seq.MaxLPBound {
+					t.Fatalf("trial %d workers %d telemetry %v: result %+v vs %+v",
+						trial, workers, telemetry, par, seq)
+				}
+				for u := 0; u < ins.Sys.Universe(); u++ {
+					if par.Placement.Node(u) != seq.Placement.Node(u) {
+						t.Fatalf("trial %d workers %d: element %d placed at %d vs %d",
+							trial, workers, u, par.Placement.Node(u), seq.Placement.Node(u))
+					}
+				}
+			}
+			if telemetry {
+				obs.Disable()
 			}
 		}
 	}

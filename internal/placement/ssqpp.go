@@ -56,7 +56,7 @@ func (sv *ssqppSolver) solve(v0 int, alpha float64) (*SSQPPResult, error) {
 	fsp := obs.Start("ssqpp.filter")
 	xt := filter(frac.xu, alpha)
 	fsp.End()
-	pl, err := roundFiltered(ins, frac, xt, alpha)
+	pl, err := sv.roundFiltered(frac, xt, alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -135,10 +135,13 @@ func filter(x [][]float64, alpha float64) [][]float64 {
 // roundFiltered interprets the filtered solution as a fractional GAP
 // solution (machines = nodes with capacity α·cap, jobs = elements, cost of
 // element u on rank t = d_t) and applies Shmoys–Tardos rounding. The
-// resulting load is at most α·cap(v) + max load ≤ (α+1)·cap(v).
-func roundFiltered(ins *Instance, frac *ssqppFrac, xt [][]float64, alpha float64) (Placement, error) {
+// resulting load is at most α·cap(v) + max load ≤ (α+1)·cap(v). The
+// rounding flow runs on the solver's gap workspace so repeated per-source
+// roundings reuse the network scratch.
+func (sv *ssqppSolver) roundFiltered(frac *ssqppFrac, xt [][]float64, alpha float64) (Placement, error) {
 	sp := obs.Start("ssqpp.round")
 	defer sp.End()
+	ins := sv.ins
 	n := ins.M.N()
 	nU := ins.Sys.Universe()
 	g := &gap.Instance{
@@ -172,7 +175,7 @@ func roundFiltered(ins *Instance, frac *ssqppFrac, xt [][]float64, alpha float64
 			xt[t][u] /= sum
 		}
 	}
-	assign, _, err := gap.Round(g, xt)
+	assign, _, err := gap.RoundWith(sv.gws, g, xt)
 	if err != nil {
 		return Placement{}, fmt.Errorf("placement: SSQPP rounding: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"quorumplace/internal/gap"
 	"quorumplace/internal/lp"
 	"quorumplace/internal/obs"
 )
@@ -91,22 +92,54 @@ type ssqppModel struct {
 // ssqppModelFor returns the lazily built, cached LP skeleton for instances
 // whose source induces nClasses distance classes. Builds depend only on
 // construction-time state plus the class count, so the cache serves every
-// source and every solve.
+// source and every solve. Cache hits are lock-free — one atomic pointer load
+// plus a read of an immutable map — so concurrent workers never serialize on
+// modelMu once the skeletons exist (SolveQPPParallel pre-builds them before
+// fanning out); misses take the mutex and publish a copy-on-write map.
 func (ins *Instance) ssqppModelFor(nClasses int) (*ssqppModel, error) {
+	if m := ins.models.Load(); m != nil {
+		if mdl, ok := (*m)[nClasses]; ok {
+			return mdl, nil
+		}
+	}
 	ins.modelMu.Lock()
 	defer ins.modelMu.Unlock()
-	if mdl, ok := ins.models[nClasses]; ok {
-		return mdl, nil
+	old := ins.models.Load()
+	if old != nil {
+		if mdl, ok := (*old)[nClasses]; ok {
+			return mdl, nil
+		}
 	}
 	mdl, err := buildSSQPPModel(ins, nClasses)
 	if err != nil {
 		return nil, err
 	}
-	if ins.models == nil {
-		ins.models = make(map[int]*ssqppModel)
+	next := make(map[int]*ssqppModel, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
 	}
-	ins.models[nClasses] = mdl
+	next[nClasses] = mdl
+	ins.models.Store(&next)
 	return mdl, nil
+}
+
+// prebuildSSQPPModels warms the skeleton cache with every class count the
+// instance's sources induce, so a subsequent parallel fan-out only performs
+// lock-free cache reads. Build failures are deliberately ignored here: they
+// are deterministic per class count, so the per-source solves rediscover
+// them and the error semantics stay identical to the sequential path.
+func (ins *Instance) prebuildSSQPPModels() {
+	sv := newSSQPPSolver(ins)
+	built := make(map[int]bool)
+	for v0 := 0; v0 < ins.M.N(); v0++ {
+		_, _, _, nClasses := sv.sourceClasses(v0)
+		if !built[nClasses] {
+			built[nClasses] = true
+			_, _ = ins.ssqppModelFor(nClasses)
+		}
+	}
 }
 
 func buildSSQPPModel(ins *Instance, nClasses int) (*ssqppModel, error) {
@@ -224,13 +257,39 @@ func buildSSQPPModel(ins *Instance, nClasses int) (*ssqppModel, error) {
 	return mdl, nil
 }
 
-// rankClasses groups consecutive ranks with identical (distance, capacity)
-// into classes. It returns, per rank, the index of the class it belongs to,
-// along with the class count. Ranks in one class are interchangeable for
-// the LP: same objective coefficient, same per-node capacity, same
-// constraint-(13) forbidden set.
-func rankClasses(ins *Instance, order []int, dist []float64) (classOf []int, nClasses int) {
-	classOf = make([]int, len(order))
+// sourceClasses computes the node-rank order around source v0 — sorted by
+// (distance, capacity, id); the capacity tie-break maximizes class merging —
+// together with the per-rank distances and the rank→class grouping. Ranks
+// with identical (distance, capacity) share a class and are interchangeable
+// for the LP: same objective coefficient, same per-node capacity, same
+// constraint-(13) forbidden set. The returned slices alias the solver's
+// scratch and are valid until the next sourceClasses call on this solver.
+func (sv *ssqppSolver) sourceClasses(v0 int) (order []int, dist []float64, classOf []int, nClasses int) {
+	ins := sv.ins
+	n := ins.M.N()
+	if cap(sv.order) < n {
+		sv.order = make([]int, n)
+		sv.dist = make([]float64, n)
+		sv.classOf = make([]int, n)
+	}
+	order, dist, classOf = sv.order[:n], sv.dist[:n], sv.classOf[:n]
+	row := ins.M.Row(v0)
+	for v := 0; v < n; v++ {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool {
+		oi, oj := order[i], order[j]
+		if row[oi] != row[oj] {
+			return row[oi] < row[oj]
+		}
+		if ins.Cap[oi] != ins.Cap[oj] {
+			return ins.Cap[oi] < ins.Cap[oj]
+		}
+		return oi < oj
+	})
+	for t, v := range order {
+		dist[t] = row[v]
+	}
 	for t := range order {
 		if t > 0 {
 			if dist[t] == dist[t-1] && ins.Cap[order[t]] == ins.Cap[order[t-1]] {
@@ -238,9 +297,11 @@ func rankClasses(ins *Instance, order []int, dist []float64) (classOf []int, nCl
 			} else {
 				classOf[t] = classOf[t-1] + 1
 			}
+		} else {
+			classOf[0] = 0
 		}
 	}
-	return classOf, classOf[len(order)-1] + 1
+	return order, dist, classOf, classOf[n-1] + 1
 }
 
 // configure installs the source-specific parts of the model into a clone of
@@ -295,40 +356,47 @@ type ssqppSolver struct {
 	ins   *Instance
 	probs map[int]*lp.Problem // class count → private clone
 	ws    *lp.Workspace
+	gws   *gap.Workspace // network scratch for the rounding flow
+
+	// Per-solve scratch reused across the sources this solver handles; the
+	// slices returned by sourceClasses (and embedded into ssqppFrac) alias it.
+	order     []int
+	dist      []float64
+	classOf   []int
+	classDist []float64
+	classCap  []float64
+	classSize []int
 }
 
 func newSSQPPSolver(ins *Instance) *ssqppSolver {
-	return &ssqppSolver{ins: ins, probs: make(map[int]*lp.Problem), ws: lp.NewWorkspace()}
+	return &ssqppSolver{
+		ins:   ins,
+		probs: make(map[int]*lp.Problem),
+		ws:    lp.NewWorkspace(),
+		gws:   gap.NewWorkspace(),
+	}
 }
 
 // solveLP solves the SSQPP relaxation for source v0 against the (cached)
 // class-space skeleton, returning the fractional solution in node-rank
-// space.
+// space. The returned frac's order and dist slices alias the solver's
+// scratch and are valid until the next solveLP call on this solver.
 func (sv *ssqppSolver) solveLP(v0 int) (*ssqppFrac, error) {
 	sp := obs.Start("ssqpp.lp")
 	defer sp.End()
 	ins := sv.ins
-	order := ins.M.NodesByDistance(v0)
-	// Within a distance tie, order ranks by capacity (then node id, for
-	// determinism) so that rankClasses merges as many ranks as possible.
-	sort.SliceStable(order, func(i, j int) bool {
-		di, dj := ins.M.D(v0, order[i]), ins.M.D(v0, order[j])
-		if di != dj {
-			return di < dj
-		}
-		if ins.Cap[order[i]] != ins.Cap[order[j]] {
-			return ins.Cap[order[i]] < ins.Cap[order[j]]
-		}
-		return order[i] < order[j]
-	})
-	dist := make([]float64, len(order))
-	for t, v := range order {
-		dist[t] = ins.M.D(v0, v)
+	order, dist, classOf, nClasses := sv.sourceClasses(v0)
+	if cap(sv.classDist) < nClasses {
+		sv.classDist = make([]float64, nClasses)
+		sv.classCap = make([]float64, nClasses)
+		sv.classSize = make([]int, nClasses)
 	}
-	classOf, nClasses := rankClasses(ins, order, dist)
-	classDist := make([]float64, nClasses)
-	classCap := make([]float64, nClasses)
-	classSize := make([]int, nClasses)
+	classDist := sv.classDist[:nClasses]
+	classCap := sv.classCap[:nClasses]
+	classSize := sv.classSize[:nClasses]
+	for c := range classSize {
+		classSize[c] = 0
+	}
 	for t, c := range classOf {
 		classDist[c] = dist[t]
 		classCap[c] = ins.Cap[order[t]]

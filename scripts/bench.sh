@@ -21,6 +21,9 @@ OUT="${OUT:-BENCH_${DATE}${SUFFIX}.json}"
 PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallelQPP|BenchmarkSolve|BenchmarkWorkspace)}"
 PKGS="${PKGS:-. ./internal/lp}"
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# GOMAXPROCS of this run; benchdiff -min-cpus keys off it so parallel-scaling
+# gates only fire on machines with enough cores for the workers to overlap.
+MAXPROCS="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -28,9 +31,9 @@ trap 'rm -f "$raw"' EXIT
 # shellcheck disable=SC2086 # PKGS is intentionally word-split
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$raw"
 
-awk -v date="$DATE" -v benchtime="$BENCHTIME" -v commit="$COMMIT" '
+awk -v date="$DATE" -v benchtime="$BENCHTIME" -v commit="$COMMIT" -v maxprocs="$MAXPROCS" '
 BEGIN {
-    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, commit, benchtime
+    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"maxprocs\": %d,\n  \"benchmarks\": [", date, commit, benchtime, maxprocs
     n = 0
 }
 /^pkg:/ { pkg = $2 }

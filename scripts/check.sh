@@ -23,15 +23,21 @@ go test ./...
 echo "== go test -race (instrumented packages)"
 go test -race ./internal/obs ./internal/placement ./internal/netsim
 
-echo "== go test -race -count=2 (tracing and telemetry)"
-go test -race -count=2 ./internal/obs ./internal/netsim
+echo "== go test -race -count=2 (tracing, telemetry and parallel solver)"
+go test -race -count=2 ./internal/obs ./internal/netsim ./internal/placement
 
 echo "== bench smoke (telemetry overhead)"
 go test -run '^$' -bench 'BenchmarkTelemetryOverhead' -benchtime 0.1s .
 
 echo "== perf gate (benchdiff over BENCH snapshots)"
 BENCHTIME=0.05s OUT=/tmp/bench_check.json ./scripts/bench.sh >/dev/null
-go run ./cmd/benchdiff -ignore-ns -allocs-threshold 0.5 BENCH_2026-08-06-pr3.json /tmp/bench_check.json
+go run ./cmd/benchdiff -ignore-ns -allocs-threshold 0.5 BENCH_2026-08-06-pr4.json /tmp/bench_check.json
 go run ./cmd/benchdiff -per 'BenchmarkE11NetsimValidation=0.02,BenchmarkE3TotalDelay=0.30' BENCH_2026-08-06.json BENCH_2026-08-06-pr3.json
+go run ./cmd/benchdiff -ignore-ns BENCH_2026-08-06-pr3.json BENCH_2026-08-06-pr4.json
+
+echo "== perf gate (parallel QPP speedup; skipped below 4 CPUs)"
+go run ./cmd/benchdiff -min-cpus 4 \
+    -speedup 'BenchmarkParallelQPP/workers=1:BenchmarkParallelQPP/workers=4:1.8' \
+    /tmp/bench_check.json
 
 echo "all checks passed"
