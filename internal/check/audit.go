@@ -1,0 +1,358 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"quorumplace/internal/netsim"
+	"quorumplace/internal/placement"
+)
+
+// This file is the invariant auditor: each Audit* function re-derives, from
+// first principles, the properties the paper's theorems promise of a solver
+// result, and returns the first violation found (nil when sound). The checks
+// are deliberately independent of the solver implementations — delays are
+// recomputed from the metric, loads from the strategy, bounds compared
+// against the theorem constants — so a regression in any solver layer
+// surfaces as an explicit named violation. DESIGN.md §3.13 catalogues the
+// invariants with their theorem references.
+
+// auditTol is the relative tolerance for the floating-point comparisons. LP
+// objectives, rounded costs and recomputed delays pass through different
+// summation orders, so exact equality is not expected; violations of the
+// paper's bounds are structural and exceed any rounding noise by orders of
+// magnitude.
+const auditTol = 1e-6
+
+// leq reports a ≤ b up to tolerance scaled by the magnitudes involved.
+func leq(a, b float64) bool {
+	return a <= b+auditTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// approxEq reports a ≈ b up to scaled tolerance.
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= auditTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// AuditInstance checks the structural invariants of the instance itself:
+// the metric axioms, the quorum-system intersection property (§1), the
+// strategy being a probability distribution, and the cached element loads
+// matching load(u) = Σ_{Q ∋ u} p(Q) recomputed from scratch (§1.1).
+func AuditInstance(ins *placement.Instance) error {
+	if err := ins.M.Validate(); err != nil {
+		return fmt.Errorf("metric: %w", err)
+	}
+	if err := ins.Sys.VerifyIntersection(); err != nil {
+		return err
+	}
+	sum := 0.0
+	for qi := 0; qi < ins.Sys.NumQuorums(); qi++ {
+		p := ins.Strat.P(qi)
+		if p < 0 || p > 1+auditTol || math.IsNaN(p) {
+			return fmt.Errorf("strategy: p(Q%d) = %v outside [0,1]", qi, p)
+		}
+		sum += p
+	}
+	if !approxEq(sum, 1) {
+		return fmt.Errorf("strategy: probabilities sum to %v, want 1", sum)
+	}
+	loads := make([]float64, ins.Sys.Universe())
+	for qi := 0; qi < ins.Sys.NumQuorums(); qi++ {
+		for _, u := range ins.Sys.Quorum(qi) {
+			loads[u] += ins.Strat.P(qi)
+		}
+	}
+	for u, l := range loads {
+		if !approxEq(l, ins.Load(u)) {
+			return fmt.Errorf("load(%d): cached %v, recomputed %v", u, ins.Load(u), l)
+		}
+		if l < -auditTol || l > 1+auditTol {
+			return fmt.Errorf("load(%d) = %v outside [0,1]", u, l)
+		}
+	}
+	return nil
+}
+
+// AuditPlacement checks that pl is a valid element→node map whose node loads
+// stay within capFactor times the capacities — the capacity blow-up the
+// calling theorem permits (1 for exact solutions, 2 for total-delay rounding
+// by Theorem 5.1, α+1 for the SSQPP/QPP rounding by Theorem 3.7).
+func AuditPlacement(ins *placement.Instance, pl placement.Placement, capFactor float64) error {
+	if err := ins.Validate(pl); err != nil {
+		return err
+	}
+	for v, l := range ins.NodeLoads(pl) {
+		if limit := capFactor * ins.Cap[v]; l > limit*(1+auditTol)+auditTol {
+			return fmt.Errorf("node %d: load %v exceeds %v×cap = %v", v, l, capFactor, limit)
+		}
+	}
+	return nil
+}
+
+// AuditSSQPP checks a Theorem 3.7 result: the reported delay matches
+// Δ_f(v0) recomputed from the metric, the rounding bound
+// Δ_f(v0) ≤ α/(α-1) · Z* holds, and the load blow-up is within α+1.
+func AuditSSQPP(ins *placement.Instance, res *placement.SSQPPResult) error {
+	if res == nil {
+		return fmt.Errorf("ssqpp: nil result")
+	}
+	if err := AuditPlacement(ins, res.Placement, res.Alpha+1); err != nil {
+		return fmt.Errorf("ssqpp: %w", err)
+	}
+	if d := ins.MaxDelayFrom(res.V0, res.Placement); !approxEq(d, res.Delay) {
+		return fmt.Errorf("ssqpp: reported delay %v, recomputed Δ_f(v0) = %v", res.Delay, d)
+	}
+	if res.LPBound < -auditTol || math.IsNaN(res.LPBound) {
+		return fmt.Errorf("ssqpp: LP bound %v is negative", res.LPBound)
+	}
+	if factor := res.Alpha / (res.Alpha - 1); !leq(res.Delay, factor*res.LPBound) {
+		return fmt.Errorf("ssqpp: delay %v exceeds α/(α-1)·Z* = %v·%v (Theorem 3.7)",
+			res.Delay, factor, res.LPBound)
+	}
+	return nil
+}
+
+// AuditSSQPPAgainstExact adds the oracle-side checks: Z* is a relaxation
+// bound, so Z* ≤ Δ_{f*}(v0), and the returned delay is within α/(α-1) of the
+// true optimum.
+func AuditSSQPPAgainstExact(res *placement.SSQPPResult, exactDelay float64) error {
+	if !leq(res.LPBound, exactDelay) {
+		return fmt.Errorf("ssqpp: LP bound %v exceeds exact optimum %v", res.LPBound, exactDelay)
+	}
+	if factor := res.Alpha / (res.Alpha - 1); !leq(res.Delay, factor*exactDelay) {
+		return fmt.Errorf("ssqpp: delay %v exceeds α/(α-1)×OPT = %v·%v", res.Delay, factor, exactDelay)
+	}
+	return nil
+}
+
+// AuditQPP checks a Theorem 1.2 result: the reported objective matches
+// Avg_v Δ_f(v) recomputed from the metric, the relay-decomposition
+// certificate Avg_v Δ_f(v) ≤ RelayBound holds (Theorem 3.3: the winning
+// placement is at least as good as relaying through the best source), and
+// the load blow-up is within α+1.
+func AuditQPP(ins *placement.Instance, res *placement.QPPResult) error {
+	if res == nil {
+		return fmt.Errorf("qpp: nil result")
+	}
+	if res.BestV0 < 0 || res.BestV0 >= ins.M.N() {
+		return fmt.Errorf("qpp: best source %d out of range", res.BestV0)
+	}
+	if err := AuditPlacement(ins, res.Placement, res.Alpha+1); err != nil {
+		return fmt.Errorf("qpp: %w", err)
+	}
+	if d := ins.AvgMaxDelay(res.Placement); !approxEq(d, res.AvgMaxDelay) {
+		return fmt.Errorf("qpp: reported avg max-delay %v, recomputed %v", res.AvgMaxDelay, d)
+	}
+	if math.IsInf(res.RelayBound, 0) || math.IsNaN(res.RelayBound) {
+		return fmt.Errorf("qpp: relay bound %v", res.RelayBound)
+	}
+	if !leq(res.AvgMaxDelay, res.RelayBound) {
+		return fmt.Errorf("qpp: avg max-delay %v exceeds relay bound %v (Theorem 3.3)",
+			res.AvgMaxDelay, res.RelayBound)
+	}
+	if res.MaxLPBound < -auditTol {
+		return fmt.Errorf("qpp: max LP bound %v is negative", res.MaxLPBound)
+	}
+	return nil
+}
+
+// AuditQPPAgainstExact adds the oracle-side checks of Theorem 1.2: the
+// approximation is within 5α/(α-1) of the capacity-respecting optimum, and
+// each per-source LP bound is below the optimal placement's delay from that
+// source, so their max is below max_v0 Δ_{f*}(v0).
+func AuditQPPAgainstExact(ins *placement.Instance, res *placement.QPPResult, exactPl placement.Placement, exactVal float64) error {
+	if err := AuditPlacement(ins, exactPl, 1); err != nil {
+		return fmt.Errorf("qpp oracle: %w", err)
+	}
+	if d := ins.AvgMaxDelay(exactPl); !approxEq(d, exactVal) {
+		return fmt.Errorf("qpp oracle: reported optimum %v, recomputed %v", exactVal, d)
+	}
+	// Note: exactVal ≤ res.AvgMaxDelay does NOT hold in general — the
+	// rounded placement may overflow capacities by up to α+1 (Theorem 3.7)
+	// and thereby beat every capacity-respecting placement.
+	if factor := 5 * res.Alpha / (res.Alpha - 1); !leq(res.AvgMaxDelay, factor*exactVal) {
+		return fmt.Errorf("qpp: avg max-delay %v exceeds 5α/(α-1)×OPT = %v·%v (Theorem 1.2)",
+			res.AvgMaxDelay, factor, exactVal)
+	}
+	maxDelay := 0.0
+	for v0 := 0; v0 < ins.M.N(); v0++ {
+		if d := ins.MaxDelayFrom(v0, exactPl); d > maxDelay {
+			maxDelay = d
+		}
+	}
+	if !leq(res.MaxLPBound, maxDelay) {
+		return fmt.Errorf("qpp: max LP bound %v exceeds max_v0 Δ_{f*}(v0) = %v", res.MaxLPBound, maxDelay)
+	}
+	return nil
+}
+
+// AuditTotalDelay checks a Theorem 5.1 result: the reported objective
+// matches Avg_v Γ_f(v) recomputed from the metric, the rounded cost does not
+// exceed the GAP LP bound (Theorem 3.11), and loads stay within 2×cap.
+func AuditTotalDelay(ins *placement.Instance, res *placement.TotalDelayResult) error {
+	if res == nil {
+		return fmt.Errorf("totaldelay: nil result")
+	}
+	if err := AuditPlacement(ins, res.Placement, 2); err != nil {
+		return fmt.Errorf("totaldelay: %w", err)
+	}
+	if d := ins.AvgTotalDelay(res.Placement); !approxEq(d, res.AvgDelay) {
+		return fmt.Errorf("totaldelay: reported avg delay %v, recomputed %v", res.AvgDelay, d)
+	}
+	if res.LPBound < -auditTol || math.IsNaN(res.LPBound) {
+		return fmt.Errorf("totaldelay: LP bound %v", res.LPBound)
+	}
+	if !leq(res.AvgDelay, res.LPBound) {
+		return fmt.Errorf("totaldelay: rounded cost %v exceeds LP bound %v (Theorem 3.11)",
+			res.AvgDelay, res.LPBound)
+	}
+	return nil
+}
+
+// AuditTotalDelayAgainstExact adds the oracle sandwich: the LP relaxes the
+// integral problem and the rounding never costs more than the LP, so
+// AvgDelay ≤ LPBound ≤ OPT fails only if a layer is broken.
+func AuditTotalDelayAgainstExact(res *placement.TotalDelayResult, exactVal float64) error {
+	if !leq(res.LPBound, exactVal) {
+		return fmt.Errorf("totaldelay: LP bound %v exceeds exact optimum %v", res.LPBound, exactVal)
+	}
+	if !leq(res.AvgDelay, exactVal) {
+		return fmt.Errorf("totaldelay: rounded cost %v exceeds exact optimum %v (Theorem 5.1)",
+			res.AvgDelay, exactVal)
+	}
+	return nil
+}
+
+// AuditTraces checks the timing invariants of recorded access traces, for
+// both the plain and the failure-injection simulators:
+//
+//   - End = Start + Latency, and latencies are non-negative;
+//   - every probe dispatches at or after the access start; a non-failed probe
+//     completes after its charged delays, a failed probe completes instantly;
+//   - within one attempt, Parallel probes all dispatch together while
+//     Sequential probes dispatch back-to-back in probe order;
+//   - an aborted access consists solely of failed attempts (one per window),
+//     a successful one ends with a fully alive attempt whose last completion
+//     is the access end and which carries exactly one straggler.
+func AuditTraces(traces []netsim.AccessTrace) error {
+	for i := range traces {
+		if err := auditTrace(&traces[i]); err != nil {
+			return fmt.Errorf("trace %d (client %d): %w", i, traces[i].Client, err)
+		}
+	}
+	return nil
+}
+
+func auditTrace(tr *netsim.AccessTrace) error {
+	if tr.Latency < -auditTol {
+		return fmt.Errorf("negative latency %v", tr.Latency)
+	}
+	if !approxEq(tr.End, tr.Start+tr.Latency) {
+		return fmt.Errorf("end %v != start %v + latency %v", tr.End, tr.Start, tr.Latency)
+	}
+	// Split the probes into attempt windows: a window ends at a failed probe
+	// (the attempt is abandoned) or at the end of the trace.
+	var windows [][]netsim.ProbeSpan
+	start := 0
+	for i := range tr.Probes {
+		p := &tr.Probes[i]
+		if p.Dispatch < tr.Start-auditTol {
+			return fmt.Errorf("probe %d dispatched at %v before access start %v", i, p.Dispatch, tr.Start)
+		}
+		if p.Failed {
+			if p.Complete != p.Dispatch || p.NetDelay != 0 {
+				return fmt.Errorf("failed probe %d charges delay (%v → %v)", i, p.Dispatch, p.Complete)
+			}
+			if p.Straggler {
+				return fmt.Errorf("failed probe %d marked straggler", i)
+			}
+			windows = append(windows, tr.Probes[start:i+1])
+			start = i + 1
+			continue
+		}
+		if want := p.Dispatch + p.QueueWait + p.Service + p.NetDelay; !approxEq(p.Complete, want) {
+			return fmt.Errorf("probe %d completes at %v, charges sum to %v", i, p.Complete, want)
+		}
+	}
+	if start < len(tr.Probes) {
+		windows = append(windows, tr.Probes[start:])
+	}
+	for w, win := range windows {
+		for i := 1; i < len(win); i++ {
+			switch tr.Mode {
+			case netsim.Parallel:
+				if win[i].Dispatch != win[0].Dispatch {
+					return fmt.Errorf("attempt %d: parallel probe %d dispatched at %v, attempt started at %v",
+						w, i, win[i].Dispatch, win[0].Dispatch)
+				}
+			case netsim.Sequential:
+				if win[i].Dispatch < win[i-1].Complete-auditTol {
+					return fmt.Errorf("attempt %d: sequential probe %d dispatched at %v before previous completion %v",
+						w, i, win[i].Dispatch, win[i-1].Complete)
+				}
+			}
+		}
+	}
+	if len(tr.Probes) == 0 {
+		return nil // sampling or capacity may drop probe detail, never invent it
+	}
+	if tr.Aborted {
+		if len(windows) != tr.Attempts {
+			return fmt.Errorf("aborted after %d attempts but trace shows %d windows", tr.Attempts, len(windows))
+		}
+		for w, win := range windows {
+			if !win[len(win)-1].Failed {
+				return fmt.Errorf("aborted access has a fully alive attempt %d", w)
+			}
+		}
+		return nil
+	}
+	if len(windows) != tr.Attempts+1 {
+		return fmt.Errorf("%d failed attempts but trace shows %d windows", tr.Attempts, len(windows))
+	}
+	final := windows[len(windows)-1]
+	stragglers, maxComplete := 0, math.Inf(-1)
+	for i := range final {
+		if final[i].Failed {
+			return fmt.Errorf("successful access ends in a failed probe")
+		}
+		if final[i].Straggler {
+			stragglers++
+		}
+		if final[i].Complete > maxComplete {
+			maxComplete = final[i].Complete
+		}
+	}
+	if stragglers != 1 {
+		return fmt.Errorf("final attempt has %d stragglers, want exactly 1", stragglers)
+	}
+	if !approxEq(maxComplete, tr.End) {
+		return fmt.Errorf("final attempt completes at %v but access ends at %v", maxComplete, tr.End)
+	}
+	return nil
+}
+
+// AuditFailureStats checks the counting identities of a failure-injection
+// run against its configuration.
+func AuditFailureStats(stats *netsim.FailureStats, n, accessesPerClient, maxRetries int) error {
+	if stats.Accesses != n*accessesPerClient {
+		return fmt.Errorf("failurestats: %d accesses for %d clients × %d", stats.Accesses, n, accessesPerClient)
+	}
+	if stats.Succeeded+stats.FailedOutright != stats.Accesses {
+		return fmt.Errorf("failurestats: %d succeeded + %d aborted != %d accesses",
+			stats.Succeeded, stats.FailedOutright, stats.Accesses)
+	}
+	if want := float64(stats.Succeeded) / float64(stats.Accesses); !approxEq(stats.SuccessRate, want) {
+		return fmt.Errorf("failurestats: success rate %v, want %v", stats.SuccessRate, want)
+	}
+	if stats.Retries > stats.Accesses*maxRetries {
+		return fmt.Errorf("failurestats: %d retries exceed budget %d×%d", stats.Retries, stats.Accesses, maxRetries)
+	}
+	if stats.EmpiricalUnavail < 0 || stats.EmpiricalUnavail > 1 {
+		return fmt.Errorf("failurestats: empirical unavailability %v outside [0,1]", stats.EmpiricalUnavail)
+	}
+	if stats.AvgLatency < -auditTol || math.IsNaN(stats.AvgLatency) {
+		return fmt.Errorf("failurestats: avg latency %v", stats.AvgLatency)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package check
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"quorumplace/internal/exact"
+	"quorumplace/internal/netsim"
+	"quorumplace/internal/placement"
+)
+
+// sweepAlphas cycles the α-filtering parameter across the sweep so the
+// Theorem 3.7 bound is exercised at several blow-up/delay trade-off points.
+var sweepAlphas = []float64{1.5, 2, 4}
+
+// auditAll runs the full invariant battery on one generated instance. Any
+// violation fails the test with the instance provenance, so a failure
+// message alone pins down the reproducing seed.
+func auditAll(t *testing.T, ci *Instance) {
+	t.Helper()
+	ins := ci.Instance
+	fail := func(stage string, err error) {
+		t.Helper()
+		t.Fatalf("%s [%s]: %v", stage, ci.Desc, err)
+	}
+	if err := AuditInstance(ins); err != nil {
+		fail("instance", err)
+	}
+	// The planted placement is feasible by construction; the auditor must
+	// agree at capacity factor 1.
+	if err := AuditPlacement(ins, ci.Planted, 1); err != nil {
+		fail("planted placement", err)
+	}
+	n := ins.M.N()
+	alpha := sweepAlphas[int(ci.Seed)%len(sweepAlphas)]
+
+	ssq, err := placement.SolveSSQPP(ins, int(ci.Seed)%n, alpha)
+	if err != nil {
+		fail("ssqpp solve", err)
+	}
+	if err := AuditSSQPP(ins, ssq); err != nil {
+		fail("ssqpp", err)
+	}
+
+	qpp, err := placement.SolveQPP(ins, alpha)
+	if err != nil {
+		fail("qpp solve", err)
+	}
+	if err := AuditQPP(ins, qpp); err != nil {
+		fail("qpp", err)
+	}
+	// The parallel solver must reproduce the sequential result bit for bit.
+	par, err := placement.SolveQPPParallel(ins, alpha, 3)
+	if err != nil {
+		fail("qpp parallel solve", err)
+	}
+	if !reflect.DeepEqual(par, qpp) {
+		t.Fatalf("parallel/sequential divergence [%s]:\n  sequential %+v\n  parallel   %+v", ci.Desc, qpp, par)
+	}
+
+	td, err := placement.SolveTotalDelay(ins)
+	if err != nil {
+		fail("totaldelay solve", err)
+	}
+	if err := AuditTotalDelay(ins, td); err != nil {
+		fail("totaldelay", err)
+	}
+
+	if err := AuditAssignmentFlow(ins); err != nil {
+		fail("flow", err)
+	}
+
+	// Simulator runs over the QPP placement: trace timing invariants in both
+	// access modes, plus the failure path with seed-derived knobs.
+	const apc = 3
+	for _, mode := range []netsim.Mode{netsim.Parallel, netsim.Sequential} {
+		rec := netsim.NewRecorder(n*apc, 1, 0)
+		stats, err := netsim.Run(netsim.Config{
+			Instance: ins, Placement: qpp.Placement, Mode: mode,
+			AccessesPerClient: apc, Seed: ci.Seed, Recorder: rec,
+		})
+		if err != nil {
+			fail("netsim run", err)
+		}
+		if stats.Accesses != n*apc {
+			t.Fatalf("netsim [%s]: %d accesses for %d clients × %d", ci.Desc, stats.Accesses, n, apc)
+		}
+		if err := AuditTraces(rec.Traces()); err != nil {
+			fail("netsim "+mode.String()+" traces", err)
+		}
+	}
+	probs := []float64{0, 0.15, 0.35}
+	fcfg := netsim.FailureConfig{
+		Instance: ins, Placement: qpp.Placement,
+		Mode:              netsim.Mode(ci.Seed % 2),
+		NodeFailureProb:   probs[int(ci.Seed)%len(probs)],
+		MaxRetries:        int(ci.Seed) % 3,
+		RetryPenalty:      0.5,
+		AccessesPerClient: apc, Seed: ci.Seed,
+		Recorder: netsim.NewRecorder(n*apc, 1, 0),
+	}
+	fstats, err := netsim.RunWithFailures(fcfg)
+	if err != nil {
+		fail("failure run", err)
+	}
+	if err := AuditFailureStats(fstats, n, apc, fcfg.MaxRetries); err != nil {
+		fail("failure stats", err)
+	}
+	if err := AuditTraces(fcfg.Recorder.Traces()); err != nil {
+		fail("failure traces", err)
+	}
+}
+
+// TestAuditSweep drives the auditor over ≥200 seeded instances spanning the
+// generator's construction pool: every solver result must satisfy the
+// paper's bounds on every instance.
+func TestAuditSweep(t *testing.T) {
+	const sweep = 220
+	systems := map[string]bool{}
+	for seed := int64(0); seed < sweep; seed++ {
+		ci := Gen(seed)
+		// Record the construction family (the name up to its parameters).
+		name := ci.Sys.Name()
+		if i := strings.IndexAny(name, "-0123456789["); i > 0 {
+			name = name[:i]
+		}
+		systems[name] = true
+		auditAll(t, ci)
+	}
+	if len(systems) < 5 {
+		t.Errorf("sweep covered only %d quorum constructions %v, want ≥ 5", len(systems), systems)
+	}
+}
+
+// TestAuditAgainstExact cross-checks the approximation pipelines against the
+// branch-and-bound oracles on tiny instances: the LP bounds must lower-bound
+// the true optima and the solutions must sit inside the approximation
+// factors of Theorems 1.2, 3.7 and 5.1.
+func TestAuditAgainstExact(t *testing.T) {
+	const sweep = 60
+	for seed := int64(0); seed < sweep; seed++ {
+		ci := GenTiny(seed)
+		ins := ci.Instance
+		fail := func(stage string, err error) {
+			t.Helper()
+			t.Fatalf("%s [%s]: %v", stage, ci.Desc, err)
+		}
+		if err := AuditInstance(ins); err != nil {
+			fail("instance", err)
+		}
+		alpha := sweepAlphas[int(ci.Seed)%len(sweepAlphas)]
+		v0 := int(ci.Seed) % ins.M.N()
+
+		ssq, err := placement.SolveSSQPP(ins, v0, alpha)
+		if err != nil {
+			fail("ssqpp solve", err)
+		}
+		if err := AuditSSQPP(ins, ssq); err != nil {
+			fail("ssqpp", err)
+		}
+		_, exactSS, err := exact.SolveSSQPP(ins, v0)
+		if err != nil {
+			fail("exact ssqpp", err)
+		}
+		if err := AuditSSQPPAgainstExact(ssq, exactSS); err != nil {
+			fail("ssqpp vs exact", err)
+		}
+
+		qpp, err := placement.SolveQPP(ins, alpha)
+		if err != nil {
+			fail("qpp solve", err)
+		}
+		if err := AuditQPP(ins, qpp); err != nil {
+			fail("qpp", err)
+		}
+		exactPl, exactQ, err := exact.SolveQPP(ins)
+		if err != nil {
+			fail("exact qpp", err)
+		}
+		if err := AuditQPPAgainstExact(ins, qpp, exactPl, exactQ); err != nil {
+			fail("qpp vs exact", err)
+		}
+
+		td, err := placement.SolveTotalDelay(ins)
+		if err != nil {
+			fail("totaldelay solve", err)
+		}
+		if err := AuditTotalDelay(ins, td); err != nil {
+			fail("totaldelay", err)
+		}
+		_, exactTD, err := exact.SolveTotalDelay(ins)
+		if err != nil {
+			fail("exact totaldelay", err)
+		}
+		if err := AuditTotalDelayAgainstExact(td, exactTD); err != nil {
+			fail("totaldelay vs exact", err)
+		}
+	}
+}
+
+// TestGenDeterminism: equal seeds must reproduce identical instances — the
+// property every fuzz reproduction relies on.
+func TestGenDeterminism(t *testing.T) {
+	for _, seed := range []int64{0, 7, 41, -3, 1 << 40} {
+		a, b := Gen(seed), Gen(seed)
+		if a.Desc != b.Desc {
+			t.Fatalf("seed %d: descriptions differ: %q vs %q", seed, a.Desc, b.Desc)
+		}
+		if !reflect.DeepEqual(a.Planted.Map(), b.Planted.Map()) {
+			t.Fatalf("seed %d: planted placements differ", seed)
+		}
+		if !reflect.DeepEqual(a.Cap, b.Cap) || !reflect.DeepEqual(a.Strat.Probs(), b.Strat.Probs()) {
+			t.Fatalf("seed %d: capacities or strategies differ", seed)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package check
+
+import (
+	"fmt"
+
+	"quorumplace/internal/flow"
+	"quorumplace/internal/placement"
+)
+
+// AuditAssignmentFlow builds the element→node min-cost assignment network
+// the rounding stages use (elements as unit jobs, nodes as slots, edge cost
+// load(u)·AvgDist(v) — the Shmoys–Tardos matching shape of Theorem 3.11),
+// solves it, and runs the flow optimality audit: conservation at every node,
+// non-negative residual capacities, and no negative-cost residual cycle.
+// This exercises internal/flow's complementary-slackness certificate on
+// networks shaped exactly like the ones the placement solvers emit, rather
+// than on synthetic graphs only.
+func AuditAssignmentFlow(ins *placement.Instance) error {
+	nU := ins.Sys.Universe()
+	n := ins.M.N()
+	src, snk := 0, 1+nU+n
+	nw := flow.NewNetwork(nU + n + 2)
+	for u := 0; u < nU; u++ {
+		nw.AddEdge(src, 1+u, 1, 0)
+		for v := 0; v < n; v++ {
+			nw.AddEdge(1+u, 1+nU+v, 1, ins.Load(u)*ins.M.AvgDistTo(v))
+		}
+	}
+	for v := 0; v < n; v++ {
+		nw.AddEdge(1+nU+v, snk, int64(nU), 0)
+	}
+	res := nw.MinCostFlow(src, snk, int64(nU))
+	if res.Flow != int64(nU) {
+		return fmt.Errorf("assignment flow routed %d of %d units", res.Flow, nU)
+	}
+	audited, err := nw.Audit(src, snk)
+	if err != nil {
+		return fmt.Errorf("assignment flow: %w", err)
+	}
+	if audited != res.Flow {
+		return fmt.Errorf("assignment flow: audit counted %d units, solver reports %d", audited, res.Flow)
+	}
+	return nil
+}

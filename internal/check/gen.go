@@ -1,0 +1,227 @@
+// Package check cross-checks the solvers against the paper's guarantees.
+// It provides a reusable invariant auditor (audit.go) asserting the bounds
+// the theorems promise — quorum intersection, strategy normalization,
+// capacity blow-up factors, LP-bound sandwiches, trace timing — together
+// with a seeded random-instance generator (this file) and Go-native fuzz
+// targets (fuzz_test.go) that drive the auditor against the branch-and-bound
+// oracles in internal/exact. A deterministic sweep over a few hundred
+// generated instances runs as an ordinary test; the fuzz targets extend the
+// same checks to arbitrary seeds under `go test -fuzz`.
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+// Instance is a generated QPP instance plus the provenance needed to
+// reproduce and describe it: the seed it was grown from, a human-readable
+// description, and the planted placement whose loads sized the capacities
+// (so every generated instance is guaranteed to admit at least one
+// capacity-respecting placement, keeping the LPs feasible and the exact
+// solvers total).
+type Instance struct {
+	*placement.Instance
+	Seed    int64
+	Desc    string
+	Planted placement.Placement
+}
+
+// Gen deterministically derives a random QPP instance from one seed:
+// a quorum system drawn from the package constructions (universe ≤ 12 so the
+// exact solvers stay in range), a metric from one of the graph generators
+// (3–12 nodes), capacities planted around a random feasible placement, a
+// uniform / random / Naor–Wool-optimal strategy, and occasionally non-uniform
+// client rates. Equal seeds yield identical instances.
+func Gen(seed int64) *Instance {
+	return generate(seed, false)
+}
+
+// GenTiny is Gen restricted to oracle-friendly sizes: at most 6 nodes and a
+// universe of at most 6 elements, and never non-uniform rates (the exact
+// total-delay solver and its pruning bounds assume uniform rates). Fuzz
+// targets that compare against internal/exact use it so every generated
+// instance can be solved exactly.
+func GenTiny(seed int64) *Instance {
+	return generate(seed, true)
+}
+
+func generate(seed int64, tiny bool) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	sys := pickSystem(rng, tiny)
+	maxN := 12
+	if tiny {
+		maxN = 6
+	}
+	n := 3 + rng.Intn(maxN-2)
+	m, gDesc := pickMetric(rng, n)
+	n = m.N() // generators may round the node count up (grid dimensions)
+
+	strat, sDesc := pickStrategy(rng, sys)
+
+	// Plant a placement and size capacities around its node loads: the
+	// planted map is always feasible, and the leftover slack plus a few
+	// zero-capacity nodes exercise the forbidden-pair and pruning paths.
+	loads, err := sys.Loads(strat)
+	if err != nil {
+		panic(fmt.Sprintf("check: generated strategy does not cover system: %v", err))
+	}
+	f := make([]int, sys.Universe())
+	nodeLoad := make([]float64, n)
+	for u := range f {
+		f[u] = rng.Intn(n)
+		nodeLoad[f[u]] += loads[u]
+	}
+	caps := make([]float64, n)
+	for v := range caps {
+		caps[v] = nodeLoad[v] * (1 + 0.5*rng.Float64())
+		if nodeLoad[v] == 0 && rng.Float64() < 0.3 {
+			continue // a zero-capacity node: placements must avoid it
+		}
+		caps[v] += 0.05 + 0.3*rng.Float64()
+	}
+
+	ins, err := placement.NewInstance(m, caps, sys, strat)
+	if err != nil {
+		panic(fmt.Sprintf("check: seed %d generated an invalid instance: %v", seed, err))
+	}
+	rDesc := "uniform"
+	if !tiny && rng.Float64() < 0.25 {
+		rates := make([]float64, n)
+		for v := range rates {
+			rates[v] = 0.1 + 1.9*rng.Float64()
+		}
+		if err := ins.SetRates(rates); err != nil {
+			panic(fmt.Sprintf("check: seed %d generated invalid rates: %v", seed, err))
+		}
+		rDesc = "random"
+	}
+	return &Instance{
+		Instance: ins,
+		Seed:     seed,
+		Desc:     fmt.Sprintf("seed=%d sys=%s graph=%s n=%d strat=%s rates=%s", seed, sys.Name(), gDesc, n, sDesc, rDesc),
+		Planted:  placement.NewPlacement(f),
+	}
+}
+
+// pickSystem draws one of the named constructions. The general pool spans
+// eight construction families; the tiny pool keeps the universe at ≤ 6
+// elements for the exact solvers.
+func pickSystem(rng *rand.Rand, tiny bool) *quorum.System {
+	if tiny {
+		switch rng.Intn(7) {
+		case 0:
+			return quorum.Grid(2) // universe 4
+		case 1:
+			return quorum.Majority(4+rng.Intn(2), 3) // 4 or 5 elements
+		case 2:
+			return quorum.Star(4 + rng.Intn(3)) // 4..6
+		case 3:
+			return quorum.Wheel(4 + rng.Intn(3)) // 4..6
+		case 4:
+			return quorum.Tree(1) // 3 elements
+		case 5:
+			return quorum.CrumblingWalls([]int{2, 1 + rng.Intn(3)}) // 3..5
+		default:
+			return quorum.WeightedMajority([]int{1, 2, 2, 1 + rng.Intn(2)}) // 4
+		}
+	}
+	switch rng.Intn(9) {
+	case 0:
+		return quorum.Grid(2 + rng.Intn(2)) // universe 4 or 9
+	case 1:
+		n := 4 + rng.Intn(3) // 4..6
+		return quorum.Majority(n, n/2+1)
+	case 2:
+		return quorum.Star(4 + rng.Intn(7)) // 4..10
+	case 3:
+		return quorum.Wheel(4 + rng.Intn(7)) // 4..10
+	case 4:
+		return quorum.Tree(1 + rng.Intn(2)) // 3 or 7 elements
+	case 5:
+		widths := [][]int{{2, 3}, {3, 2, 2}, {1, 2, 3}, {2, 2, 2, 2}}
+		return quorum.CrumblingWalls(widths[rng.Intn(len(widths))])
+	case 6:
+		ws := make([]int, 4+rng.Intn(2))
+		for i := range ws {
+			ws[i] = 1 + rng.Intn(3)
+		}
+		return quorum.WeightedMajority(ws)
+	case 7:
+		return quorum.FPP(2) // PG(2,2): 7 points, 7 lines
+	default:
+		return quorum.Singleton()
+	}
+}
+
+// pickMetric draws a topology on n nodes from the graph generators and
+// returns its shortest-path metric.
+func pickMetric(rng *rand.Rand, n int) (*graph.Metric, string) {
+	var g *graph.Graph
+	var desc string
+	switch rng.Intn(8) {
+	case 0:
+		g, desc = graph.Path(n), "path"
+	case 1:
+		if n < 3 {
+			n = 3
+		}
+		g, desc = graph.Cycle(n), "cycle"
+	case 2:
+		g, desc = graph.Complete(n), "complete"
+	case 3:
+		g, desc = graph.Star(n), "star"
+	case 4:
+		cols := 2 + rng.Intn(2)
+		if n <= 6 {
+			cols = 2 // keep tiny instances within the exact-solver node budget
+		}
+		rows := (n + cols - 1) / cols
+		g, desc = graph.Grid2D(rows, cols), fmt.Sprintf("grid-%dx%d", rows, cols)
+	case 5:
+		g, desc = graph.RandomTree(n, 0.5, 2, rng), "rtree"
+	case 6:
+		g, desc = graph.ErdosRenyiConnected(n, 0.3, 0.5, 2, rng), "er"
+	default:
+		g, desc = graph.RandomGeometric(n, 0.5, rng), "geom"
+	}
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		panic(fmt.Sprintf("check: metric from %s graph: %v", desc, err))
+	}
+	return m, fmt.Sprintf("%s-%d", desc, g.N())
+}
+
+// pickStrategy draws an access strategy: uniform, random (exponential
+// weights, normalized), or the Naor–Wool load-optimal LP strategy.
+func pickStrategy(rng *rand.Rand, sys *quorum.System) (quorum.Strategy, string) {
+	switch r := rng.Float64(); {
+	case r < 0.5:
+		return quorum.Uniform(sys.NumQuorums()), "uniform"
+	case r < 0.8:
+		w := make([]float64, sys.NumQuorums())
+		sum := 0.0
+		for i := range w {
+			w[i] = rng.ExpFloat64() + 1e-3
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		st, err := quorum.NewStrategy(w)
+		if err != nil {
+			panic(fmt.Sprintf("check: random strategy: %v", err))
+		}
+		return st, "random"
+	default:
+		st, _, err := quorum.OptimalStrategy(sys)
+		if err != nil {
+			panic(fmt.Sprintf("check: optimal strategy for %s: %v", sys.Name(), err))
+		}
+		return st, "optimal"
+	}
+}

@@ -1,0 +1,77 @@
+package flow
+
+import "fmt"
+
+// auditCostTol absorbs floating-point noise when testing residual cycle
+// costs for negativity; potentials accumulate at most ~n rounding errors.
+const auditCostTol = 1e-7
+
+// Audit verifies the invariants a min-cost flow must satisfy after
+// MinCostFlow(s, t, ·) and returns the first violation found (nil if the
+// solution is sound). It is read-only and checks:
+//
+//   - residual capacities are non-negative and each arc pair conserves its
+//     original capacity (flow pushed forward equals reverse residual);
+//   - flow conservation: the net flow out of every node is zero except at
+//     s (which emits the total flow) and t (which absorbs it);
+//   - optimality: the residual network contains no negative-cost cycle,
+//     the complementary-slackness certificate that no cheaper routing of
+//     the same flow value exists (detected by Bellman–Ford from a virtual
+//     super-source).
+//
+// The flow value checked against s's net outflow is returned so callers can
+// compare it with the Result of the solve.
+func (nw *Network) Audit(s, t int) (int64, error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
+		return 0, fmt.Errorf("flow: audit terminals out of range: s=%d t=%d n=%d", s, t, nw.n)
+	}
+	for a, c := range nw.cap {
+		if c < 0 {
+			return 0, fmt.Errorf("flow: arc %d has negative residual capacity %d", a, c)
+		}
+	}
+	// Net flow per node from the original arcs: AddEdge pushes the forward
+	// arc at even indices and its zero-capacity reverse at odd ones, so the
+	// reverse residual capacity is exactly the flow pushed forward.
+	excess := make([]int64, nw.n)
+	for _, arc := range nw.edges {
+		f := nw.cap[arc^1]
+		u, v := nw.to[arc^1], nw.to[arc]
+		excess[u] -= f
+		excess[v] += f
+	}
+	for v := range excess {
+		if v == s || v == t {
+			continue
+		}
+		if excess[v] != 0 {
+			return 0, fmt.Errorf("flow: node %d violates conservation by %d units", v, excess[v])
+		}
+	}
+	if excess[s] != -excess[t] {
+		return 0, fmt.Errorf("flow: source emits %d units but sink absorbs %d", -excess[s], excess[t])
+	}
+	// Negative-cycle detection over residual arcs: start every node at
+	// potential 0 (a virtual super-source) and relax n times; a relaxation
+	// on the n-th pass can only come from a negative cycle.
+	dist := make([]float64, nw.n)
+	for iter := 0; iter < nw.n; iter++ {
+		changed := false
+		for u := 0; u < nw.n; u++ {
+			for a := nw.head[u]; a >= 0; a = nw.next[a] {
+				if nw.cap[a] <= 0 {
+					continue
+				}
+				v := nw.to[a]
+				if nd := dist[u] + nw.cost[a]; nd < dist[v]-auditCostTol {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return -excess[s], nil
+		}
+	}
+	return 0, fmt.Errorf("flow: residual network has a negative-cost cycle; the flow is not cost-optimal")
+}

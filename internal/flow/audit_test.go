@@ -1,0 +1,92 @@
+package flow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomAssignmentNetwork builds the AssignWith-shaped network for nl left
+// items and nr right slots with rng-drawn costs, returning it with its
+// terminals.
+func randomAssignmentNetwork(nl, nr int, rng *rand.Rand) (nw *Network, src, snk int) {
+	src, snk = 0, nl+nr+1
+	nw = NewNetwork(nl + nr + 2)
+	for i := 0; i < nl; i++ {
+		nw.AddEdge(src, 1+i, 1, 0)
+		for j := 0; j < nr; j++ {
+			nw.AddEdge(1+i, 1+nl+j, 1, rng.Float64()*10-2) // some negative costs
+		}
+	}
+	for j := 0; j < nr; j++ {
+		nw.AddEdge(1+nl+j, snk, 2, 0)
+	}
+	return nw, src, snk
+}
+
+// TestAuditAcceptsMinCostFlows: solved assignment networks pass every audit
+// invariant and the audited flow value matches the solver's.
+func TestAuditAcceptsMinCostFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		nl := 2 + rng.Intn(5)
+		nr := 1 + (nl+1)/2 + rng.Intn(3)
+		nw, src, snk := randomAssignmentNetwork(nl, nr, rng)
+		res := nw.MinCostFlow(src, snk, int64(nl))
+		flow, err := nw.Audit(src, snk)
+		if err != nil {
+			t.Fatalf("trial %d: audit rejected a min-cost flow: %v", trial, err)
+		}
+		if flow != res.Flow {
+			t.Fatalf("trial %d: audit flow %d, solver flow %d", trial, flow, res.Flow)
+		}
+	}
+}
+
+// TestAuditDetectsConservationViolation: tampering with one arc's residual
+// state breaks conservation and the audit says which node leaks.
+func TestAuditDetectsConservationViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw, src, snk := randomAssignmentNetwork(3, 3, rng)
+	if res := nw.MinCostFlow(src, snk, 3); res.Flow != 3 {
+		t.Fatalf("flow %d, want 3", res.Flow)
+	}
+	// Pretend one extra unit traversed the first left item's first slot arc.
+	for a := range nw.edges {
+		arc := nw.edges[a]
+		if nw.to[arc^1] == 1 && nw.to[arc] != src { // arc leaving left item 1
+			nw.cap[arc^1]++
+			break
+		}
+	}
+	if _, err := nw.Audit(src, snk); err == nil || !strings.Contains(err.Error(), "conservation") {
+		t.Fatalf("audit missed the conservation violation: %v", err)
+	}
+}
+
+// TestAuditDetectsSuboptimalFlow: rerouting one unit from its min-cost slot
+// onto a strictly more expensive one leaves a valid flow of the same value
+// whose residual network has a negative cycle; the audit must reject it.
+func TestAuditDetectsSuboptimalFlow(t *testing.T) {
+	// 1 item, 2 slots with costs 1 and 5: optimum uses slot A.
+	src, snk := 0, 3
+	nw := NewNetwork(4)
+	nw.AddEdge(src, 1, 1, 0)
+	a := nw.AddEdge(1, 2, 1, 1) // slot arc A, cheap — shares node 2 with B
+	b := nw.AddEdge(1, 2, 1, 5) // slot arc B, expensive
+	nw.AddEdge(2, snk, 1, 0)
+	if res := nw.MinCostFlow(src, snk, 1); res.Cost != 1 {
+		t.Fatalf("cost %v, want 1", res.Cost)
+	}
+	if _, err := nw.Audit(src, snk); err != nil {
+		t.Fatalf("audit rejected the optimum: %v", err)
+	}
+	// Move the unit from A to B by hand: still a feasible unit of flow, but
+	// the residual cycle (undo B, redo A) has cost 1-5 < 0.
+	arcA, arcB := nw.edges[a], nw.edges[b]
+	nw.cap[arcA], nw.cap[arcA^1] = nw.cap[arcA]+1, nw.cap[arcA^1]-1
+	nw.cap[arcB], nw.cap[arcB^1] = nw.cap[arcB]-1, nw.cap[arcB^1]+1
+	if _, err := nw.Audit(src, snk); err == nil || !strings.Contains(err.Error(), "negative-cost cycle") {
+		t.Fatalf("audit accepted a suboptimal flow: %v", err)
+	}
+}

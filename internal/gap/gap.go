@@ -115,6 +115,11 @@ func SolveLP(ins *Instance) ([][]float64, float64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("gap: LP relaxation: %w", err)
 	}
+	// Post-solve invariant check: the simplex hot path keeps being
+	// rewritten, so assert primal feasibility before rounding trusts y.
+	if err := prob.VerifySolution(sol, 1e-6); err != nil {
+		return nil, 0, fmt.Errorf("gap: LP relaxation returned an infeasible point: %w", err)
+	}
 	y := make([][]float64, m)
 	for i := 0; i < m; i++ {
 		y[i] = make([]float64, n)

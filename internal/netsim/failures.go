@@ -28,15 +28,21 @@ type FailureConfig struct {
 	// after a failed attempt. 0 means one attempt only.
 	MaxRetries int
 	// RetryPenalty is the virtual-time latency charged for each failed
-	// attempt (e.g. a timeout). Charged per failed attempt on top of the
-	// successful attempt's latency.
+	// attempt (e.g. a timeout), including the final attempt of an access
+	// that exhausts its retry budget: an access aborted after k failed
+	// attempts has latency k·RetryPenalty, and a successful access pays one
+	// penalty per preceding failed attempt on top of the successful
+	// attempt's latency.
 	RetryPenalty      float64
 	AccessesPerClient int
 	Seed              int64
 	// Recorder, when non-nil, captures per-access traces; probes of failed
 	// attempts carry Failed=true and the access records its retry count.
 	// Nil falls back to the SetDefaultRecorder recorder. Accesses are laid
-	// out back-to-back per client on the virtual timeline.
+	// out back-to-back per client on the virtual timeline, processed in the
+	// same global completion order as Run; with NodeFailureProb = 0 and
+	// MaxRetries = 0 the run consumes randomness identically to Run and
+	// reproduces its per-access latencies and traces exactly.
 	Recorder *Recorder
 }
 
@@ -93,7 +99,16 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		return lo
 	}
 
+	// With a zero failure probability every node is always alive; skipping
+	// the per-access resampling keeps the rng stream identical to Run's, so
+	// the failure-free configuration reproduces Run draw for draw.
 	alive := make([]bool, n)
+	allAlive := cfg.NodeFailureProb == 0
+	if allAlive {
+		for i := range alive {
+			alive[i] = true
+		}
+	}
 	stats := &FailureStats{}
 	var latencySum float64
 	var noLiveQuorumFirstAttempt int
@@ -113,100 +128,125 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		defer func() { obs.Count("netsim.traced_accesses", traced) }()
 	}
 
+	// Accesses are processed on the same (completion time, seq) event queue
+	// as Run: each client's accesses run back-to-back, and the shared rng is
+	// consumed in global virtual-time order rather than client-major order.
+	var q eventQueue
+	seq := 0
 	for v := 0; v < n; v++ {
+		q.push(event{at: 0, seq: seq, client: v, access: 0})
+		seq++
+	}
+	for len(q) > 0 {
+		e := q.pop()
+		v := e.client
 		row := ins.M.Row(v)
-		clock := 0.0 // per-client virtual time, accesses back-to-back
-		for a := 0; a < cfg.AccessesPerClient; a++ {
-			// Sample the crash state for this access epoch.
+		// Sample the crash state for this access epoch.
+		if !allAlive {
 			for i := range alive {
 				alive[i] = rng.Float64() >= cfg.NodeFailureProb
 			}
-			// Record whether any quorum is alive at all in this state
-			// (the quantity NodeFailureProbability predicts).
-			if !anyQuorumAlive(ins, cfg.Placement, alive) {
-				noLiveQuorumFirstAttempt++
+		}
+		// Record whether any quorum is alive at all in this state
+		// (the quantity NodeFailureProbability predicts).
+		if !anyQuorumAlive(ins, cfg.Placement, alive) {
+			noLiveQuorumFirstAttempt++
+		}
+		stats.Accesses++
+		var tr *AccessTrace
+		if rec != nil && rec.shouldTrace() {
+			tr = &AccessTrace{Run: runID, Client: v, Mode: cfg.Mode, Start: e.at}
+			tr.Probes = rec.getProbes(0)
+		}
+		penalty := 0.0
+		elapsed := 0.0 // virtual time the access occupies on the client
+		success := false
+		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+			qi := sampleQuorum()
+			attemptStart := e.at + penalty
+			attemptProbes := 0
+			if tr != nil {
+				attemptProbes = len(tr.Probes)
 			}
-			stats.Accesses++
-			var tr *AccessTrace
-			if rec != nil && rec.shouldTrace() {
-				tr = &AccessTrace{Run: runID, Client: v, Mode: cfg.Mode, Start: clock}
-				tr.Probes = rec.getProbes(0)
-			}
-			penalty := 0.0
-			success := false
-			for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-				qi := sampleQuorum()
-				attemptStart := clock + penalty
-				attemptProbes := 0
-				if tr != nil {
-					attemptProbes = len(tr.Probes)
-				}
-				ok := true
-				var latency float64
-				for _, u := range ins.Sys.Quorum(qi) {
-					node := cfg.Placement.Node(u)
-					if !alive[node] {
-						if tr != nil {
-							tr.Probes = append(tr.Probes, ProbeSpan{
-								Member: u, Node: node, Dispatch: attemptStart,
-								Complete: attemptStart, Failed: true,
-							})
-						}
-						ok = false
-						break
-					}
-					d := row[node]
+			ok := true
+			var latency float64
+			for _, u := range ins.Sys.Quorum(qi) {
+				node := cfg.Placement.Node(u)
+				if !alive[node] {
 					if tr != nil {
+						// The failing probe is dispatched after the latency
+						// already accumulated in this attempt (Sequential
+						// probes go out one after another; Parallel probes
+						// all leave at the attempt start).
 						dispatch := attemptStart
 						if cfg.Mode == Sequential {
 							dispatch += latency
 						}
 						tr.Probes = append(tr.Probes, ProbeSpan{
-							Member: u, Node: node,
-							Dispatch: dispatch, NetDelay: d, Complete: dispatch + d,
+							Member: u, Node: node, Dispatch: dispatch,
+							Complete: dispatch, Failed: true,
 						})
 					}
-					if cfg.Mode == Parallel {
-						if d > latency {
-							latency = d
-						}
-					} else {
-						latency += d
-					}
-				}
-				if ok {
-					stats.Succeeded++
-					latencySum += latency + penalty
-					success = true
-					if tr != nil {
-						tr.Quorum = qi
-						tr.Attempts = attempt
-						tr.Latency = latency + penalty
-						tr.End = tr.Start + tr.Latency
-						markStragglerIn(cfg.Mode, tr.Probes[attemptProbes:])
-						rec.add(*tr)
-						traced++
-					}
-					clock += latency + penalty
+					ok = false
 					break
 				}
-				if attempt < cfg.MaxRetries {
-					stats.Retries++
-					penalty += cfg.RetryPenalty
+				d := row[node]
+				if tr != nil {
+					dispatch := attemptStart
+					if cfg.Mode == Sequential {
+						dispatch += latency
+					}
+					tr.Probes = append(tr.Probes, ProbeSpan{
+						Member: u, Node: node,
+						Dispatch: dispatch, NetDelay: d, Complete: dispatch + d,
+					})
+				}
+				if cfg.Mode == Parallel {
+					if d > latency {
+						latency = d
+					}
+				} else {
+					latency += d
 				}
 			}
-			if !success {
-				stats.FailedOutright++
+			if ok {
+				stats.Succeeded++
+				latencySum += latency + penalty
+				success = true
+				elapsed = latency + penalty
 				if tr != nil {
-					tr.Attempts = cfg.MaxRetries + 1
-					tr.Aborted = true
-					tr.Latency = penalty
-					tr.End = tr.Start + penalty
+					tr.Quorum = qi
+					tr.Attempts = attempt
+					tr.Latency = latency + penalty
+					tr.End = tr.Start + tr.Latency
+					markStragglerIn(cfg.Mode, tr.Probes[attemptProbes:])
 					rec.add(*tr)
 					traced++
 				}
-				clock += penalty
+				break
 			}
+			// Every failed attempt is charged its timeout, including the
+			// final attempt of an access that exhausts the retry budget.
+			penalty += cfg.RetryPenalty
+			if attempt < cfg.MaxRetries {
+				stats.Retries++
+			}
+		}
+		if !success {
+			stats.FailedOutright++
+			elapsed = penalty
+			if tr != nil {
+				tr.Attempts = cfg.MaxRetries + 1
+				tr.Aborted = true
+				tr.Latency = penalty
+				tr.End = tr.Start + penalty
+				rec.add(*tr)
+				traced++
+			}
+		}
+		if e.access+1 < cfg.AccessesPerClient {
+			q.push(event{at: e.at + elapsed, seq: seq, client: v, access: e.access + 1})
+			seq++
 		}
 	}
 	stats.SuccessRate = float64(stats.Succeeded) / float64(stats.Accesses)

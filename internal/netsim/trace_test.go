@@ -288,8 +288,10 @@ func TestFailureTraceAttempts(t *testing.T) {
 		}
 		if tr.Aborted {
 			aborted++
-			if tr.Latency != float64(tr.Attempts-1)*1 {
-				t.Fatalf("aborted access latency %v, want %v penalties", tr.Latency, float64(tr.Attempts-1))
+			// Every failed attempt — including the last — charges one
+			// RetryPenalty (here 1), so an aborted access pays Attempts of them.
+			if tr.Latency != float64(tr.Attempts)*1 {
+				t.Fatalf("aborted access latency %v, want %v penalties", tr.Latency, float64(tr.Attempts))
 			}
 		}
 		for _, pr := range tr.Probes {

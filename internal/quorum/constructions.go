@@ -108,26 +108,30 @@ func Wheel(n int) *System {
 	return mustNewSystem(fmt.Sprintf("wheel-%d", n), n, quorums)
 }
 
-// FPP returns the finite-projective-plane quorum system of prime order q —
-// the construction underlying Maekawa's √N mutual-exclusion algorithm. The
-// universe is the q²+q+1 points of PG(2,q) and the quorums are its q²+q+1
-// lines; every line has q+1 points and every pair of lines meets in exactly
-// one point, so the system has optimal load Θ(1/√n).
+// FPP returns the finite-projective-plane quorum system of prime-power
+// order q = p^k — the construction underlying Maekawa's √N mutual-exclusion
+// algorithm. The universe is the q²+q+1 points of PG(2,q) and the quorums
+// are its q²+q+1 lines; every line has q+1 points and every pair of lines
+// meets in exactly one point, so the system has optimal load Θ(1/√n).
+// Lines over GF(q) use finite-field arithmetic (see gf.go), so composite
+// prime powers like 4, 8, 9 work; orders with two distinct prime factors
+// (6, 10, 12, ...) have no field and the construction panics.
 //
 // Point indexing: affine point (x, y) is x*q + y; the ideal point of slope m
 // is q²+m; the vertical ideal point is q²+q.
 func FPP(q int) *System {
-	if q < 2 || !isPrime(q) {
-		panic(fmt.Sprintf("quorum: FPP order %d must be a prime >= 2", q))
+	f, err := newGF(q)
+	if err != nil {
+		panic(fmt.Sprintf("quorum: FPP order %d must be a prime power >= 2: %v", q, err))
 	}
 	n := q*q + q + 1
 	var quorums [][]int
-	// Lines y = m x + b, closed by the ideal point of slope m.
+	// Lines y = m·x + b over GF(q), closed by the ideal point of slope m.
 	for m := 0; m < q; m++ {
 		for b := 0; b < q; b++ {
 			line := make([]int, 0, q+1)
 			for x := 0; x < q; x++ {
-				y := (m*x + b) % q
+				y := f.add[f.mul[m*q+x]*q+b]
 				line = append(line, x*q+y)
 			}
 			line = append(line, q*q+m)
@@ -150,18 +154,6 @@ func FPP(q int) *System {
 	}
 	quorums = append(quorums, inf)
 	return mustNewSystem(fmt.Sprintf("fpp-%d", q), n, quorums)
-}
-
-func isPrime(n int) bool {
-	if n < 2 {
-		return false
-	}
-	for d := 2; d*d <= n; d++ {
-		if n%d == 0 {
-			return false
-		}
-	}
-	return true
 }
 
 // CrumblingWalls returns the Peleg–Wool crumbling-walls system for the given

@@ -1,0 +1,181 @@
+package quorum
+
+import "fmt"
+
+// Finite-field arithmetic for the projective-plane construction. PG(2,q)
+// exists for every prime power q = p^k, not just primes: its points and
+// lines are built from GF(q), which for k > 1 is the quotient of GF(p)[x]
+// by an irreducible polynomial of degree k. Field elements are represented
+// as integers 0..q-1 whose base-p digits are the polynomial coefficients
+// (element e encodes Σ digit_i(e)·x^i), so 0 and 1 are the additive and
+// multiplicative identities under this encoding.
+
+// gfField is GF(p^k) with precomputed addition and multiplication tables
+// (q ≤ a few dozen for every system this package builds, so q² ints are
+// cheap and make the line construction branch-free).
+type gfField struct {
+	q   int
+	add []int // add[a*q+b] = a + b
+	mul []int // mul[a*q+b] = a · b
+}
+
+// primePower factors q as p^k for prime p, or reports ok = false.
+func primePower(q int) (p, k int, ok bool) {
+	if q < 2 {
+		return 0, 0, false
+	}
+	p = q
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			p = d
+			break
+		}
+	}
+	for n := q; n > 1; n /= p {
+		if n%p != 0 {
+			return 0, 0, false
+		}
+		k++
+	}
+	return p, k, true
+}
+
+// newGF builds GF(q) for a prime power q, or returns an error naming the
+// restriction when q is not one.
+func newGF(q int) (*gfField, error) {
+	p, k, ok := primePower(q)
+	if !ok {
+		return nil, fmt.Errorf("quorum: %d is not a prime power (no finite field, and no known projective plane, of that order)", q)
+	}
+	f := &gfField{q: q, add: make([]int, q*q), mul: make([]int, q*q)}
+	if k == 1 {
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				f.add[a*q+b] = (a + b) % q
+				f.mul[a*q+b] = (a * b) % q
+			}
+		}
+		return f, nil
+	}
+	irr := findIrreducible(p, k)
+	for a := 0; a < q; a++ {
+		da := digits(a, p, k)
+		for b := 0; b < q; b++ {
+			db := digits(b, p, k)
+			sum := make([]int, k)
+			for i := 0; i < k; i++ {
+				sum[i] = (da[i] + db[i]) % p
+			}
+			f.add[a*q+b] = undigits(sum, p)
+			prod := polyMulMod(da, db, irr, p)
+			f.mul[a*q+b] = undigits(prod, p)
+		}
+	}
+	return f, nil
+}
+
+// digits returns the k base-p digits of e, least significant first
+// (coefficients of the polynomial representation).
+func digits(e, p, k int) []int {
+	d := make([]int, k)
+	for i := 0; i < k; i++ {
+		d[i] = e % p
+		e /= p
+	}
+	return d
+}
+
+// undigits inverts digits.
+func undigits(d []int, p int) int {
+	e := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		e = e*p + d[i]
+	}
+	return e
+}
+
+// polyMulMod multiplies two polynomials over GF(p) and reduces modulo the
+// monic polynomial irr (len k+1, irr[k] = 1), returning k coefficients.
+func polyMulMod(a, b, irr []int, p int) []int {
+	k := len(irr) - 1
+	prod := make([]int, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			prod[i+j] = (prod[i+j] + ai*bj) % p
+		}
+	}
+	// Reduce: x^k ≡ -(irr[0] + irr[1]x + ... + irr[k-1]x^{k-1}).
+	for d := len(prod) - 1; d >= k; d-- {
+		c := prod[d]
+		if c == 0 {
+			continue
+		}
+		prod[d] = 0
+		for i := 0; i < k; i++ {
+			prod[d-k+i] = ((prod[d-k+i]-c*irr[i])%p + p) % p
+		}
+	}
+	return prod[:k]
+}
+
+// findIrreducible returns a monic irreducible polynomial of degree k over
+// GF(p) as k+1 coefficients (constant term first, leading 1 last), found by
+// enumerating candidates and trial-dividing by every lower-degree monic
+// polynomial. Irreducible polynomials exist for every (p, k), and the search
+// space p^k is tiny for the field sizes this package constructs.
+func findIrreducible(p, k int) []int {
+	for c := 0; c < intPow(p, k); c++ {
+		cand := append(digits(c, p, k), 1)
+		if polyIrreducible(cand, p) {
+			return cand
+		}
+	}
+	panic(fmt.Sprintf("quorum: no irreducible polynomial of degree %d over GF(%d)", k, p)) // unreachable
+}
+
+// polyIrreducible reports whether the monic polynomial f (degree ≥ 1) has no
+// monic divisor of degree 1..deg(f)/2 over GF(p).
+func polyIrreducible(f []int, p int) bool {
+	k := len(f) - 1
+	for d := 1; 2*d <= k; d++ {
+		for c := 0; c < intPow(p, d); c++ {
+			div := append(digits(c, p, d), 1)
+			if polyDivides(div, f, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyDivides reports whether monic div divides f over GF(p).
+func polyDivides(div, f []int, p int) bool {
+	rem := append([]int(nil), f...)
+	d := len(div) - 1
+	for i := len(rem) - 1; i >= d; i-- {
+		c := rem[i]
+		if c == 0 {
+			continue
+		}
+		for j := 0; j <= d; j++ {
+			rem[i-d+j] = ((rem[i-d+j]-c*div[j])%p + p) % p
+		}
+	}
+	for _, c := range rem[:d] {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func intPow(p, k int) int {
+	out := 1
+	for i := 0; i < k; i++ {
+		out *= p
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package quorum
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGFFieldAxioms: the generated tables form a field — commutative group
+// under addition, nonzero elements a multiplicative group, distributivity.
+func TestGFFieldAxioms(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 16, 25, 27} {
+		f, err := newGF(q)
+		if err != nil {
+			t.Fatalf("GF(%d): %v", q, err)
+		}
+		for a := 0; a < q; a++ {
+			if f.add[a*q] != a || f.add[a] != a {
+				t.Fatalf("GF(%d): 0 is not the additive identity for %d", q, a)
+			}
+			if f.mul[a*q+1] != a || f.mul[q+a] != a {
+				t.Fatalf("GF(%d): 1 is not the multiplicative identity for %d", q, a)
+			}
+			hasNeg, hasInv := false, a == 0
+			for b := 0; b < q; b++ {
+				if f.add[a*q+b] != f.add[b*q+a] || f.mul[a*q+b] != f.mul[b*q+a] {
+					t.Fatalf("GF(%d): %d,%d not commutative", q, a, b)
+				}
+				if f.add[a*q+b] == 0 {
+					hasNeg = true
+				}
+				if f.mul[a*q+b] == 1 {
+					hasInv = true
+				}
+				for c := 0; c < q; c++ {
+					if f.add[f.add[a*q+b]*q+c] != f.add[a*q+f.add[b*q+c]] {
+						t.Fatalf("GF(%d): addition not associative at %d,%d,%d", q, a, b, c)
+					}
+					if f.mul[f.mul[a*q+b]*q+c] != f.mul[a*q+f.mul[b*q+c]] {
+						t.Fatalf("GF(%d): multiplication not associative at %d,%d,%d", q, a, b, c)
+					}
+					if f.mul[a*q+f.add[b*q+c]] != f.add[f.mul[a*q+b]*q+f.mul[a*q+c]] {
+						t.Fatalf("GF(%d): not distributive at %d,%d,%d", q, a, b, c)
+					}
+				}
+			}
+			if !hasNeg || !hasInv {
+				t.Fatalf("GF(%d): %d lacks an inverse (neg %v, inv %v)", q, a, hasNeg, hasInv)
+			}
+		}
+	}
+}
+
+// TestFPPPrimePowers: PG(2,q) for composite prime powers — the orders the
+// prime-only construction used to panic on — is a valid projective plane:
+// q²+q+1 points and lines, q+1 points per line, and every pair of lines
+// meeting in exactly one point.
+func TestFPPPrimePowers(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 8, 9} {
+		s := FPP(q)
+		n := q*q + q + 1
+		if s.Universe() != n || s.NumQuorums() != n {
+			t.Fatalf("FPP(%d): %d points, %d lines, want %d", q, s.Universe(), s.NumQuorums(), n)
+		}
+		for i := 0; i < n; i++ {
+			if len(s.Quorum(i)) != q+1 {
+				t.Fatalf("FPP(%d): line %d has %d points, want %d", q, i, len(s.Quorum(i)), q+1)
+			}
+		}
+		// Exactly-one intersection (stronger than the ≥1 NewSystem checks).
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				common := 0
+				for _, u := range s.Quorum(i) {
+					if s.Contains(j, u) {
+						common++
+					}
+				}
+				if common != 1 {
+					t.Fatalf("FPP(%d): lines %d and %d share %d points, want 1", q, i, j, common)
+				}
+			}
+		}
+		// Duality: every point lies on exactly q+1 lines, so the uniform
+		// strategy loads every element equally at (q+1)/(q²+q+1).
+		loads, err := s.Loads(Uniform(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(q+1) / float64(n)
+		for u, l := range loads {
+			if diff := l - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("FPP(%d): element %d load %v, want %v", q, u, l, want)
+			}
+		}
+	}
+}
+
+// TestFPPRejectsNonPrimePowers: orders with two distinct prime factors have
+// no finite field; the panic must say so explicitly.
+func TestFPPRejectsNonPrimePowers(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 15} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("FPP(%d) did not panic", q)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "prime power") {
+					t.Fatalf("FPP(%d) panic does not state the prime-power restriction: %v", q, r)
+				}
+			}()
+			FPP(q)
+		}()
+	}
+}

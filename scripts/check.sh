@@ -20,6 +20,14 @@ fi
 echo "== go test"
 go test ./...
 
+echo "== fuzz smoke (invariant auditor, bounded)"
+# Each target explores seeds beyond the deterministic sweep for a bounded
+# time (FUZZTIME to override). The corpora under internal/check/testdata/fuzz
+# already ran as plain test cases in the step above.
+for target in FuzzSolveQPP FuzzSolveTotalDelay FuzzLPvsExact FuzzRunWithFailures; do
+    go test ./internal/check -run '^$' -fuzz "^${target}\$" -fuzztime "${FUZZTIME:-20s}"
+done
+
 echo "== go test -race (instrumented packages)"
 go test -race ./internal/obs ./internal/placement ./internal/netsim
 
