@@ -296,6 +296,22 @@ func BenchmarkE11NetsimValidation(b *testing.B) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(snap.Counter("netsim.events"))/secs, "events/sec")
 	}
+	// Deterministic tail-latency metrics from one fixed-seed run: unlike
+	// ns/op these are virtual-time quantities, identical on every machine,
+	// so benchdiff -metric can gate them across snapshots from different
+	// hardware (scripts/check.sh pins p99_delay within a 2% band).
+	fixed, err := RunSim(SimConfig{
+		Instance:          ins,
+		Placement:         p,
+		Mode:              SimParallel,
+		AccessesPerClient: 100,
+		Seed:              11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(fixed.Percentile(0.99), "p99_delay")
+	b.ReportMetric(fixed.Percentile(0.999), "p999_delay")
 }
 
 // --- substrate micro-benchmarks ---------------------------------------------

@@ -28,8 +28,17 @@
 //	  -threshold 0.10       ns/op noise band (fraction)
 //	  -per name=frac,...    per-benchmark ns/op threshold overrides
 //	  -allocs-threshold 0   allocs/op tolerance (0 = exact)
+//	  -allocs-per name=frac,... per-benchmark allocs/op tolerance overrides
+//	                        (benchmarks whose one-time setup dominates at
+//	                        short benchtimes need a wider band)
 //	  -ignore-ns            skip ns/op comparison (cross-machine runs)
 //	  -require-all          fail when NEW lacks a benchmark OLD has
+//	  -metric name=band,... gate custom benchmark metrics (p99_delay, ...)
+//	                        within a symmetric relative band; deterministic
+//	                        fixed-seed metrics ARE machine-comparable, so
+//	                        these gates pair with -ignore-ns for
+//	                        cross-machine runs. A metric present on only
+//	                        one side is noted, not gated.
 //
 //	benchdiff -speedup SLOW:FAST:MINRATIO[,...] [-min-cpus N] SNAP.json
 //	  fails unless ns/op(SLOW) / ns/op(FAST) >= MINRATIO for every entry
@@ -71,6 +80,45 @@ type benchLine struct {
 	Iters       int64   `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds every other numeric field of the snapshot line — the
+	// custom metrics benchmarks report (pivots_per_op, p99_delay, ...),
+	// which bench.sh records under their sanitized unit names. Gated with
+	// -metric.
+	Extra map[string]float64 `json:"-"`
+}
+
+// UnmarshalJSON keeps the fixed fields and routes every other numeric key
+// into Extra, so new custom metrics flow through without schema changes.
+func (b *benchLine) UnmarshalJSON(data []byte) error {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*b = benchLine{}
+	for k, v := range raw {
+		switch k {
+		case "pkg":
+			b.Pkg, _ = v.(string)
+		case "name":
+			b.Name, _ = v.(string)
+		case "iters":
+			if f, ok := v.(float64); ok {
+				b.Iters = int64(f)
+			}
+		case "ns_per_op":
+			b.NsPerOp, _ = v.(float64)
+		case "allocs_per_op":
+			b.AllocsPerOp, _ = v.(float64)
+		default:
+			if f, ok := v.(float64); ok {
+				if b.Extra == nil {
+					b.Extra = make(map[string]float64)
+				}
+				b.Extra[k] = f
+			}
+		}
+	}
+	return nil
 }
 
 func run(args []string, stdout, stderr io.Writer) (int, error) {
@@ -79,8 +127,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	threshold := fs.Float64("threshold", 0.10, "ns/op noise band as a fraction (new > old·(1+t) fails)")
 	per := fs.String("per", "", "comma-separated name=fraction per-benchmark ns/op threshold overrides")
 	allocsThreshold := fs.Float64("allocs-threshold", 0, "allocs/op tolerance as a fraction (0 = exact match)")
+	allocsPer := fs.String("allocs-per", "", "comma-separated name=fraction per-benchmark allocs/op tolerance overrides (for setup-amortization at short benchtimes)")
 	ignoreNS := fs.Bool("ignore-ns", false, "skip the ns/op comparison (for cross-machine snapshots)")
 	requireAll := fs.Bool("require-all", false, "fail when NEW lacks a benchmark present in OLD")
+	metricSpec := fs.String("metric", "", "comma-separated name=band custom-metric drift gates (e.g. p99_delay=0.02); drift beyond the band in either direction fails")
 	speedup := fs.String("speedup", "", "comma-separated SLOW:FAST:MINRATIO gates over one snapshot (ns/op ratio)")
 	minCPUs := fs.Int("min-cpus", 0, "with -speedup: pass trivially when the snapshot's maxprocs is below this")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +151,19 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	metricBands, err := parseOverrides(*metricSpec)
+	if err != nil {
+		return 2, err
+	}
+	allocsOverrides, err := parseOverrides(*allocsPer)
+	if err != nil {
+		return 2, err
+	}
+	metricNames := make([]string, 0, len(metricBands))
+	for m := range metricBands {
+		metricNames = append(metricNames, m)
+	}
+	sort.Strings(metricNames)
 
 	oldSnap, err := readSnapshot(fs.Arg(0))
 	if err != nil {
@@ -139,6 +202,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		if ov, ok := overrides[o.Name]; ok {
 			t = ov
 		}
+		at := *allocsThreshold
+		if ov, ok := allocsOverrides[o.Name]; ok {
+			at = ov
+		}
 		nsDelta := rel(o.NsPerOp, n.NsPerOp)
 		allocsDelta := rel(o.AllocsPerOp, n.AllocsPerOp)
 		switch {
@@ -146,10 +213,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			regressions++
 			fmt.Fprintf(stdout, "REGRESS   %-60s ns/op %12.1f -> %12.1f  (%+.1f%%, limit +%.1f%%)\n",
 				k, o.NsPerOp, n.NsPerOp, 100*nsDelta, 100*t)
-		case n.AllocsPerOp > o.AllocsPerOp*(1+*allocsThreshold):
+		case n.AllocsPerOp > o.AllocsPerOp*(1+at):
 			regressions++
 			fmt.Fprintf(stdout, "REGRESS   %-60s allocs/op %g -> %g (limit +%.1f%%)\n",
-				k, o.AllocsPerOp, n.AllocsPerOp, 100**allocsThreshold)
+				k, o.AllocsPerOp, n.AllocsPerOp, 100*at)
 		case !*ignoreNS && n.NsPerOp < o.NsPerOp*(1-t):
 			fmt.Fprintf(stdout, "improved  %-60s ns/op %12.1f -> %12.1f  (%+.1f%%)\n",
 				k, o.NsPerOp, n.NsPerOp, 100*nsDelta)
@@ -158,6 +225,30 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		default:
 			fmt.Fprintf(stdout, "ok        %-60s ns/op %+.1f%%  allocs/op %+.1f%%\n",
 				k, 100*nsDelta, 100*allocsDelta)
+		}
+		// Custom-metric drift gates. Deterministic metrics (fixed-seed
+		// simulated quantiles) must agree across machines up to the stated
+		// band; a metric present on only one side is noted, not gated.
+		for _, m := range metricNames {
+			ov, oOK := o.Extra[m]
+			nv, nOK := n.Extra[m]
+			if !oOK && !nOK {
+				continue
+			}
+			if oOK != nOK {
+				fmt.Fprintf(stdout, "note      %-60s metric %s on one side only; not gating\n", k, m)
+				continue
+			}
+			band := metricBands[m]
+			delta := rel(ov, nv)
+			if delta > band || delta < -band {
+				regressions++
+				fmt.Fprintf(stdout, "DRIFT     %-60s %s %g -> %g  (%+.2f%%, band ±%.2f%%)\n",
+					k, m, ov, nv, 100*delta, 100*band)
+			} else {
+				fmt.Fprintf(stdout, "ok        %-60s %s %g -> %g  (%+.2f%%)\n",
+					k, m, ov, nv, 100*delta)
+			}
 		}
 	}
 	added := 0
@@ -261,13 +352,17 @@ func parseOverrides(s string) (map[string]float64, error) {
 		return out, nil
 	}
 	for _, part := range strings.Split(s, ",") {
-		name, frac, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("bad -per entry %q (want name=fraction)", part)
+		part = strings.TrimSpace(part)
+		// Split at the LAST '=': sub-benchmark names legitimately contain
+		// '=' (BenchmarkAblationLPScaling/k=5, BenchmarkParallelQPP/workers=4).
+		i := strings.LastIndex(part, "=")
+		if i < 0 {
+			return nil, fmt.Errorf("bad override entry %q (want name=fraction)", part)
 		}
+		name, frac := part[:i], part[i+1:]
 		f, err := strconv.ParseFloat(frac, 64)
 		if err != nil || f < 0 {
-			return nil, fmt.Errorf("bad -per fraction %q", frac)
+			return nil, fmt.Errorf("bad override fraction %q in %q", frac, part)
 		}
 		out[name] = f
 	}

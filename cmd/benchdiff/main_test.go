@@ -82,6 +82,49 @@ func TestAllocRegressionExact(t *testing.T) {
 	}
 }
 
+func TestAllocsPerOverride(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkSetupHeavy/k=5", NsPerOp: 100, AllocsPerOp: 76},
+		{Pkg: "quorumplace", Name: "BenchmarkLean", NsPerOp: 100, AllocsPerOp: 5},
+	})
+	now := writeSnap(t, dir, "new.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkSetupHeavy/k=5", NsPerOp: 100, AllocsPerOp: 118}, // +55%: amortization
+		{Pkg: "quorumplace", Name: "BenchmarkLean", NsPerOp: 100, AllocsPerOp: 5},
+	})
+
+	// Global band too tight: the setup-heavy benchmark fails.
+	code, out := diff(t, "-ignore-ns", "-allocs-threshold", "0.5", old, now)
+	if code != 1 || !strings.Contains(out, "BenchmarkSetupHeavy/k=5") {
+		t.Fatalf("amortized allocs growth not flagged; code %d:\n%s", code, out)
+	}
+
+	// A per-benchmark override waives only that benchmark.
+	code, out = diff(t, "-ignore-ns", "-allocs-threshold", "0.5",
+		"-allocs-per", "BenchmarkSetupHeavy/k=5=1.0", old, now)
+	if code != 0 {
+		t.Fatalf("-allocs-per override not applied; code %d:\n%s", code, out)
+	}
+
+	// The override does not loosen other benchmarks.
+	now2 := writeSnap(t, dir, "new2.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkSetupHeavy/k=5", NsPerOp: 100, AllocsPerOp: 118},
+		{Pkg: "quorumplace", Name: "BenchmarkLean", NsPerOp: 100, AllocsPerOp: 9}, // +80%
+	})
+	code, out = diff(t, "-ignore-ns", "-allocs-threshold", "0.5",
+		"-allocs-per", "BenchmarkSetupHeavy/k=5=1.0", old, now2)
+	if code != 1 || !strings.Contains(out, "BenchmarkLean") {
+		t.Fatalf("override leaked to other benchmarks; code %d:\n%s", code, out)
+	}
+
+	// Malformed spec is a usage error.
+	var sb, eb bytes.Buffer
+	code, err := run([]string{"-allocs-per", "nonsense", old, now}, &sb, &eb)
+	if code != 2 || err == nil {
+		t.Fatalf("malformed -allocs-per accepted: code %d err %v", code, err)
+	}
+}
+
 func TestIgnoreNSSkipsTimings(t *testing.T) {
 	dir := t.TempDir()
 	old := writeSnap(t, dir, "old.json", []benchLine{
@@ -199,5 +242,83 @@ func TestBadInputs(t *testing.T) {
 	}
 	if code, err := run([]string{"-per", "nonsense", empty, empty}, &out, &out); err == nil || code != 2 {
 		t.Fatalf("bad -per accepted (code %d, err %v)", code, err)
+	}
+}
+
+// writeRawSnap writes a snapshot with custom-metric keys, which only exist
+// in the raw JSON (benchLine.Extra is populated by UnmarshalJSON).
+func writeRawSnap(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMetricDriftGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRawSnap(t, dir, "old.json", `{
+		"date": "2026-08-06", "commit": "abc", "benchtime": "1x", "maxprocs": 8,
+		"benchmarks": [
+			{"pkg": "quorumplace", "name": "BenchmarkE11NetsimValidation", "iters": 10,
+			 "ns_per_op": 100, "allocs_per_op": 5, "p99_delay": 4.00, "events_per_sec": 5000}
+		]}`)
+	drifted := writeRawSnap(t, dir, "new.json", `{
+		"date": "2026-08-07", "commit": "def", "benchtime": "1x", "maxprocs": 8,
+		"benchmarks": [
+			{"pkg": "quorumplace", "name": "BenchmarkE11NetsimValidation", "iters": 10,
+			 "ns_per_op": 100, "allocs_per_op": 5, "p99_delay": 4.50, "events_per_sec": 9000}
+		]}`)
+
+	// 12.5% drift fails a 2% band even though ns/op and allocs are identical.
+	code, out := diff(t, "-ignore-ns", "-metric", "p99_delay=0.02", old, drifted)
+	if code != 1 || !strings.Contains(out, "DRIFT") || !strings.Contains(out, "p99_delay") {
+		t.Fatalf("code %d, out:\n%s", code, out)
+	}
+	// Ungated metrics (events_per_sec) never fail.
+	if strings.Contains(out, "events_per_sec") {
+		t.Fatalf("ungated metric compared:\n%s", out)
+	}
+	// A wide band passes, and the metric comparison is reported.
+	code, out = diff(t, "-ignore-ns", "-metric", "p99_delay=0.2", old, drifted)
+	if code != 0 || !strings.Contains(out, "p99_delay 4 -> 4.5") {
+		t.Fatalf("code %d, out:\n%s", code, out)
+	}
+	// Downward drift beyond the band also fails (determinism gate, not perf).
+	code, out = diff(t, "-ignore-ns", "-metric", "p99_delay=0.02", drifted, old)
+	if code != 1 || !strings.Contains(out, "DRIFT") {
+		t.Fatalf("downward drift not gated, code %d:\n%s", code, out)
+	}
+}
+
+func TestMetricMissingIsNote(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRawSnap(t, dir, "old.json", `{
+		"date": "2026-08-06", "commit": "abc", "benchtime": "1x", "maxprocs": 8,
+		"benchmarks": [
+			{"pkg": "quorumplace", "name": "BenchmarkA", "iters": 10, "ns_per_op": 100, "allocs_per_op": 5}
+		]}`)
+	now := writeRawSnap(t, dir, "new.json", `{
+		"date": "2026-08-07", "commit": "def", "benchtime": "1x", "maxprocs": 8,
+		"benchmarks": [
+			{"pkg": "quorumplace", "name": "BenchmarkA", "iters": 10, "ns_per_op": 100, "allocs_per_op": 5, "p99_delay": 4}
+		]}`)
+	code, out := diff(t, "-ignore-ns", "-metric", "p99_delay=0.02", old, now)
+	if code != 0 {
+		t.Fatalf("one-sided metric gated, code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "note") || !strings.Contains(out, "one side only") {
+		t.Fatalf("missing-side note absent:\n%s", out)
+	}
+	// Metric absent on both sides: silent, still passing.
+	code, out = diff(t, "-ignore-ns", "-metric", "nonexistent=0.1", old, now)
+	if code != 0 || strings.Contains(out, "nonexistent") {
+		t.Fatalf("absent metric surfaced, code %d:\n%s", code, out)
+	}
+	// Malformed -metric spec is a usage error.
+	var buf bytes.Buffer
+	if code, err := run([]string{"-metric", "p99_delay", old, now}, &buf, &buf); err == nil || code != 2 {
+		t.Fatalf("bad -metric spec accepted (code %d, err %v)", code, err)
 	}
 }

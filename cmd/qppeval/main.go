@@ -13,6 +13,13 @@
 //
 //	qppeval [-seed N] [-quick] [-csv] [-only E7] [-trace FILE] [-stats]
 //	        [-trace-out t.json] [-trace-sample 100] [-timeseries 0.5]
+//	        [-metrics-addr 127.0.0.1:9464 [-metrics-hold 30s]]
+//
+// -metrics-addr serves the live telemetry snapshot over HTTP while the
+// experiments run: Prometheus text exposition at /metrics and a JSON
+// payload at /metrics.json (the cmd/qppmon dashboard polls the latter);
+// -metrics-hold keeps the endpoint up after the run so short runs can
+// still be scraped.
 package main
 
 import (
@@ -22,9 +29,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	qp "quorumplace"
 	"quorumplace/internal/eval"
+	"quorumplace/internal/obs/export"
 )
 
 func main() {
@@ -47,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	traceSample := fs.Int("trace-sample", 1, "with -trace-out: record every k-th access only")
 	timeseries := fs.Float64("timeseries", 0, "with -trace-out: sample simulator gauges every this many virtual-time units")
 	stats := fs.Bool("stats", false, "print a telemetry summary table to stderr")
+	metricsAddr := fs.String("metrics-addr", "", "serve live metrics (Prometheus /metrics, JSON /metrics.json) on this address while running")
+	metricsHold := fs.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the experiments finish")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -78,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}()
 	}
-	if *traceFile != "" || *stats {
+	if *traceFile != "" || *stats || *metricsAddr != "" {
 		qp.EnableTelemetry()
 		defer func() {
 			snap := qp.Snapshot()
@@ -100,6 +111,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if *stats {
 				fmt.Fprint(stderr, snap.Summary())
 			}
+		}()
+	}
+	if *metricsAddr != "" {
+		// Registered after the telemetry defer, so the hold-and-close runs
+		// first (LIFO) while the collector is still installed: scrapers see
+		// live data during the run and for -metrics-hold afterwards.
+		srv, err := export.Serve(*metricsAddr, export.ActiveSource())
+		if err != nil {
+			return fmt.Errorf("metrics-addr: %w", err)
+		}
+		fmt.Fprintf(stderr, "qppeval: serving metrics on %s (json at /metrics.json)\n", srv.URL())
+		defer func() {
+			if *metricsHold > 0 {
+				time.Sleep(*metricsHold)
+			}
+			srv.Close()
 		}()
 	}
 	if *traceOut != "" {

@@ -1,0 +1,338 @@
+// Command qppmon is a terminal dashboard over the live metrics plane: it
+// polls the /metrics.json endpoint a solver exposes via -metrics-addr (see
+// cmd/qppeval and cmd/quorumstat) and renders counters, gauges, histogram
+// quantiles and span rollups with unicode sparkline trends, refreshed in
+// place. It can also validate the Prometheus exposition of a live endpoint
+// (-validate, the CI smoke test) or render a one-shot dashboard from a
+// JSONL telemetry trace written with -trace (-tail).
+//
+// Usage:
+//
+//	qppmon [-addr host:port] [-interval 1s] [-once] [-frames N]
+//	qppmon -addr host:port -validate
+//	qppmon -tail trace.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"quorumplace/internal/obs"
+	"quorumplace/internal/obs/export"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "qppmon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qppmon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:9464", "metrics endpoint to poll (host:port or full URL)")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	once := fs.Bool("once", false, "render a single frame and exit")
+	frames := fs.Int("frames", 0, "stop after this many frames (0 = run until interrupted)")
+	validate := fs.Bool("validate", false, "fetch /metrics once, check Prometheus text syntax, and exit")
+	tail := fs.String("tail", "", "render a dashboard from a JSONL telemetry trace file instead of polling")
+	width := fs.Int("width", 30, "sparkline width in cells")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *tail != "" {
+		p, err := payloadFromJSONL(*tail)
+		if err != nil {
+			return err
+		}
+		st := newMonState(*width)
+		st.observe(p, 0)
+		fmt.Fprint(stdout, render(p, st, "tail "+*tail))
+		return nil
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if *validate {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+		}
+		if err := export.ValidateText(resp.Body); err != nil {
+			return fmt.Errorf("invalid Prometheus exposition: %w", err)
+		}
+		fmt.Fprintf(stdout, "qppmon: %s/metrics is valid Prometheus text exposition\n", base)
+		return nil
+	}
+
+	st := newMonState(*width)
+	live := !*once && *frames == 0 // interactive: redraw in place
+	for frame := 0; ; frame++ {
+		p, err := fetchPayload(base)
+		if err != nil {
+			if *once {
+				return err
+			}
+			fmt.Fprintf(stderr, "qppmon: %v (retrying)\n", err)
+		} else {
+			st.observe(p, interval.Seconds())
+			out := render(p, st, base)
+			if live {
+				fmt.Fprint(stdout, "\x1b[H\x1b[2J")
+			}
+			fmt.Fprint(stdout, out)
+		}
+		if *once || (*frames > 0 && frame+1 >= *frames) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetchPayload(base string) (*export.Payload, error) {
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics.json: status %d", resp.StatusCode)
+	}
+	var p export.Payload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("decode /metrics.json: %w", err)
+	}
+	return &p, nil
+}
+
+// payloadFromJSONL folds the counter/gauge/hist/span lines of a
+// Snapshot.WriteJSONL trace into the same payload shape the endpoint
+// serves, so the dashboard renders offline traces identically.
+func payloadFromJSONL(path string) (*export.Payload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p := &export.Payload{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]obs.HistStats),
+		Spans:      make(map[string]export.SpanRollup),
+	}
+	type traceLine struct {
+		Type  string         `json:"type"`
+		Name  string         `json:"name"`
+		DurUS int64          `json:"dur_us"`
+		Value *float64       `json:"value"`
+		Hist  *obs.HistStats `json:"hist"`
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var tl traceLine
+		if err := json.Unmarshal([]byte(line), &tl); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		switch tl.Type {
+		case "counter":
+			if tl.Value != nil {
+				p.Counters[tl.Name] += int64(*tl.Value)
+			}
+		case "gauge":
+			if tl.Value != nil {
+				p.Gauges[tl.Name] = *tl.Value
+			}
+		case "hist":
+			if tl.Hist != nil {
+				p.Histograms[tl.Name] = *tl.Hist
+			}
+		case "span":
+			// Offline traces carry flat spans; roll them up by name (the
+			// full parent path is not reconstructed here).
+			r := p.Spans[tl.Name]
+			r.Count++
+			sec := float64(tl.DurUS) / 1e6
+			r.TotalSeconds += sec
+			if sec > r.MaxSeconds {
+				r.MaxSeconds = sec
+			}
+			p.Spans[tl.Name] = r
+		}
+	}
+	return p, sc.Err()
+}
+
+// monState keeps bounded per-series history across polls so each frame can
+// show a trend sparkline: counter rates, gauge values, histogram p99s.
+type monState struct {
+	width int
+	polls int
+	prev  map[string]int64 // previous counter values, for rates
+	rate  map[string]float64
+	hist  map[string][]float64
+}
+
+func newMonState(width int) *monState {
+	if width < 4 {
+		width = 4
+	}
+	return &monState{
+		width: width,
+		prev:  make(map[string]int64),
+		rate:  make(map[string]float64),
+		hist:  make(map[string][]float64),
+	}
+}
+
+func (st *monState) push(series string, v float64) {
+	h := append(st.hist[series], v)
+	if len(h) > st.width {
+		h = h[len(h)-st.width:]
+	}
+	st.hist[series] = h
+}
+
+// observe folds one polled payload into the trend history. dt is the poll
+// interval in seconds (0 for one-shot renders, where rates are unknown).
+func (st *monState) observe(p *export.Payload, dt float64) {
+	st.polls++
+	for name, v := range p.Counters {
+		if dt > 0 && st.polls > 1 {
+			st.rate[name] = float64(v-st.prev[name]) / dt
+		}
+		st.prev[name] = v
+		st.push("counter:"+name, float64(v))
+	}
+	for name, v := range p.Gauges {
+		st.push("gauge:"+name, v)
+	}
+	for name, h := range p.Histograms {
+		st.push("hist:"+name, h.P99)
+	}
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals (most recent last) as a fixed-height unicode bar
+// strip at most width cells wide, scaled to the min..max of the shown
+// values. A flat series renders at the lowest level.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		lvl := 0
+		if hi > lo {
+			lvl = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= len(sparkLevels) {
+				lvl = len(sparkLevels) - 1
+			}
+		}
+		out[i] = sparkLevels[lvl]
+	}
+	return string(out)
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// render draws one dashboard frame.
+func render(p *export.Payload, st *monState, source string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qppmon — %s   up %.1fs   poll %d\n", source, p.UptimeSeconds, st.polls)
+
+	if len(p.Counters) > 0 {
+		fmt.Fprintf(&b, "\n%-34s %12s %10s  %s\n", "counters", "total", "rate/s", "trend")
+		for _, name := range sortedNames(p.Counters) {
+			rate := "-"
+			if r, ok := st.rate[name]; ok {
+				rate = fmt.Sprintf("%.1f", r)
+			}
+			fmt.Fprintf(&b, "  %-32s %12d %10s  %s\n",
+				name, p.Counters[name], rate, sparkline(st.hist["counter:"+name], st.width))
+		}
+	}
+	if len(p.Gauges) > 0 {
+		fmt.Fprintf(&b, "\n%-34s %12s  %s\n", "gauges", "value", "trend")
+		for _, name := range sortedNames(p.Gauges) {
+			fmt.Fprintf(&b, "  %-32s %12.4g  %s\n",
+				name, p.Gauges[name], sparkline(st.hist["gauge:"+name], st.width))
+		}
+	}
+	if len(p.Histograms) > 0 {
+		fmt.Fprintf(&b, "\n%-34s %9s %9s %9s %9s %9s  %s\n",
+			"histograms", "count", "p50", "p99", "p99.9", "max", "p99 trend")
+		for _, name := range sortedNames(p.Histograms) {
+			h := p.Histograms[name]
+			fmt.Fprintf(&b, "  %-32s %9d %9.4g %9.4g %9.4g %9.4g  %s\n",
+				name, h.Count, h.P50, h.P99, h.P999, h.Max, sparkline(st.hist["hist:"+name], st.width))
+		}
+	}
+	if len(p.Spans) > 0 {
+		// Busiest span paths first; cap the panel so deep traces fit a
+		// terminal.
+		names := sortedNames(p.Spans)
+		sort.SliceStable(names, func(i, j int) bool {
+			return p.Spans[names[i]].TotalSeconds > p.Spans[names[j]].TotalSeconds
+		})
+		const maxRows = 12
+		shown := names
+		if len(shown) > maxRows {
+			shown = shown[:maxRows]
+		}
+		fmt.Fprintf(&b, "\n%-50s %9s %11s %11s\n", "spans", "count", "total_s", "max_s")
+		for _, name := range shown {
+			r := p.Spans[name]
+			fmt.Fprintf(&b, "  %-48s %9d %11.6f %11.6f\n", name, r.Count, r.TotalSeconds, r.MaxSeconds)
+		}
+		if len(names) > maxRows {
+			fmt.Fprintf(&b, "  … %d more span paths\n", len(names)-maxRows)
+		}
+	}
+	return b.String()
+}

@@ -14,10 +14,20 @@
 // tracks sampled at the given virtual-time interval. Runs are seeded
 // (-seed, default 1), so traces are reproducible.
 //
+// With -slo the simulated accesses are additionally folded into rolling
+// virtual-time windows (span -slo-window) tracking p50/p99/p99.9 access
+// delay, per-node load skew, and abort/retry burn rates; the window table
+// is printed and the process exits nonzero if any window breaches a target
+// — the CI-facing SLO budget check. -metrics-addr serves live telemetry
+// (Prometheus /metrics, JSON /metrics.json for cmd/qppmon) while running;
+// -metrics-hold keeps the endpoint up afterwards.
+//
 // Usage:
 //
 //	quorumstat [-p 0.1,0.2,0.3] [-system grid:3] [-sim 200 -nodes 16 -seed 1]
 //	           [-trace-out t.json] [-trace-sample 10] [-timeseries 0.5]
+//	           [-slo p99=4,skew=3 [-slo-window 25]]
+//	           [-metrics-addr 127.0.0.1:9464 [-metrics-hold 30s]]
 package main
 
 import (
@@ -28,8 +38,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	qp "quorumplace"
+	"quorumplace/internal/obs/export"
 )
 
 func main() {
@@ -50,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	traceOut := fs.String("trace-out", "", "with -sim: write per-access traces as Chrome trace-event JSON (Perfetto) to this file")
 	traceSample := fs.Int("trace-sample", 1, "with -trace-out: record every k-th access only")
 	timeseries := fs.Float64("timeseries", 0, "with -trace-out: sample gauge counters every this many virtual-time units")
+	sloSpec := fs.String("slo", "", "with -sim: windowed SLO targets, e.g. p99=4,p999=6,skew=2.5 (exit nonzero on violation)")
+	sloWindow := fs.Float64("slo-window", 25, "with -slo: SLO window span in virtual-time units")
+	metricsAddr := fs.String("metrics-addr", "", "serve live metrics (Prometheus /metrics, JSON /metrics.json) on this address while running")
+	metricsHold := fs.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the tables print")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +93,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-trace-out requires -sim")
 		}
 		rec = qp.NewSimRecorder(0, *traceSample, *timeseries)
+	}
+	var sloTargets qp.SimSLOTargets
+	if *sloSpec != "" {
+		if *simN <= 0 {
+			return fmt.Errorf("-slo requires -sim")
+		}
+		if *sloWindow <= 0 {
+			return fmt.Errorf("-slo-window %v, want > 0", *sloWindow)
+		}
+		t, err := qp.ParseSimSLOTargets(*sloSpec)
+		if err != nil {
+			return err
+		}
+		sloTargets = t
+		if rec == nil {
+			// SLO accounting rides on a recorder; without -trace-out use one
+			// that keeps no traces (huge sampling stride, minimal ring).
+			rec = qp.NewSimRecorder(1, 1<<30, 0)
+		}
+		rec.EnableSLO(*sloWindow)
+	}
+	if *metricsAddr != "" {
+		qp.EnableTelemetry()
+		defer qp.DisableTelemetry()
+		srv, err := export.Serve(*metricsAddr, export.ActiveSource())
+		if err != nil {
+			return fmt.Errorf("metrics-addr: %w", err)
+		}
+		fmt.Fprintf(stderr, "quorumstat: serving metrics on %s (json at /metrics.json)\n", srv.URL())
+		defer func() {
+			if *metricsHold > 0 {
+				time.Sleep(*metricsHold)
+			}
+			srv.Close()
+		}()
 	}
 
 	fmt.Fprintf(stdout, "%-18s  %5s  %7s  %6s  %9s  %9s  %10s  %3s", "system", "n", "quorums", "c(S)", "opt load", "load LB", "resilience", "ND")
@@ -118,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
-	if rec != nil {
+	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			return err
@@ -133,6 +184,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, rec.Breakdown())
 		fmt.Fprintf(stdout, "wrote %s — open it at ui.perfetto.dev or chrome://tracing\n", *traceOut)
+	}
+	if *sloSpec != "" {
+		windows := rec.SLOWindows()
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, qp.FormatSimSLOWindows(windows))
+		if violations := qp.CheckSimSLO(windows, sloTargets); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(stderr, "quorumstat: SLO violation: %s\n", v)
+			}
+			return fmt.Errorf("%d SLO window violations", len(violations))
+		}
+		fmt.Fprintln(stdout, "all SLO targets held in every window")
 	}
 	return nil
 }

@@ -3,8 +3,13 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	qp "quorumplace"
 )
@@ -105,4 +110,102 @@ func TestRunBadArgs(t *testing.T) {
 	if err := run([]string{"-sim", "10", "-nodes", "1"}, &buf, &buf); err == nil {
 		t.Fatal("tiny -nodes accepted with -sim")
 	}
+}
+
+// TestRunSLO drives the windowed SLO budget check end to end: loose targets
+// pass and print the window table, impossibly tight targets exit nonzero
+// with per-window violations on stderr.
+func TestRunSLO(t *testing.T) {
+	base := []string{"-system", "grid:2", "-p", "0.1", "-sim", "100", "-nodes", "12", "-seed", "3", "-slo-window", "50"}
+
+	var out, errOut bytes.Buffer
+	if err := run(append(base, "-slo", "p99=1e9,skew=1e9"), &out, &errOut); err != nil {
+		t.Fatalf("loose SLO failed: %v\n%s", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"run", "window", "p99.9", "skew", "all SLO targets held"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("SLO table missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	err := run(append(base, "-slo", "p50=1e-12"), &out, &errOut)
+	if err == nil {
+		t.Fatal("impossible SLO passed")
+	}
+	if !strings.Contains(err.Error(), "SLO window violations") {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if !strings.Contains(errOut.String(), "p50_delay") {
+		t.Errorf("violations not reported on stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunSLOBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-slo", "p99=4"}, &buf, &buf); err == nil {
+		t.Fatal("-slo without -sim accepted")
+	}
+	if err := run([]string{"-sim", "10", "-slo", "p99=4", "-slo-window", "0"}, &buf, &buf); err == nil {
+		t.Fatal("zero -slo-window accepted")
+	}
+	if err := run([]string{"-sim", "10", "-slo", "bogus=1"}, &buf, &buf); err == nil {
+		t.Fatal("unknown SLO key accepted")
+	}
+}
+
+// TestRunMetricsAddr serves live metrics during a run and scrapes both
+// endpoints while the -metrics-hold window keeps the server up.
+func TestRunMetricsAddr(t *testing.T) {
+	var out, errOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-system", "grid:2", "-p", "0.1", "-sim", "50", "-nodes", "10",
+			"-metrics-addr", "127.0.0.1:0", "-metrics-hold", "3s"}, &out, &errOut)
+	}()
+	// The serving line appears on stderr as soon as the listener is up.
+	var url string
+	for i := 0; i < 300; i++ {
+		if m := regexp.MustCompile(`serving metrics on (http://\S+)`).FindStringSubmatch(errOut.String()); m != nil {
+			url = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if url == "" {
+		t.Fatalf("metrics server never announced itself:\n%s", errOut.String())
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "qpp_") {
+		t.Fatalf("scrape status %d body %q", resp.StatusCode, body)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the metrics test reads stderr
+// from the test goroutine while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

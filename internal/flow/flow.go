@@ -28,6 +28,11 @@ import (
 // Reusing one workspace across solves eliminates the per-solve allocations.
 // A Workspace is not safe for concurrent use; give each worker its own.
 type Workspace struct {
+	// Rec routes the flow solver's telemetry; the zero value records through
+	// the ambient package-level collector, worker shards install their own
+	// (see obs.Rec). Networks built by Workspace.NewNetwork inherit it.
+	Rec obs.Rec
+
 	nw Network // network storage recycled by NewNetwork
 
 	dist  []float64
@@ -160,16 +165,16 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
 		panic(fmt.Sprintf("flow: terminal out of range: s=%d t=%d n=%d", s, t, nw.n))
 	}
-	sp := obs.Start("flow.mincostflow")
-	defer sp.End()
 	ws := nw.ws
 	if ws == nil {
 		ws = &Workspace{}
 	}
+	sp := ws.Rec.Start("flow.mincostflow")
+	defer sp.End()
 	ws.pot = grow(ws.pot, nw.n)
 	if nw.hasNegativeCost() {
 		nw.bellmanFord(s, ws.pot)
-		obs.Count("flow.bellman_ford_runs", 1)
+		ws.Rec.Count("flow.bellman_ford_runs", 1)
 	} else {
 		for i := range ws.pot {
 			ws.pot[i] = 0
@@ -180,9 +185,9 @@ func (nw *Network) MinCostFlow(s, t int, maxFlow int64) Result {
 	totalCost := 0.0
 	var augmentations, potentialUpdates int64
 	defer func() {
-		obs.Count("flow.augmentations", augmentations)
-		obs.Count("flow.potential_updates", potentialUpdates)
-		obs.Observe("flow.augmentations_per_run", float64(augmentations))
+		ws.Rec.Count("flow.augmentations", augmentations)
+		ws.Rec.Count("flow.potential_updates", potentialUpdates)
+		ws.Rec.Observe("flow.augmentations_per_run", float64(augmentations))
 	}()
 	ws.dist = grow(ws.dist, nw.n)
 	ws.inArc = grow(ws.inArc, nw.n)
@@ -398,7 +403,11 @@ func AssignWith(ws *Workspace, costs [][]float64, rightCap []int64) ([]int, floa
 // entry point with AssignWith so both paths report the same telemetry span
 // and infeasibility error.
 func (nw *Network) SolveAssignment(src, snk int, items int64) (Result, error) {
-	sp := obs.Start("flow.assign")
+	var rec obs.Rec
+	if nw.ws != nil {
+		rec = nw.ws.Rec
+	}
+	sp := rec.Start("flow.assign")
 	defer sp.End()
 	res := nw.MinCostFlow(src, snk, items)
 	if res.Flow != items {

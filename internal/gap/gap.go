@@ -141,6 +141,11 @@ const fracTol = 1e-9
 // workspace makes the warm rounding path allocation-free except for the
 // returned assignment. A Workspace is not safe for concurrent use.
 type Workspace struct {
+	// Rec routes the rounding telemetry; the zero value records through the
+	// ambient package-level collector, worker shards install their own.
+	// RoundWith propagates it to the embedded flow workspace.
+	Rec obs.Rec
+
 	flow        *flow.Workspace
 	slotMachine []int       // slot index → machine
 	jobs        []int       // per-machine fractional job scratch
@@ -180,11 +185,12 @@ func Round(ins *Instance, y [][]float64) ([]int, float64, error) {
 // worker so the slot graph and the min-cost-flow scratch are recycled
 // instead of reallocated.
 func RoundWith(ws *Workspace, ins *Instance, y [][]float64) ([]int, float64, error) {
-	sp := obs.Start("gap.round")
-	defer sp.End()
 	if ws == nil {
 		ws = NewWorkspace()
 	}
+	ws.flow.Rec = ws.Rec
+	sp := ws.Rec.Start("gap.round")
+	defer sp.End()
 	if err := ins.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -214,7 +220,7 @@ func RoundWith(ws *Workspace, ins *Instance, y [][]float64) ([]int, float64, err
 			return nil, 0, fmt.Errorf("gap: job %d has fractional mass %v, want 1", j, sum)
 		}
 	}
-	obs.Count("gap.fractional_vars", fractionalVars)
+	ws.Rec.Count("gap.fractional_vars", fractionalVars)
 
 	// Slot construction: for each machine, order its fractionally assigned
 	// jobs by nonincreasing load and pack them greedily into slots of unit
@@ -264,7 +270,7 @@ func RoundWith(ws *Workspace, ins *Instance, y [][]float64) ([]int, float64, err
 	}
 	ws.slotMachine, ws.edges = slotMachine, edges
 	ns := len(slotMachine)
-	obs.Count("gap.slots", int64(ns))
+	ws.Rec.Count("gap.slots", int64(ns))
 
 	// Counting-sort the edges by job (stable, so each job's slots stay in
 	// increasing order), giving the same arc insertion order as the dense

@@ -229,6 +229,13 @@ type rowKind struct {
 // returned Solution. A Workspace is not safe for concurrent use; give each
 // goroutine its own. The zero value is ready to use.
 type Workspace struct {
+	// Rec routes this workspace's telemetry. The zero value records through
+	// the ambient package-level collector (sequential behavior); parallel
+	// workers set it to their shard's recorder so solves under way on
+	// different goroutines never contend on the collector and their spans
+	// parent correctly (see obs.Shard).
+	Rec obs.Rec
+
 	tab   []float64
 	obj   []float64
 	basis []int
@@ -251,6 +258,7 @@ var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
 // and Solution.X is nil.
 func (p *Problem) Solve() (*Solution, error) {
 	ws := wsPool.Get().(*Workspace)
+	ws.Rec = obs.Rec{} // pooled workspaces must not inherit a stale shard
 	sol, err := p.SolveWith(ws)
 	wsPool.Put(ws)
 	return sol, err
@@ -259,12 +267,12 @@ func (p *Problem) Solve() (*Solution, error) {
 // SolveWith is Solve with an explicit workspace, for callers that solve in
 // a loop and want buffer reuse pinned rather than pooled.
 func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
-	sp := obs.Start("lp.solve")
-	defer sp.End()
 	if ws == nil {
 		ws = NewWorkspace()
 	}
-	obs.Count("lp.solves", 1)
+	sp := ws.Rec.Start("lp.solve")
+	defer sp.End()
+	ws.Rec.Count("lp.solves", 1)
 	n := len(p.costs)
 	if len(p.cons) == 0 {
 		// Minimizing c·x over x ≥ 0: bounded iff all (free) costs ≥ 0,
@@ -279,13 +287,13 @@ func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
 	}
 	sol, err := p.solveSimplex(ws)
 	s := &ws.sx
-	obs.Count("lp.pivots", s.pivots)
-	obs.Count("lp.degenerate_pivots", s.degens)
-	obs.Count("lp.bland_activations", s.blandActivations)
-	obs.Count("lp.pricing_scans", s.pricingScans)
-	obs.Observe("lp.pivots_per_solve", float64(s.pivots))
-	obs.Observe("lp.constraints_per_solve", float64(len(p.cons)))
-	obs.Observe("lp.vars_per_solve", float64(n))
+	ws.Rec.Count("lp.pivots", s.pivots)
+	ws.Rec.Count("lp.degenerate_pivots", s.degens)
+	ws.Rec.Count("lp.bland_activations", s.blandActivations)
+	ws.Rec.Count("lp.pricing_scans", s.pricingScans)
+	ws.Rec.Observe("lp.pivots_per_solve", float64(s.pivots))
+	ws.Rec.Observe("lp.constraints_per_solve", float64(len(p.cons)))
+	ws.Rec.Observe("lp.vars_per_solve", float64(n))
 	return sol, err
 }
 
@@ -345,7 +353,7 @@ func (p *Problem) solveSimplex(ws *Workspace) (*Solution, error) {
 	total := n + slackCount + artCount
 	stride := total + 1 // column `total` is the rhs
 	if ws.used && cap(ws.tab) >= m*stride {
-		obs.Count("lp.workspace_reuses", 1)
+		ws.Rec.Count("lp.workspace_reuses", 1)
 	}
 	ws.used = true
 
@@ -415,10 +423,10 @@ func (p *Problem) solveSimplex(ws *Workspace) (*Solution, error) {
 	firstArt := n + slackCount
 	if artCount > 0 {
 		// Phase 1: minimize the sum of artificial variables.
-		p1 := obs.Start("lp.phase1")
+		p1 := ws.Rec.Start("lp.phase1")
 		s.setPhase1Objective(firstArt)
 		status := s.run()
-		obs.Count("lp.phase1_iters", s.pivots)
+		ws.Rec.Count("lp.phase1_iters", s.pivots)
 		p1.End()
 		if status == Unbounded {
 			// Phase-1 objective is bounded below by 0; unbounded means a bug.
@@ -435,12 +443,12 @@ func (p *Problem) solveSimplex(ws *Workspace) (*Solution, error) {
 	// Shrinking the active width freezes the artificial columns: they can
 	// neither enter the basis nor receive pivot updates (their entries are
 	// dead after phase 1).
-	p2 := obs.Start("lp.phase2")
+	p2 := ws.Rec.Start("lp.phase2")
 	phase1Pivots := s.pivots
 	s.width = firstArt
 	s.setCostObjective(p.costs)
 	status := s.run()
-	obs.Count("lp.phase2_iters", s.pivots-phase1Pivots)
+	ws.Rec.Count("lp.phase2_iters", s.pivots-phase1Pivots)
 	p2.End()
 	if status == Unbounded {
 		return &Solution{Status: Unbounded}, ErrUnbounded

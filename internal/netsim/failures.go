@@ -127,6 +127,19 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		runID = rec.beginRun()
 		defer func() { obs.Count("netsim.traced_accesses", traced) }()
 	}
+	// SLO accounting charges every probed node (including the dead one that
+	// failed an attempt) to the window of the access's completion, and folds
+	// retries and aborts into the window burn rates.
+	slo := rec != nil && rec.sloEnabled()
+	var sloNodes []int
+	if slo {
+		rec.sloSetNodes(runID, n)
+		sloNodes = make([]int, 0, 16)
+	}
+	var lh *obs.LogHist
+	if obs.Enabled() {
+		lh = obs.NewLogHist()
+	}
 
 	// Accesses are processed on the same (completion time, seq) event queue
 	// as Run: each client's accesses run back-to-back, and the shared rng is
@@ -161,6 +174,8 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		penalty := 0.0
 		elapsed := 0.0 // virtual time the access occupies on the client
 		success := false
+		accRetries := 0
+		sloNodes = sloNodes[:0]
 		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 			qi := sampleQuorum()
 			attemptStart := e.at + penalty
@@ -172,6 +187,9 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 			var latency float64
 			for _, u := range ins.Sys.Quorum(qi) {
 				node := cfg.Placement.Node(u)
+				if slo {
+					sloNodes = append(sloNodes, node)
+				}
 				if !alive[node] {
 					if tr != nil {
 						// The failing probe is dispatched after the latency
@@ -230,6 +248,7 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 			penalty += cfg.RetryPenalty
 			if attempt < cfg.MaxRetries {
 				stats.Retries++
+				accRetries++
 			}
 		}
 		if !success {
@@ -244,6 +263,12 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 				traced++
 			}
 		}
+		if lh != nil && success {
+			lh.Observe(elapsed)
+		}
+		if slo {
+			rec.sloAccess(runID, e.at+elapsed, elapsed, int64(accRetries), !success, sloNodes)
+		}
 		if e.access+1 < cfg.AccessesPerClient {
 			q.push(event{at: e.at + elapsed, seq: seq, client: v, access: e.access + 1})
 			seq++
@@ -254,6 +279,9 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		stats.AvgLatency = latencySum / float64(stats.Succeeded)
 	}
 	stats.EmpiricalUnavail = float64(noLiveQuorumFirstAttempt) / float64(stats.Accesses)
+	if lh != nil {
+		obs.MergeHist("netsim.access_latency", lh)
+	}
 	return stats, nil
 }
 

@@ -231,6 +231,22 @@ func Run(cfg Config) (*Stats, error) {
 		ts = newTSState(rec, runID)
 		defer func() { obs.Count("netsim.traced_accesses", traced) }()
 	}
+	// Windowed SLO accounting folds every access into the window of its
+	// completion time; sloNodes is a per-access scratch of the nodes its
+	// messages hit, reused so the SLO path allocates nothing per access.
+	slo := rec != nil && rec.sloEnabled()
+	var sloNodes []int
+	if slo {
+		rec.sloSetNodes(runID, n)
+		sloNodes = make([]int, 0, 16)
+	}
+	// When telemetry is on, access latencies accumulate in a run-local
+	// log-linear histogram merged once at run end — one contention point per
+	// run instead of one per access.
+	var lh *obs.LogHist
+	if obs.Enabled() {
+		lh = obs.NewLogHist()
+	}
 
 	var q eventQueue
 	seq := 0
@@ -267,11 +283,15 @@ func Run(cfg Config) (*Stats, error) {
 		}
 		row := ins.M.Row(v)
 		var latency float64
+		sloNodes = sloNodes[:0]
 		for _, u := range ins.Sys.Quorum(qi) {
 			node := cfg.Placement.Node(u)
 			d := row[node]
 			stats.NodeHits[node]++
 			messages++
+			if slo {
+				sloNodes = append(sloNodes, node)
+			}
 			if tr != nil {
 				dispatch := e.at
 				if cfg.Mode == Sequential {
@@ -300,6 +320,12 @@ func Run(cfg Config) (*Stats, error) {
 		stats.latencies = append(stats.latencies, latency)
 		stats.PerClient[v] += latency
 		perClientCount[v]++
+		if lh != nil {
+			lh.Observe(latency)
+		}
+		if slo {
+			rec.sloAccess(runID, done, latency, 0, false, sloNodes)
+		}
 		if tr != nil {
 			tr.End = done
 			tr.Latency = latency
@@ -332,6 +358,9 @@ func Run(cfg Config) (*Stats, error) {
 		// node v, averaged over clients — the sampled analogue of
 		// load_f(v) = Σ_{u:f(u)=v} load(u).
 		stats.EmpiricalLoad[v] = float64(stats.NodeHits[v]) / (perClientAccesses * float64(n))
+	}
+	if lh != nil {
+		obs.MergeHist("netsim.access_latency", lh)
 	}
 	return stats, nil
 }

@@ -266,6 +266,19 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 	if ts != nil {
 		nodeHits = make([]int64, n)
 	}
+	// SLO accounting: message hits are charged to the window of the issue
+	// time (that is when the load lands on the nodes), while the access
+	// itself folds into the window of its completion.
+	slo := rec != nil && rec.sloEnabled()
+	var sloNodes []int
+	if slo {
+		rec.sloSetNodes(runID, n)
+		sloNodes = make([]int, 0, 16)
+	}
+	var lh *obs.LogHist
+	if obs.Enabled() {
+		lh = obs.NewLogHist()
+	}
 
 	startService := func(v int, now float64) {
 		if busy[v] || qLen[v] == 0 {
@@ -325,6 +338,7 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 				st.tr = &AccessTrace{Run: runID, Client: e.client, Quorum: qi, Start: e.at}
 				st.tr.Probes = rec.getProbes(len(q))
 			}
+			sloNodes = sloNodes[:0]
 			for slot, u := range q {
 				node := cfg.Placement.Node(u)
 				msgSlot := -1
@@ -335,7 +349,13 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 						NetDelay: row[node] + ins.M.D(node, e.client),
 					}
 				}
+				if slo {
+					sloNodes = append(sloNodes, node)
+				}
 				push(queueEvent{at: e.at + row[node], kind: 1, client: e.client, access: e.access, node: node, slot: msgSlot})
+			}
+			if slo {
+				rec.sloNodeHits(runID, e.at, sloNodes)
 			}
 		case 1: // message arrives at a node queue
 			enqueue(e.node, pendingMsg{
@@ -364,6 +384,12 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 			if st.remaining == 0 {
 				stats.Accesses++
 				latencySum += st.lastResp - st.issuedAt
+				if lh != nil {
+					lh.Observe(st.lastResp - st.issuedAt)
+				}
+				if slo {
+					rec.sloAccess(runID, st.lastResp, st.lastResp-st.issuedAt, 0, false, nil)
+				}
 				if st.tr != nil {
 					st.tr.End = st.lastResp
 					st.tr.Latency = st.lastResp - st.issuedAt
@@ -386,6 +412,9 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 		for v := 0; v < n; v++ {
 			stats.Utilization[v] = busyTime[v] / stats.Clock
 		}
+	}
+	if lh != nil {
+		obs.MergeHist("netsim.access_latency", lh)
 	}
 	return stats, nil
 }

@@ -1,0 +1,325 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"quorumplace/internal/obs"
+)
+
+// Windowed SLO accounting: when enabled on a Recorder, every simulated
+// access is folded into a rolling virtual-time window tracking the access
+// delay distribution (p50/p99/p99.9 via the obs log-linear histogram),
+// per-node load skew, and the failure-path burn rates (aborts and retries
+// per access). The windows form a time series — the operational view a
+// long-lived placement daemon needs — and CheckSLO grades them against
+// declared targets, giving CI and tools an exit-nonzero signal when a
+// placement's tail latency or load balance degrades mid-run rather than
+// only in end-of-run aggregate.
+
+// SLOTargets declares per-window service-level objectives. A zero field is
+// unchecked, so callers state only the objectives they care about.
+type SLOTargets struct {
+	// P50, P99 and P999 bound the windowed access-delay quantiles (virtual
+	// time units).
+	P50  float64 `json:"p50,omitempty"`
+	P99  float64 `json:"p99,omitempty"`
+	P999 float64 `json:"p999,omitempty"`
+	// MaxLoadSkew bounds max/mean per-node message load within a window
+	// (1 = perfectly even; the paper's load-dispersion motivation made
+	// operational).
+	MaxLoadSkew float64 `json:"max_load_skew,omitempty"`
+	// MaxAbortRate bounds aborted accesses per access in a window (failure
+	// simulator: retry budget exhausted).
+	MaxAbortRate float64 `json:"max_abort_rate,omitempty"`
+	// MaxRetriesPerAccess bounds total retries per access in a window.
+	MaxRetriesPerAccess float64 `json:"max_retries_per_access,omitempty"`
+}
+
+// SLOWindow is one finalized rolling window of a run.
+type SLOWindow struct {
+	Run        int     `json:"run"`
+	Index      int     `json:"index"`
+	Start      float64 `json:"start"`
+	End        float64 `json:"end"`
+	Accesses   int64   `json:"accesses"`
+	Aborts     int64   `json:"aborts"`
+	Retries    int64   `json:"retries"`
+	P50        float64 `json:"p50"`
+	P99        float64 `json:"p99"`
+	P999       float64 `json:"p999"`
+	MaxLatency float64 `json:"max_latency"`
+	// LoadSkew is max over nodes of window message hits divided by the mean
+	// over all nodes of the run's network (0 when the window saw no
+	// messages).
+	LoadSkew float64 `json:"load_skew"`
+	NodeHits []int64 `json:"node_hits,omitempty"`
+}
+
+// SLOViolation is one target breached by one window.
+type SLOViolation struct {
+	Run    int     `json:"run"`
+	Window int     `json:"window"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+}
+
+func (v SLOViolation) String() string {
+	return fmt.Sprintf("run %d window %d: %s = %.6g exceeds target %.6g",
+		v.Run, v.Window, v.Metric, v.Value, v.Limit)
+}
+
+// CheckSLO grades windows against targets and returns every breach, in
+// window order. Empty result means the run held its objectives.
+func CheckSLO(windows []SLOWindow, t SLOTargets) []SLOViolation {
+	var out []SLOViolation
+	add := func(w SLOWindow, metric string, value, limit float64) {
+		if limit > 0 && value > limit {
+			out = append(out, SLOViolation{Run: w.Run, Window: w.Index, Metric: metric, Value: value, Limit: limit})
+		}
+	}
+	for _, w := range windows {
+		if w.Accesses > 0 {
+			add(w, "p50_delay", w.P50, t.P50)
+			add(w, "p99_delay", w.P99, t.P99)
+			add(w, "p999_delay", w.P999, t.P999)
+			add(w, "abort_rate", float64(w.Aborts)/float64(w.Accesses), t.MaxAbortRate)
+			add(w, "retries_per_access", float64(w.Retries)/float64(w.Accesses), t.MaxRetriesPerAccess)
+		}
+		add(w, "load_skew", w.LoadSkew, t.MaxLoadSkew)
+	}
+	return out
+}
+
+// sloKey identifies one window of one run.
+type sloKey struct{ run, idx int }
+
+// sloAcc accumulates one window. Completions arrive out of virtual-time
+// order (the event queue orders issues, not completions), so windows live
+// in a map keyed by completion-time window index and are finalized at read
+// time rather than sealed in sequence.
+type sloAcc struct {
+	hist     *obs.LogHist
+	accesses int64
+	aborts   int64
+	retries  int64
+	nodeHits []int64
+}
+
+// EnableSLO turns on windowed SLO accounting for subsequent runs on this
+// recorder, with windows of the given span of virtual time. It must be
+// called before the runs it should observe; a window span ≤ 0 disables.
+func (r *Recorder) EnableSLO(window float64) {
+	r.mu.Lock()
+	r.sloWindow = window
+	if window > 0 && r.sloAccs == nil {
+		r.sloAccs = make(map[sloKey]*sloAcc)
+		r.sloNodes = make(map[int]int)
+	}
+	r.mu.Unlock()
+}
+
+// sloEnabled reports whether SLO accounting is on; simulators read it once
+// per run.
+func (r *Recorder) sloEnabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sloWindow > 0
+}
+
+// sloSetNodes registers the network size of a run, sizing per-window node
+// hit vectors and the load-skew denominator.
+func (r *Recorder) sloSetNodes(run, n int) {
+	r.mu.Lock()
+	r.sloNodes[run] = n
+	r.mu.Unlock()
+}
+
+// sloAcc returns the accumulator of the window containing virtual time at,
+// creating it on first touch. Caller holds r.mu.
+func (r *Recorder) sloAccFor(run int, at float64) *sloAcc {
+	idx := int(at / r.sloWindow)
+	k := sloKey{run: run, idx: idx}
+	a := r.sloAccs[k]
+	if a == nil {
+		a = &sloAcc{hist: obs.NewLogHist()}
+		if n := r.sloNodes[run]; n > 0 {
+			a.nodeHits = make([]int64, n)
+		}
+		r.sloAccs[k] = a
+	}
+	return a
+}
+
+// sloAccess folds one completed access into the window of its completion
+// time: its latency sample (successful accesses only), retry count, abort
+// flag, and the nodes its messages hit (nil for accesses whose message
+// accounting happens at issue time, e.g. the queueing simulator).
+func (r *Recorder) sloAccess(run int, at, latency float64, retries int64, aborted bool, nodes []int) {
+	r.mu.Lock()
+	a := r.sloAccFor(run, at)
+	a.accesses++
+	a.retries += retries
+	if aborted {
+		a.aborts++
+	} else {
+		a.hist.Observe(latency)
+	}
+	for _, v := range nodes {
+		if v < len(a.nodeHits) {
+			a.nodeHits[v]++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// sloNodeHits charges message hits to the window containing at, for
+// simulators whose messages land in a different window than the access
+// completion (queueing: hits at issue, completion later).
+func (r *Recorder) sloNodeHits(run int, at float64, nodes []int) {
+	r.mu.Lock()
+	a := r.sloAccFor(run, at)
+	for _, v := range nodes {
+		if v < len(a.nodeHits) {
+			a.nodeHits[v]++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// SLOWindows finalizes and returns the recorded windows ordered by (run,
+// window index). Quantiles carry the obs.LogHist relative error bound
+// (≤ 1/128); counts are exact.
+func (r *Recorder) SLOWindows() []SLOWindow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sloWindow <= 0 || len(r.sloAccs) == 0 {
+		return nil
+	}
+	keys := make([]sloKey, 0, len(r.sloAccs))
+	for k := range r.sloAccs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].run != keys[j].run {
+			return keys[i].run < keys[j].run
+		}
+		return keys[i].idx < keys[j].idx
+	})
+	out := make([]SLOWindow, 0, len(keys))
+	for _, k := range keys {
+		a := r.sloAccs[k]
+		w := SLOWindow{
+			Run:        k.run,
+			Index:      k.idx,
+			Start:      float64(k.idx) * r.sloWindow,
+			End:        float64(k.idx+1) * r.sloWindow,
+			Accesses:   a.accesses,
+			Aborts:     a.aborts,
+			Retries:    a.retries,
+			P50:        a.hist.Quantile(0.50),
+			P99:        a.hist.Quantile(0.99),
+			P999:       a.hist.Quantile(0.999),
+			MaxLatency: a.hist.Max(),
+			NodeHits:   append([]int64(nil), a.nodeHits...),
+		}
+		if n := len(a.nodeHits); n > 0 {
+			var total, max int64
+			for _, h := range a.nodeHits {
+				total += h
+				if h > max {
+					max = h
+				}
+			}
+			if total > 0 {
+				w.LoadSkew = float64(max) * float64(n) / float64(total)
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// CheckSLO grades this recorder's windows against targets; a convenience
+// over SLOWindows + the package CheckSLO.
+func (r *Recorder) CheckSLO(t SLOTargets) []SLOViolation {
+	return CheckSLO(r.SLOWindows(), t)
+}
+
+// FormatSLOWindows renders windows as an aligned table with one row per
+// window, the form quorumstat prints and operators eyeball.
+func FormatSLOWindows(windows []SLOWindow) string {
+	if len(windows) == 0 {
+		return "no SLO windows recorded\n"
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%-4s %-7s %12s %9s %7s %7s %9s %9s %9s %9s\n",
+		"run", "window", "span", "accesses", "aborts", "retries", "p50", "p99", "p99.9", "skew")
+	for _, w := range windows {
+		b = fmt.Appendf(b, "%-4d %-7d [%4.6g,%4.6g) %9d %7d %7d %9.4g %9.4g %9.4g %9.3g\n",
+			w.Run, w.Index, w.Start, w.End, w.Accesses, w.Aborts, w.Retries, w.P50, w.P99, w.P999, w.LoadSkew)
+	}
+	return string(b)
+}
+
+// ParseSLOTargets parses a comma-separated target spec, e.g.
+// "p99=4,p999=6,skew=2.5,abort=0.01,retries=0.2,p50=2". Unknown keys and
+// malformed numbers are errors; an empty spec yields zero targets.
+func ParseSLOTargets(spec string) (SLOTargets, error) {
+	var t SLOTargets
+	if spec == "" {
+		return t, nil
+	}
+	for _, part := range splitComma(spec) {
+		k, vs, ok := cutEq(part)
+		if !ok {
+			return t, fmt.Errorf("netsim: SLO target %q is not key=value", part)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(vs, "%g", &v); err != nil || math.IsNaN(v) || v < 0 {
+			return t, fmt.Errorf("netsim: SLO target %s has bad value %q", k, vs)
+		}
+		switch k {
+		case "p50":
+			t.P50 = v
+		case "p99":
+			t.P99 = v
+		case "p999":
+			t.P999 = v
+		case "skew":
+			t.MaxLoadSkew = v
+		case "abort":
+			t.MaxAbortRate = v
+		case "retries":
+			t.MaxRetriesPerAccess = v
+		default:
+			return t, fmt.Errorf("netsim: unknown SLO target %q (want p50/p99/p999/skew/abort/retries)", k)
+		}
+	}
+	return t, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func cutEq(s string) (k, v string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '=' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}

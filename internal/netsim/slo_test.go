@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sloRun executes a base-simulator run with SLO windows of the given span.
+func sloRun(t *testing.T, window float64, seed int64) (*Recorder, *Stats) {
+	t.Helper()
+	ins, p := buildInstance(t)
+	rec := NewRecorder(64, 1, 0)
+	rec.EnableSLO(window)
+	stats, err := Run(Config{
+		Instance: ins, Placement: p, Mode: Parallel,
+		AccessesPerClient: 40, InterAccessTime: 1.5, Seed: seed,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, stats
+}
+
+func TestSLOWindowAccounting(t *testing.T) {
+	rec, stats := sloRun(t, 10, 42)
+	windows := rec.SLOWindows()
+	if len(windows) < 2 {
+		t.Fatalf("got %d windows, want several over clock %v", len(windows), stats.Clock)
+	}
+	var accesses int64
+	nodeHits := make([]int64, len(stats.NodeHits))
+	prev := sloKey{run: -1, idx: -1}
+	for _, w := range windows {
+		k := sloKey{run: w.Run, idx: w.Index}
+		if k.run < prev.run || (k.run == prev.run && k.idx <= prev.idx) {
+			t.Fatalf("windows not sorted: %+v after %+v", k, prev)
+		}
+		prev = k
+		if w.Start != float64(w.Index)*10 || w.End != w.Start+10 {
+			t.Fatalf("window %d span [%v,%v)", w.Index, w.Start, w.End)
+		}
+		if w.Accesses > 0 && (w.P50 <= 0 || w.P99 < w.P50 || w.P999 < w.P99) {
+			t.Fatalf("window %d quantiles not ordered: p50=%v p99=%v p999=%v", w.Index, w.P50, w.P99, w.P999)
+		}
+		if w.LoadSkew != 0 && w.LoadSkew < 1 {
+			t.Fatalf("window %d load skew %v < 1", w.Index, w.LoadSkew)
+		}
+		accesses += w.Accesses
+		for v, h := range w.NodeHits {
+			nodeHits[v] += h
+		}
+	}
+	// Every access and every message lands in exactly one window.
+	if accesses != int64(stats.Accesses) {
+		t.Fatalf("windows hold %d accesses, stats say %d", accesses, stats.Accesses)
+	}
+	if !reflect.DeepEqual(nodeHits, stats.NodeHits) {
+		t.Fatalf("window node hits %v != stats node hits %v", nodeHits, stats.NodeHits)
+	}
+	// Whole-run quantile sanity: the max windowed p999 cannot exceed the
+	// run's max latency, and some window must see the global p50 region.
+	max := stats.Percentile(1)
+	for _, w := range windows {
+		if w.MaxLatency > max {
+			t.Fatalf("window max %v exceeds run max %v", w.MaxLatency, max)
+		}
+	}
+}
+
+func TestSLODeterministic(t *testing.T) {
+	recA, _ := sloRun(t, 7, 9)
+	recB, _ := sloRun(t, 7, 9)
+	a, b := recA.SLOWindows(), recB.SLOWindows()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different SLO windows:\n%v\n%v", a, b)
+	}
+	recC, _ := sloRun(t, 7, 10)
+	if reflect.DeepEqual(a, recC.SLOWindows()) {
+		t.Fatal("different seeds produced identical SLO windows")
+	}
+}
+
+func TestSLOCheckViolations(t *testing.T) {
+	rec, stats := sloRun(t, 10, 3)
+	windows := rec.SLOWindows()
+
+	// Loose targets hold everywhere.
+	if v := CheckSLO(windows, SLOTargets{P99: stats.Clock, MaxLoadSkew: 1e9}); len(v) != 0 {
+		t.Fatalf("loose targets violated: %v", v)
+	}
+	// Impossibly tight p50 flags every window with accesses.
+	tight := rec.CheckSLO(SLOTargets{P50: 1e-12})
+	var withAccesses int
+	for _, w := range windows {
+		if w.Accesses > 0 {
+			withAccesses++
+		}
+	}
+	if len(tight) != withAccesses {
+		t.Fatalf("tight p50 flagged %d windows, want %d", len(tight), withAccesses)
+	}
+	for _, v := range tight {
+		if v.Metric != "p50_delay" || v.Value <= v.Limit {
+			t.Fatalf("bad violation %+v", v)
+		}
+		if v.String() == "" {
+			t.Fatal("empty violation string")
+		}
+	}
+	// Zero targets check nothing.
+	if v := CheckSLO(windows, SLOTargets{}); len(v) != 0 {
+		t.Fatalf("zero targets violated: %v", v)
+	}
+}
+
+func TestSLOFailureBurnRates(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(64, 1, 0)
+	rec.EnableSLO(25)
+	stats, err := RunWithFailures(FailureConfig{
+		Instance: ins, Placement: p, Mode: Parallel,
+		NodeFailureProb: 0.4, MaxRetries: 2, RetryPenalty: 5,
+		AccessesPerClient: 60, Seed: 11, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FailedOutright == 0 || stats.Retries == 0 {
+		t.Fatalf("failure sim produced no failures: %+v", stats)
+	}
+	windows := rec.SLOWindows()
+	var aborts, retries, accesses int64
+	for _, w := range windows {
+		aborts += w.Aborts
+		retries += w.Retries
+		accesses += w.Accesses
+	}
+	if accesses != int64(stats.Accesses) {
+		t.Fatalf("windows hold %d accesses, stats say %d", accesses, stats.Accesses)
+	}
+	if aborts != int64(stats.FailedOutright) {
+		t.Fatalf("windows hold %d aborts, stats say %d", aborts, stats.FailedOutright)
+	}
+	if retries != int64(stats.Retries) {
+		t.Fatalf("windows hold %d retries, stats say %d", retries, stats.Retries)
+	}
+	// A tiny abort budget must be flagged somewhere.
+	if v := rec.CheckSLO(SLOTargets{MaxAbortRate: 1e-9}); len(v) == 0 {
+		t.Fatal("abort-rate violation not detected")
+	}
+	for _, v := range rec.CheckSLO(SLOTargets{MaxRetriesPerAccess: 1e-9}) {
+		if v.Metric != "retries_per_access" {
+			t.Fatalf("unexpected metric %q", v.Metric)
+		}
+	}
+}
+
+func TestSLOQueueingWindows(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(64, 1, 0)
+	rec.EnableSLO(20)
+	stats, err := RunQueueing(QueueConfig{
+		Instance: ins, Placement: p,
+		ArrivalRate: 0.5, ServiceMean: 0.3,
+		AccessesPerClient: 30, Seed: 5, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := rec.SLOWindows()
+	if len(windows) == 0 {
+		t.Fatal("no SLO windows from queueing run")
+	}
+	var accesses int64
+	var hits int64
+	for _, w := range windows {
+		accesses += w.Accesses
+		for _, h := range w.NodeHits {
+			hits += h
+		}
+	}
+	if accesses != int64(stats.Accesses) {
+		t.Fatalf("windows hold %d accesses, stats say %d", accesses, stats.Accesses)
+	}
+	// Every quorum message (3 per access on Grid(2)) was charged at issue.
+	if hits != 3*int64(stats.Accesses) {
+		t.Fatalf("windows hold %d node hits, want %d", hits, 3*int64(stats.Accesses))
+	}
+}
+
+func TestSLODisabledByDefault(t *testing.T) {
+	ins, p := buildInstance(t)
+	rec := NewRecorder(16, 1, 0)
+	if _, err := Run(Config{Instance: ins, Placement: p, AccessesPerClient: 5, Seed: 1, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if w := rec.SLOWindows(); w != nil {
+		t.Fatalf("SLO windows recorded without EnableSLO: %v", w)
+	}
+	rec.EnableSLO(0) // explicit ≤ 0 is also off
+	if rec.sloEnabled() {
+		t.Fatal("EnableSLO(0) left accounting on")
+	}
+}
+
+func TestParseSLOTargets(t *testing.T) {
+	got, err := ParseSLOTargets("p50=2,p99=4.5,p999=6,skew=2.5,abort=0.01,retries=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SLOTargets{P50: 2, P99: 4.5, P999: 6, MaxLoadSkew: 2.5, MaxAbortRate: 0.01, MaxRetriesPerAccess: 0.2}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if got, err := ParseSLOTargets(""); err != nil || got != (SLOTargets{}) {
+		t.Fatalf("empty spec: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"p99", "p99=abc", "bogus=1", "p99=-1", "p99=NaN"} {
+		if _, err := ParseSLOTargets(bad); err == nil {
+			t.Errorf("ParseSLOTargets accepted %q", bad)
+		}
+	}
+}
+
+func TestFormatSLOWindows(t *testing.T) {
+	if s := FormatSLOWindows(nil); s == "" {
+		t.Fatal("empty format for no windows")
+	}
+	rec, _ := sloRun(t, 10, 2)
+	s := FormatSLOWindows(rec.SLOWindows())
+	if len(s) == 0 || math.IsNaN(float64(len(s))) {
+		t.Fatal("empty table")
+	}
+}

@@ -87,6 +87,11 @@ type Recorder struct {
 	// allocating probe slices. Bounded: each overwrite donates one slice and
 	// each traced access consumes at most one.
 	free [][]ProbeSpan
+
+	// Windowed SLO accounting (see slo.go). sloWindow ≤ 0 means off.
+	sloWindow float64
+	sloAccs   map[sloKey]*sloAcc
+	sloNodes  map[int]int // run → network size, the load-skew denominator
 }
 
 // NewRecorder returns a Recorder holding up to capacity traces (≤ 0 means

@@ -1,0 +1,404 @@
+// Package export serves live telemetry snapshots over HTTP using only the
+// standard library: Prometheus text exposition at /metrics and a JSON
+// snapshot at /metrics.json. Any process holding an obs collector — a
+// long-running qppeval sweep, a quorumstat simulation, the future quorumd
+// daemon — plugs a snapshot source into Handler or Serve and becomes
+// scrapeable; cmd/qppmon is the bundled terminal consumer.
+//
+// The exposition is pull-based and read-only: every scrape takes a fresh
+// consistent snapshot from the source, so serving never blocks recording
+// beyond the collector's own snapshot lock.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"quorumplace/internal/obs"
+)
+
+// Source yields the snapshot a scrape renders. It must be safe for
+// concurrent use; obs.Collector.Snapshot (wrapped in a closure) qualifies.
+type Source func() *obs.Snapshot
+
+// SpanRollup aggregates the completed spans sharing one slash-joined name
+// path, mirroring the rows of obs.Snapshot.Summary.
+type SpanRollup struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// Payload is the /metrics.json document.
+type Payload struct {
+	// UptimeSeconds is the collector's age at snapshot time.
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Counters      map[string]int64         `json:"counters"`
+	Gauges        map[string]float64       `json:"gauges"`
+	Histograms    map[string]obs.HistStats `json:"histograms"`
+	Spans         map[string]SpanRollup    `json:"spans"`
+}
+
+// BuildPayload renders a snapshot into the JSON document. Exposed so tools
+// consuming telemetry in-process (qppmon's JSONL tail mode) share the exact
+// rollup semantics with the HTTP path.
+func BuildPayload(s *obs.Snapshot) *Payload {
+	p := &Payload{
+		UptimeSeconds: s.Duration.Seconds(),
+		Counters:      s.Counters,
+		Gauges:        s.Gauges,
+		Histograms:    s.Histograms,
+		Spans:         make(map[string]SpanRollup),
+	}
+	for i, path := range s.SpanPaths() {
+		r := p.Spans[path]
+		r.Count++
+		d := s.Spans[i].Dur.Seconds()
+		r.TotalSeconds += d
+		if d > r.MaxSeconds {
+			r.MaxSeconds = d
+		}
+		p.Spans[path] = r
+	}
+	return p
+}
+
+// Handler returns an http.Handler serving /metrics (Prometheus text,
+// content type text/plain; version=0.0.4) and /metrics.json.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := src()
+		if snap == nil {
+			http.Error(w, "no telemetry collector active", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProm(w, BuildPayload(snap))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		snap := src()
+		if snap == nil {
+			http.Error(w, "no telemetry collector active", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(BuildPayload(snap))
+	})
+	return mux
+}
+
+// writeProm renders the payload in Prometheus text exposition format 0.0.4:
+// counters as <name>_total counter samples, gauges as gauges, histograms as
+// summaries with quantile labels plus _min/_max gauges, and span rollups as
+// three path-labelled families.
+func writeProm(w io.Writer, p *Payload) {
+	prom := func(name string) string { return sanitizeMetricName("qpp_" + name) }
+
+	fmt.Fprintf(w, "# TYPE qpp_uptime_seconds gauge\nqpp_uptime_seconds %s\n", fmtVal(p.UptimeSeconds))
+
+	for _, name := range sortedKeys(p.Counters) {
+		m := prom(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, p.Counters[name])
+	}
+	for _, name := range sortedKeys(p.Gauges) {
+		m := prom(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, fmtVal(p.Gauges[name]))
+	}
+	for _, name := range sortedKeys(p.Histograms) {
+		h := p.Histograms[name]
+		m := prom(name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", m)
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}, {"0.999", h.P999}} {
+			fmt.Fprintf(w, "%s{quantile=%q} %s\n", m, q.label, fmtVal(q.v))
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", m, fmtVal(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+		fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n", m, m, fmtVal(h.Min))
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %s\n", m, m, fmtVal(h.Max))
+	}
+	if len(p.Spans) > 0 {
+		fmt.Fprint(w, "# TYPE qpp_span_count counter\n")
+		fmt.Fprint(w, "# TYPE qpp_span_seconds_total counter\n")
+		fmt.Fprint(w, "# TYPE qpp_span_seconds_max gauge\n")
+		for _, path := range sortedKeys(p.Spans) {
+			r := p.Spans[path]
+			lbl := escapeLabel(path)
+			fmt.Fprintf(w, "qpp_span_count{path=\"%s\"} %d\n", lbl, r.Count)
+			fmt.Fprintf(w, "qpp_span_seconds_total{path=\"%s\"} %s\n", lbl, fmtVal(r.TotalSeconds))
+			fmt.Fprintf(w, "qpp_span_seconds_max{path=\"%s\"} %s\n", lbl, fmtVal(r.MaxSeconds))
+		}
+	}
+}
+
+// fmtVal renders a float sample the way Prometheus expects (shortest
+// round-trip form; Inf/NaN spelled +Inf/-Inf/NaN).
+func fmtVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps an obs metric name (dotted, e.g. "lp.pivots")
+// onto the Prometheus name charset [a-zA-Z0-9_:], replacing every other
+// rune with '_' and prefixing '_' if the result would start with a digit.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Server is a live exposition endpoint bound to a TCP listener.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve binds addr (host:port; port 0 picks a free port) and serves the
+// exposition handler until Close. It returns once the listener is bound, so
+// the reported Addr is immediately scrapeable.
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("export: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(src), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port when the
+// requested one was 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the scrape URL of the Prometheus endpoint.
+func (s *Server) URL() string { return "http://" + s.Addr() + "/metrics" }
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// ValidateText checks that r is syntactically valid Prometheus text
+// exposition: every line is blank, a comment, or a sample of the form
+//
+//	name{label="value",...} value [timestamp]
+//
+// with names in [a-zA-Z_:][a-zA-Z0-9_:]*, label names in
+// [a-zA-Z_][a-zA-Z0-9_]*, properly escaped label values, and a parseable
+// float sample value. It also checks that every # TYPE comment names a
+// valid metric and type. Used by the CI smoke test and qppmon -validate.
+func ValidateText(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(data), "\n")
+	samples := 0
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return fmt.Errorf("line %d: %w (%q)", lineNo, err, line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+func validateComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed # %s comment", fields[1])
+		}
+		if fields[1] == "TYPE" {
+			if len(fields) != 4 {
+				return fmt.Errorf("malformed # TYPE comment")
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("unknown metric type %q", fields[3])
+			}
+		}
+	}
+	return nil // other comments are free-form
+}
+
+func validateSample(line string) error {
+	rest := line
+	i := 0
+	for i < len(rest) && isNameRune(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return fmt.Errorf("missing metric name")
+	}
+	name, rest := rest[:i], rest[i:]
+	_ = name
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want value [timestamp] after name, got %q", rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+// scanLabels validates a {label="value",...} block starting at s[0] == '{'
+// and returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && (isNameRune(s[i], i == start) && s[i] != ':') {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("empty label name")
+		}
+		if !strings.HasPrefix(s[i:], `="`) {
+			return 0, fmt.Errorf("label %q missing =\"value\"", s[start:i])
+		}
+		i += 2
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in label value")
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf(`bad escape \%c in label value`, s[i+1])
+				}
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		return 0, fmt.Errorf("expected ',' or '}' after label value")
+	}
+}
+
+func isNameRune(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isNameRune(name[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveSource is the conventional Source for the package-level collector:
+// nil snapshots (collector disabled) render as 503s.
+func ActiveSource() Source {
+	return func() *obs.Snapshot {
+		c := obs.Active()
+		if c == nil {
+			return nil
+		}
+		return c.Snapshot()
+	}
+}

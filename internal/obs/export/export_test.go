@@ -1,0 +1,231 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"quorumplace/internal/obs"
+)
+
+func demoCollector() *obs.Collector {
+	c := obs.NewCollector()
+	root := c.Start("netsim.run")
+	c.Start("netsim.access").End()
+	c.Start("netsim.access").End()
+	root.End()
+	c.Count("lp.pivots", 42)
+	c.Count("netsim.events", 7)
+	c.Gauge("placement.qpp_workers", 4)
+	for i := 1; i <= 100; i++ {
+		c.Observe("netsim.access_latency", float64(i))
+	}
+	return c
+}
+
+func TestHandlerPrometheusValid(t *testing.T) {
+	c := demoCollector()
+	srv := httptest.NewServer(Handler(func() *obs.Snapshot { return c.Snapshot() }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if err := ValidateText(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"qpp_lp_pivots_total 42",
+		"qpp_netsim_events_total 7",
+		"# TYPE qpp_netsim_access_latency summary",
+		`qpp_netsim_access_latency{quantile="0.5"}`,
+		"qpp_netsim_access_latency_count 100",
+		"qpp_netsim_access_latency_sum 5050",
+		`qpp_span_count{path="netsim.run/netsim.access"} 2`,
+		"qpp_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	c := demoCollector()
+	srv := httptest.NewServer(Handler(func() *obs.Snapshot { return c.Snapshot() }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p Payload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Counters["lp.pivots"] != 42 {
+		t.Fatalf("counters = %v", p.Counters)
+	}
+	h := p.Histograms["netsim.access_latency"]
+	if h.Count != 100 || h.Sum != 5050 || h.Min != 1 || h.Max != 100 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if math.Abs(h.P50-50)/50 > 0.01 {
+		t.Fatalf("p50 = %v", h.P50)
+	}
+	if r := p.Spans["netsim.run/netsim.access"]; r.Count != 2 {
+		t.Fatalf("span rollup = %+v", p.Spans)
+	}
+	if p.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", p.UptimeSeconds)
+	}
+}
+
+func TestHandlerNoCollector(t *testing.T) {
+	srv := httptest.NewServer(Handler(func() *obs.Snapshot { return nil }))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/metrics.json"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s status = %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentScrapes hammers the endpoint from several goroutines while
+// the collector keeps recording; run under -race by the CI race job.
+func TestConcurrentScrapes(t *testing.T) {
+	c := obs.Enable(obs.NewCollector())
+	defer obs.Disable()
+	srv := httptest.NewServer(Handler(ActiveSource()))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: keeps mutating live state during scrapes
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp := obs.Start("scrape.work")
+			obs.Count("scrape.ops", 1)
+			obs.Observe("scrape.lat", float64(i%97+1))
+			sp.End()
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				path := "/metrics"
+				if i%2 == 1 {
+					path = "/metrics.json"
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 200 {
+					t.Errorf("scrape %s: status %d err %v", path, resp.StatusCode, err)
+					return
+				}
+				if path == "/metrics" {
+					if err := ValidateText(strings.NewReader(string(body))); err != nil {
+						t.Errorf("mid-run exposition invalid: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Let scrapers finish, then stop the writer.
+	wgScrapersDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgScrapersDone) }()
+	// The writer only stops when told; wait for scrapers via counting.
+	// Simpler: close stop after a scrape-driven snapshot count is reached.
+	for {
+		snap := c.Snapshot()
+		if snap.Counter("scrape.ops") > 1000 {
+			break
+		}
+	}
+	close(stop)
+	<-wgScrapersDone
+}
+
+func TestServerLifecycle(t *testing.T) {
+	c := demoCollector()
+	s, err := Serve("127.0.0.1:0", func() *obs.Snapshot { return c.Snapshot() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(s.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := ValidateText(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("served exposition invalid: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(s.URL()); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestValidateTextRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",                              // no samples
+		"9metric 1\n",                   // name starts with digit
+		"metric one\n",                  // non-numeric value
+		"metric{label=\"x} 1\n",         // unterminated label value
+		"metric{=\"x\"} 1\n",            // empty label name
+		"metric{l=\"a\\q\"} 1\n",        // bad escape
+		"metric 1 notatimestamp\n",      // bad timestamp
+		"# TYPE metric notatype\nm 1\n", // unknown type
+		"metric{l=\"v\"extra} 1\n",      // junk after label value
+	}
+	for _, in := range bad {
+		if err := ValidateText(strings.NewReader(in)); err == nil {
+			t.Errorf("ValidateText accepted %q", in)
+		}
+	}
+	good := "m_total 1\nm2{a=\"b\",c=\"d\\\"e\\\\f\\ng\"} +Inf 1700000000\n# random comment\nm3 NaN\n"
+	if err := ValidateText(strings.NewReader(good)); err != nil {
+		t.Errorf("ValidateText rejected valid input: %v", err)
+	}
+}

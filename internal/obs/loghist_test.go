@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestLogHistExactAggregates(t *testing.T) {
+	h := NewLogHist()
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	sum := 0.0
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != int64(len(vals)) || h.Sum() != sum || h.Min() != 1 || h.Max() != 9 {
+		t.Fatalf("aggregates: count=%d sum=%v min=%v max=%v", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+}
+
+// TestLogHistQuantileErrorBound checks the advertised guarantee on random
+// data: Quantile(q) is within a relative 1/(2·histSubBuckets) of the true
+// ⌈q·n⌉-th order statistic.
+func TestLogHistQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewLogHist()
+	vals := make([]float64, 5000)
+	for i := range vals {
+		// Span many octaves: log-uniform over [1e-3, 1e6).
+		vals[i] = math.Pow(10, -3+9*rng.Float64())
+		h.Observe(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q * float64(len(vals))))
+		truth := vals[rank-1]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-truth) / truth; rel > histQuantileRelErr {
+			t.Errorf("q=%v: got %v, true order statistic %v, rel err %v > %v",
+				q, got, truth, rel, histQuantileRelErr)
+		}
+	}
+	if h.Quantile(0) != vals[0] || h.Quantile(1) != vals[len(vals)-1] {
+		t.Fatalf("extremes: q0=%v q1=%v want %v, %v", h.Quantile(0), h.Quantile(1), vals[0], vals[len(vals)-1])
+	}
+}
+
+// TestLogHistMergeExact merges K split histograms and checks the result is
+// identical — bucket counts, aggregates and quantiles — to observing the
+// whole stream into one histogram. Values are integers so the float64 Sum
+// is exact under any grouping.
+func TestLogHistMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, parts = 4096, 5
+	single := NewLogHist()
+	shards := make([]*LogHist, parts)
+	for i := range shards {
+		shards[i] = NewLogHist()
+	}
+	for i := 0; i < n; i++ {
+		v := float64(1 + rng.Intn(1_000_000))
+		single.Observe(v)
+		shards[i%parts].Observe(v)
+	}
+	merged := NewLogHist()
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if !reflect.DeepEqual(merged.buckets, single.buckets) {
+		t.Fatal("merged bucket map differs from single-pass bucket map")
+	}
+	if merged.Count() != single.Count() || merged.Sum() != single.Sum() ||
+		merged.Min() != single.Min() || merged.Max() != single.Max() {
+		t.Fatalf("merged aggregates differ: %+v vs %+v", merged.stats(), single.stats())
+	}
+	if !reflect.DeepEqual(merged.stats(), single.stats()) {
+		t.Fatalf("merged stats differ:\n%+v\n%+v", merged.stats(), single.stats())
+	}
+}
+
+func TestLogHistNonpositiveAndSpecials(t *testing.T) {
+	h := NewLogHist()
+	for _, v := range []float64{-5, 0, 2, 8} {
+		h.Observe(v)
+	}
+	if h.Min() != -5 || h.Max() != 8 || h.Count() != 4 {
+		t.Fatalf("min=%v max=%v count=%d", h.Min(), h.Max(), h.Count())
+	}
+	// The two nonpositive samples share the sentinel bucket; its
+	// representative (0) clamps to Min for low quantiles.
+	if q := h.Quantile(0.25); q != -5 {
+		t.Fatalf("q25 = %v, want clamp to min -5", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("q100 = %v", q)
+	}
+}
+
+func TestBucketKeyMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	prevKey := math.MinInt
+	for _, v := range []float64{1e-9, 0.4, 0.5, 0.999, 1, 1.01, 1.5, 2, 3, 1024, 1e12} {
+		k := bucketKey(v)
+		if k < prevKey {
+			t.Fatalf("bucketKey not monotone: key(%v)=%d < key(%v)=%d", v, k, prev, prevKey)
+		}
+		mid := bucketMid(k)
+		lo := math.Ldexp(1, k>>6) // lower octave bound ≤ bucket low
+		if mid < lo || mid > 2*lo*(1+1.0/histSubBuckets) {
+			t.Fatalf("bucketMid(%d)=%v outside octave of %v", k, mid, v)
+		}
+		// The representative must be within one bucket width of the value.
+		if rel := math.Abs(mid-v) / v; rel > 1.0/histSubBuckets {
+			t.Fatalf("bucketMid for %v is %v, rel err %v", v, mid, rel)
+		}
+		prev, prevKey = v, k
+	}
+}

@@ -16,15 +16,17 @@
 //	obs.Count("lp.pivots", 12)
 //
 // The stack makes parent/child attribution exact for sequential code, which
-// is how the solver pipeline runs by default. Concurrent sections (e.g. the
-// parallel QPP solver) share the stack under a mutex: recording stays
-// race-free and every span is retained, but a span started on one goroutine
-// may be attributed to a span concurrently open on another.
+// is how the solver pipeline runs by default. Concurrent sections must not
+// share the stack: a goroutine that holds a parent span handle parents its
+// spans explicitly with Span.StartChild (or Collector.StartWithParent),
+// which bypasses the stack entirely, and hot concurrent recorders use a
+// per-goroutine Shard that buffers spans and metrics lock-free and merges
+// into the collector exactly once at the end (see shard.go). The parallel
+// QPP solver records through one Shard per worker.
 package obs
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,12 +46,14 @@ type SpanRecord struct {
 // inert, which is what the package functions return while telemetry is
 // disabled — callers never need to check.
 type Span struct {
-	c      *Collector
-	id     uint64
-	parent uint64
-	name   string
-	start  time.Time
-	ended  atomic.Bool
+	c       *Collector
+	sh      *Shard // non-nil when the span records into a worker shard
+	id      uint64
+	parent  uint64
+	name    string
+	start   time.Time
+	onStack bool // true when Start pushed the span on the collector stack
+	ended   atomic.Bool
 }
 
 // End completes the span and records it. It is safe on a nil span and
@@ -58,7 +62,27 @@ func (s *Span) End() {
 	if s == nil || s.ended.Swap(true) {
 		return
 	}
-	s.c.endSpan(s, time.Since(s.start))
+	d := time.Since(s.start)
+	if s.sh != nil {
+		s.sh.endSpan(s, d)
+		return
+	}
+	s.c.endSpan(s, d)
+}
+
+// StartChild opens a span explicitly parented to s, without consulting or
+// touching the collector's open-span stack. This is the concurrency-safe
+// way to attribute spans: a goroutine that received s from its spawner
+// parents its work under s regardless of what other goroutines have open.
+// Safe on a nil span (returns an inert nil span).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.sh != nil {
+		return s.sh.startChild(name, s.id)
+	}
+	return s.c.StartWithParent(name, s.id)
 }
 
 // Sink receives completed spans as they end; see JSONLWriter for the
@@ -66,18 +90,6 @@ func (s *Span) End() {
 // implementations must not call back into the collector.
 type Sink interface {
 	SpanEnd(SpanRecord)
-}
-
-// maxHistSamples caps per-histogram sample retention; beyond the cap,
-// quantiles are computed over the first maxHistSamples observations while
-// count/sum/min/max remain exact.
-const maxHistSamples = 8192
-
-type hist struct {
-	count    int64
-	sum      float64
-	min, max float64
-	samples  []float64
 }
 
 // counterCell is one counter's accumulator. Cells live in an immutable
@@ -93,12 +105,15 @@ type counterCell struct{ v atomic.Int64 }
 type Collector struct {
 	epoch time.Time
 
+	// nextID is outside the mutex so StartWithParent and Shard.Merge can
+	// allocate span IDs without serializing on recording.
+	nextID atomic.Uint64
+
 	mu     sync.Mutex
-	nextID uint64
 	stack  []uint64 // open spans, innermost last
 	spans  []SpanRecord
 	gauges map[string]float64
-	hists  map[string]*hist
+	hists  map[string]*LogHist
 	sinks  []Sink
 
 	// counters is read lock-free; counterMu serializes only the
@@ -111,9 +126,8 @@ type Collector struct {
 func NewCollector() *Collector {
 	c := &Collector{
 		epoch:  time.Now(),
-		nextID: 1,
 		gauges: make(map[string]float64),
-		hists:  make(map[string]*hist),
+		hists:  make(map[string]*LogHist),
 	}
 	empty := make(map[string]*counterCell)
 	c.counters.Store(&empty)
@@ -131,16 +145,23 @@ func (c *Collector) AddSink(s Sink) {
 // none is open).
 func (c *Collector) Start(name string) *Span {
 	now := time.Now()
+	id := c.nextID.Add(1)
 	c.mu.Lock()
-	id := c.nextID
-	c.nextID++
 	var parent uint64
 	if n := len(c.stack); n > 0 {
 		parent = c.stack[n-1]
 	}
 	c.stack = append(c.stack, id)
 	c.mu.Unlock()
-	return &Span{c: c, id: id, parent: parent, name: name, start: now}
+	return &Span{c: c, id: id, parent: parent, name: name, start: now, onStack: true}
+}
+
+// StartWithParent opens a span with an explicit parent span ID (0 for a
+// root span), without reading or pushing the open-span stack. Concurrent
+// code uses it (usually via Span.StartChild) so span attribution never
+// depends on which goroutine happens to have a span open.
+func (c *Collector) StartWithParent(name string, parent uint64) *Span {
+	return &Span{c: c, id: c.nextID.Add(1), parent: parent, name: name, start: time.Now()}
 }
 
 func (c *Collector) endSpan(s *Span, dur time.Duration) {
@@ -152,12 +173,14 @@ func (c *Collector) endSpan(s *Span, dur time.Duration) {
 		Dur:    dur,
 	}
 	c.mu.Lock()
-	// Remove this span from the open stack; out-of-order ends (possible
-	// under concurrency) remove the right entry rather than the top.
-	for i := len(c.stack) - 1; i >= 0; i-- {
-		if c.stack[i] == s.id {
-			c.stack = append(c.stack[:i], c.stack[i+1:]...)
-			break
+	if s.onStack {
+		// Remove this span from the open stack; out-of-order ends (possible
+		// under concurrency) remove the right entry rather than the top.
+		for i := len(c.stack) - 1; i >= 0; i-- {
+			if c.stack[i] == s.id {
+				c.stack = append(c.stack[:i], c.stack[i+1:]...)
+				break
+			}
 		}
 	}
 	c.spans = append(c.spans, rec)
@@ -212,20 +235,28 @@ func (c *Collector) Observe(name string, v float64) {
 	c.mu.Lock()
 	h := c.hists[name]
 	if h == nil {
-		h = &hist{min: v, max: v}
+		h = NewLogHist()
 		c.hists[name] = h
 	}
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
+	h.Observe(v)
+	c.mu.Unlock()
+}
+
+// MergeHist folds a privately accumulated histogram into the named
+// collector histogram in one locked, bucket-exact merge. Workers that
+// observe in tight loops record into their own LogHist (or a Shard) and
+// merge once, instead of taking the collector mutex per sample.
+func (c *Collector) MergeHist(name string, h *LogHist) {
+	if h == nil || h.count == 0 {
+		return
 	}
-	if v > h.max {
-		h.max = v
+	c.mu.Lock()
+	dst := c.hists[name]
+	if dst == nil {
+		dst = NewLogHist()
+		c.hists[name] = dst
 	}
-	if len(h.samples) < maxHistSamples {
-		h.samples = append(h.samples, v)
-	}
+	dst.Merge(h)
 	c.mu.Unlock()
 }
 
@@ -235,7 +266,7 @@ func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.spans = nil
 	c.gauges = make(map[string]float64)
-	c.hists = make(map[string]*hist)
+	c.hists = make(map[string]*LogHist)
 	c.mu.Unlock()
 	c.counterMu.Lock()
 	empty := make(map[string]*counterCell)
@@ -243,15 +274,19 @@ func (c *Collector) Reset() {
 	c.counterMu.Unlock()
 }
 
-// HistStats is the snapshot form of a histogram. Quantiles interpolate
-// linearly between order statistics of the retained samples.
+// HistStats is the snapshot form of a histogram. Count, Sum, Min and Max
+// are exact; quantiles come from the log-linear buckets and are within a
+// relative 1/(2·histSubBuckets) of the true order statistic (see LogHist).
 type HistStats struct {
-	Count         int64   `json:"count"`
-	Sum           float64 `json:"sum"`
-	Min           float64 `json:"min"`
-	Max           float64 `json:"max"`
-	Mean          float64 `json:"mean"`
-	P50, P95, P99 float64 `json:"-"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // Snapshot is a consistent copy of a collector's state.
@@ -285,39 +320,9 @@ func (c *Collector) Snapshot() *Snapshot {
 		snap.Gauges[k] = v
 	}
 	for k, h := range c.hists {
-		hs := HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-		if h.count > 0 {
-			hs.Mean = h.sum / float64(h.count)
-		}
-		sorted := append([]float64(nil), h.samples...)
-		sort.Float64s(sorted)
-		hs.P50 = quantile(sorted, 0.5)
-		hs.P95 = quantile(sorted, 0.95)
-		hs.P99 = quantile(sorted, 0.99)
-		snap.Histograms[k] = hs
+		snap.Histograms[k] = h.stats()
 	}
 	return snap
-}
-
-// quantile interpolates the q-quantile of an ascending-sorted sample.
-func quantile(sorted []float64, q float64) float64 {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[n-1]
-	}
-	pos := q * float64(n-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= n {
-		return sorted[n-1]
-	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // --- package-level switch ----------------------------------------------------
@@ -384,6 +389,14 @@ func GaugeMax(name string, v float64) {
 func Observe(name string, v float64) {
 	if c := active.Load(); c != nil {
 		c.Observe(name, v)
+	}
+}
+
+// MergeHist folds a privately accumulated histogram into the active
+// collector's named histogram; a no-op when telemetry is off.
+func MergeHist(name string, h *LogHist) {
+	if c := active.Load(); c != nil {
+		c.MergeHist(name, h)
 	}
 }
 

@@ -118,12 +118,21 @@ func TestMetrics(t *testing.T) {
 	if h.Count != 4 || h.Sum != 10 || h.Min != 1 || h.Max != 4 || h.Mean != 2.5 {
 		t.Fatalf("hist = %+v", h)
 	}
-	// Linear interpolation between order statistics: p50 of {1,2,3,4} is 2.5,
-	// p95 is at position 0.95*3 = 2.85 → 3*0.15 + 4*0.85 = 3.85.
-	if math.Abs(h.P50-2.5) > 1e-12 || math.Abs(h.P95-3.85) > 1e-12 {
+	// Bucketed quantiles: the ⌈q·n⌉-th order statistic within the LogHist
+	// relative error bound. p50 of {1,2,3,4} is the 2nd sample (2), p95 and
+	// p999 the 4th (4).
+	if math.Abs(h.P50-2) > 2*histQuantileRelErr || math.Abs(h.P95-4) > 4*histQuantileRelErr {
 		t.Fatalf("quantiles p50=%v p95=%v", h.P50, h.P95)
 	}
+	if math.Abs(h.P999-4) > 4*histQuantileRelErr {
+		t.Fatalf("p999 = %v", h.P999)
+	}
 }
+
+// histQuantileRelErr is the documented LogHist quantile error bound: bucket
+// midpoints are within half a bucket width, 1/(2·histSubBuckets), of the
+// true order statistic.
+const histQuantileRelErr = 1.0 / (2 * histSubBuckets)
 
 func TestReset(t *testing.T) {
 	c := NewCollector()
@@ -238,13 +247,14 @@ func TestConcurrentUse(t *testing.T) {
 }
 
 func TestQuantileEdgeCases(t *testing.T) {
-	if q := quantile(nil, 0.5); q != 0 {
+	if q := NewLogHist().Quantile(0.5); q != 0 {
 		t.Fatalf("empty quantile = %v", q)
 	}
-	one := []float64{7}
+	one := NewLogHist()
+	one.Observe(7)
 	for _, q := range []float64{0, 0.5, 1} {
-		if got := quantile(one, q); got != 7 {
-			t.Fatalf("quantile(one, %v) = %v", q, got)
+		if got := one.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) of a single sample = %v, want 7", q, got)
 		}
 	}
 }

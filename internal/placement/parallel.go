@@ -84,8 +84,12 @@ func (p *qppPartial) merge(q *qppPartial) {
 }
 
 // solveQPP fans the per-source SSQPP solves over the given number of
-// workers (1 = inline, no goroutines) and reduces the outcomes.
-func solveQPP(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
+// workers (1 = inline, no goroutines) and reduces the outcomes. parent is
+// the span the fan-out runs under (nil for the sequential entry point):
+// each worker buffers its telemetry in an obs.Shard whose spans re-parent
+// under it, so recording is contention-free and the merged trace nests
+// worker pipelines exactly where they belong.
+func solveQPP(ins *Instance, alpha float64, workers int, parent *obs.Span) (*QPPResult, error) {
 	n := ins.M.N()
 	if n == 0 {
 		return nil, fmt.Errorf("placement: empty network")
@@ -114,14 +118,19 @@ func solveQPP(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
 			chunk = 1
 		}
 		partials := make([]qppPartial, workers)
+		shards := make([]*obs.Shard, workers)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(p *qppPartial) {
+			shards[w] = obs.NewShard(parent)
+			go func(p *qppPartial, sh *obs.Shard) {
 				defer wg.Done()
 				p.init()
+				wsp := sh.Start("placement.qpp_worker")
+				defer wsp.End()
 				sv := newSSQPPSolver(ins)
+				sv.setRec(sh.Rec())
 				for {
 					lo := int(next.Add(int64(chunk))) - chunk
 					if lo >= n {
@@ -136,11 +145,14 @@ func solveQPP(ins *Instance, alpha float64, workers int) (*QPPResult, error) {
 						p.add(ins, alpha, v0, res, err)
 					}
 				}
-			}(&partials[w])
+			}(&partials[w], shards[w])
 		}
 		wg.Wait()
+		// Merging partials and shards in worker order keeps both the result
+		// and the combined telemetry deterministic.
 		for w := range partials {
 			total.merge(&partials[w])
+			shards[w].Merge()
 		}
 	}
 
@@ -168,11 +180,11 @@ func SolveQPPParallel(ins *Instance, alpha float64, workers int) (*QPPResult, er
 	if workers > n {
 		workers = n
 	}
-	// Workers run SSQPP pipelines concurrently, so their spans may attribute
-	// to whichever span is innermost at the time (see the obs package doc);
-	// metrics and counters aggregate exactly regardless.
+	// Each worker records through its own obs.Shard parented under this
+	// span, so the merged trace shows one placement.qpp_worker subtree per
+	// worker with the per-source pipelines correctly nested beneath it.
 	sp := obs.Start("placement.qpp_parallel")
 	defer sp.End()
 	obs.Gauge("placement.qpp_workers", float64(workers))
-	return solveQPP(ins, alpha, workers)
+	return solveQPP(ins, alpha, workers, sp)
 }

@@ -3,6 +3,7 @@ package placement_test
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"quorumplace/internal/graph"
@@ -130,6 +131,77 @@ func TestParallelIsConcurrencySafe(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestParallelSpanAttribution verifies the shard-based telemetry of the
+// parallel solver: every worker's pipeline spans nest under its own
+// placement.qpp_worker span (itself under placement.qpp_parallel), and the
+// counters the workers buffer in their shards total exactly what a
+// sequential telemetry run records.
+func TestParallelSpanAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	ins := randomInstance(t, rng)
+
+	seqC := obs.Enable(obs.NewCollector())
+	if _, err := placement.SolveQPP(ins, 2); err != nil {
+		obs.Disable()
+		t.Fatal(err)
+	}
+	obs.Disable()
+	seq := seqC.Snapshot()
+
+	parC := obs.Enable(obs.NewCollector())
+	defer obs.Disable()
+	const workers = 3
+	if _, err := placement.SolveQPPParallel(ins, 2, workers); err != nil {
+		t.Fatal(err)
+	}
+	par := parC.Snapshot()
+
+	paths := map[string]int{}
+	for _, p := range par.SpanPaths() {
+		paths[p]++
+	}
+	if paths["placement.qpp_parallel"] != 1 {
+		t.Fatalf("qpp_parallel roots = %d, paths = %v", paths["placement.qpp_parallel"], paths)
+	}
+	if got := paths["placement.qpp_parallel/placement.qpp_worker"]; got != workers {
+		t.Fatalf("worker spans = %d, want %d", got, workers)
+	}
+	n := ins.M.N()
+	deep := "placement.qpp_parallel/placement.qpp_worker/placement.ssqpp"
+	if got := paths[deep]; got != n {
+		t.Fatalf("per-source pipelines under workers = %d, want %d (paths %v)", got, n, paths)
+	}
+	if paths[deep+"/ssqpp.lp/lp.solve"] == 0 {
+		t.Fatalf("lp.solve spans did not nest under worker pipelines: %v", paths)
+	}
+	// No span may escape the worker subtree: everything except the root
+	// parallel span must sit below a qpp_worker.
+	for p, c := range paths {
+		if p != "placement.qpp_parallel" && !strings.HasPrefix(p, "placement.qpp_parallel/placement.qpp_worker") {
+			t.Fatalf("span path %q (×%d) escaped worker attribution", p, c)
+		}
+	}
+
+	// Worker-buffered counters must aggregate exactly like the sequential
+	// run's (the solves are identical work, merely sharded).
+	for _, name := range []string{
+		"lp.solves", "lp.pivots", "lp.phase1_iters", "lp.phase2_iters",
+		"gap.fractional_vars", "gap.slots",
+		"flow.augmentations", "placement.qpp_sources",
+	} {
+		if got, want := par.Counter(name), seq.Counter(name); got != want {
+			t.Fatalf("counter %s = %d parallel vs %d sequential", name, got, want)
+		}
+	}
+	// Histograms recorded through shards must merge to the sequential ones.
+	for _, name := range []string{"lp.pivots_per_solve", "flow.augmentations_per_run"} {
+		ph, sh := par.Histograms[name], seq.Histograms[name]
+		if ph.Count != sh.Count || ph.Sum != sh.Sum || ph.Min != sh.Min || ph.Max != sh.Max {
+			t.Fatalf("histogram %s differs: %+v vs %+v", name, ph, sh)
 		}
 	}
 }

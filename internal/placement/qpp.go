@@ -45,7 +45,7 @@ type QPPResult struct {
 func SolveQPP(ins *Instance, alpha float64) (*QPPResult, error) {
 	sp := obs.Start("placement.qpp")
 	defer sp.End()
-	best, err := solveQPP(ins, alpha, 1)
+	best, err := solveQPP(ins, alpha, 1, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"quorumplace/internal/gap"
-	"quorumplace/internal/obs"
 )
 
 // This file implements the Single-Source Quorum Placement Problem
@@ -47,13 +46,13 @@ func (sv *ssqppSolver) solve(v0 int, alpha float64) (*SSQPPResult, error) {
 	if v0 < 0 || v0 >= ins.M.N() {
 		return nil, fmt.Errorf("placement: source %d out of range [0,%d)", v0, ins.M.N())
 	}
-	sp := obs.Start("placement.ssqpp")
+	sp := sv.rec.Start("placement.ssqpp")
 	defer sp.End()
 	frac, err := sv.solveLP(v0)
 	if err != nil {
 		return nil, err
 	}
-	fsp := obs.Start("ssqpp.filter")
+	fsp := sv.rec.Start("ssqpp.filter")
 	xt := filter(frac.xu, alpha)
 	fsp.End()
 	pl, err := sv.roundFiltered(frac, xt, alpha)
@@ -139,7 +138,7 @@ func filter(x [][]float64, alpha float64) [][]float64 {
 // rounding flow runs on the solver's gap workspace so repeated per-source
 // roundings reuse the network scratch.
 func (sv *ssqppSolver) roundFiltered(frac *ssqppFrac, xt [][]float64, alpha float64) (Placement, error) {
-	sp := obs.Start("ssqpp.round")
+	sp := sv.rec.Start("ssqpp.round")
 	defer sp.End()
 	ins := sv.ins
 	n := ins.M.N()

@@ -357,6 +357,7 @@ type ssqppSolver struct {
 	probs map[int]*lp.Problem // class count → private clone
 	ws    *lp.Workspace
 	gws   *gap.Workspace // network scratch for the rounding flow
+	rec   obs.Rec        // telemetry route: ambient by default, a worker shard in the parallel solver
 
 	// Per-solve scratch reused across the sources this solver handles; the
 	// slices returned by sourceClasses (and embedded into ssqppFrac) alias it.
@@ -377,12 +378,22 @@ func newSSQPPSolver(ins *Instance) *ssqppSolver {
 	}
 }
 
+// setRec points the solver and both of its workspaces at a telemetry route.
+// Parallel workers install their shard's recorder so every span and metric
+// of the per-source pipeline is buffered locally instead of contending on
+// the shared collector.
+func (sv *ssqppSolver) setRec(r obs.Rec) {
+	sv.rec = r
+	sv.ws.Rec = r
+	sv.gws.Rec = r
+}
+
 // solveLP solves the SSQPP relaxation for source v0 against the (cached)
 // class-space skeleton, returning the fractional solution in node-rank
 // space. The returned frac's order and dist slices alias the solver's
 // scratch and are valid until the next solveLP call on this solver.
 func (sv *ssqppSolver) solveLP(v0 int) (*ssqppFrac, error) {
-	sp := obs.Start("ssqpp.lp")
+	sp := sv.rec.Start("ssqpp.lp")
 	defer sp.End()
 	ins := sv.ins
 	order, dist, classOf, nClasses := sv.sourceClasses(v0)

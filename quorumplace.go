@@ -315,6 +315,35 @@ func RunSimWithFailures(cfg FailureSimConfig) (*FailureSimStats, error) {
 	return netsim.RunWithFailures(cfg)
 }
 
+// --- windowed SLOs -----------------------------------------------------------------
+
+// SimSLOTargets declares per-window service-level objectives for simulation
+// runs; zero fields are unchecked. Enable accounting on a SimRecorder with
+// its EnableSLO method and read windows back with SLOWindows / CheckSLO.
+type SimSLOTargets = netsim.SLOTargets
+
+// SimSLOWindow is one finalized rolling virtual-time window of a run:
+// access-delay quantiles, load skew and failure burn rates.
+type SimSLOWindow = netsim.SLOWindow
+
+// SimSLOViolation is one SLO target breached by one window.
+type SimSLOViolation = netsim.SLOViolation
+
+// CheckSimSLO grades windows against targets, returning every breach.
+func CheckSimSLO(windows []SimSLOWindow, t SimSLOTargets) []SimSLOViolation {
+	return netsim.CheckSLO(windows, t)
+}
+
+// ParseSimSLOTargets parses a spec like "p99=4,p999=6,skew=2.5,abort=0.01".
+func ParseSimSLOTargets(spec string) (SimSLOTargets, error) {
+	return netsim.ParseSLOTargets(spec)
+}
+
+// FormatSimSLOWindows renders windows as an aligned table.
+func FormatSimSLOWindows(windows []SimSLOWindow) string {
+	return netsim.FormatSLOWindows(windows)
+}
+
 // --- strategy re-optimization & migration -----------------------------------------
 
 // OptimizeStrategyForPlacement re-optimizes the access strategy for a fixed

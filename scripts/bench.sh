@@ -18,8 +18,8 @@ BENCHTIME="${BENCHTIME:-0.5s}"
 SUFFIX="${1:-}"
 DATE=$(date -u +%Y-%m-%d)
 OUT="${OUT:-BENCH_${DATE}${SUFFIX}.json}"
-PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallelQPP|BenchmarkSolve|BenchmarkWorkspace)}"
-PKGS="${PKGS:-. ./internal/lp}"
+PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallelQPP|BenchmarkSolve|BenchmarkWorkspace|BenchmarkShard|BenchmarkLogHist)}"
+PKGS="${PKGS:-. ./internal/lp ./internal/obs}"
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 # GOMAXPROCS of this run; benchdiff -min-cpus keys off it so parallel-scaling
 # gates only fire on machines with enough cores for the workers to overlap.
@@ -54,3 +54,14 @@ END { printf "\n  ]\n}\n" }
 ' "$raw" >"$OUT"
 
 echo "wrote $OUT"
+
+# Archive a timestamped copy so ad-hoc runs leave a local perf history even
+# when the canonical BENCH_<date>.json is overwritten. NO_ARCHIVE=1 skips
+# (check.sh and CI smoke runs set it — their throwaway snapshots would
+# pollute the archive).
+if [ "${NO_ARCHIVE:-0}" != "1" ] && [ "$OUT" != "/dev/stdout" ]; then
+    mkdir -p bench-archive
+    STAMP=$(date -u +%Y-%m-%dT%H%M%S)
+    cp "$OUT" "bench-archive/BENCH_${STAMP}-${COMMIT}.json"
+    echo "archived bench-archive/BENCH_${STAMP}-${COMMIT}.json"
+fi

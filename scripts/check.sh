@@ -29,19 +29,55 @@ for target in FuzzSolveQPP FuzzSolveTotalDelay FuzzLPvsExact FuzzRunWithFailures
 done
 
 echo "== go test -race (instrumented packages)"
-go test -race ./internal/obs ./internal/placement ./internal/netsim
+go test -race ./internal/obs ./internal/obs/export ./internal/placement ./internal/netsim
 
-echo "== go test -race -count=2 (tracing, telemetry and parallel solver)"
-go test -race -count=2 ./internal/obs ./internal/netsim ./internal/placement
+echo "== go test -race -count=2 (tracing, telemetry, exposition and parallel solver)"
+go test -race -count=2 ./internal/obs ./internal/obs/export ./internal/netsim ./internal/placement
 
-echo "== bench smoke (telemetry overhead)"
+echo "== metrics exposition smoke (qppeval -metrics-addr scraped by qppmon -validate)"
+MPORT="${MPORT:-9464}"
+go build -o /tmp/qppeval_smoke ./cmd/qppeval
+go build -o /tmp/qppmon_smoke ./cmd/qppmon
+/tmp/qppeval_smoke -quick -only E9 -metrics-addr "127.0.0.1:${MPORT}" -metrics-hold 20s >/dev/null 2>&1 &
+SMOKE_PID=$!
+smoke_ok=0
+for _ in $(seq 1 100); do
+    if /tmp/qppmon_smoke -addr "127.0.0.1:${MPORT}" -validate >/dev/null 2>&1; then
+        smoke_ok=1
+        break
+    fi
+    sleep 0.2
+done
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+if [ "$smoke_ok" != "1" ]; then
+    echo "metrics exposition smoke failed: no valid Prometheus scrape from 127.0.0.1:${MPORT}" >&2
+    exit 1
+fi
+echo "exposition smoke passed"
+
+echo "== bench smoke (telemetry overhead, disabled-path budget)"
 go test -run '^$' -bench 'BenchmarkTelemetryOverhead' -benchtime 0.1s .
 
 echo "== perf gate (benchdiff over BENCH snapshots)"
-BENCHTIME=0.05s OUT=/tmp/bench_check.json ./scripts/bench.sh >/dev/null
-go run ./cmd/benchdiff -ignore-ns -allocs-threshold 0.5 BENCH_2026-08-06-pr4.json /tmp/bench_check.json
+BENCHTIME=0.05s OUT=/tmp/bench_check.json NO_ARCHIVE=1 ./scripts/bench.sh >/dev/null
+# Cross-machine gates: allocations are exact and the fixed-seed virtual-time
+# p99_delay must agree within the histogram bucketing band; ns/op is not
+# comparable (-ignore-ns). The k=5 LP-scaling benchmark runs few enough
+# iterations at 0.05s benchtime that one-time setup dominates allocs/op,
+# hence its wider band.
+go run ./cmd/benchdiff -ignore-ns -allocs-threshold 0.5 \
+    -allocs-per 'BenchmarkAblationLPScaling/k=5=1.0' \
+    -metric 'p99_delay=0.02,p999_delay=0.02' BENCH_2026-08-07-pr6.json /tmp/bench_check.json
 go run ./cmd/benchdiff -per 'BenchmarkE11NetsimValidation=0.02,BenchmarkE3TotalDelay=0.30' BENCH_2026-08-06.json BENCH_2026-08-06-pr3.json
 go run ./cmd/benchdiff -ignore-ns BENCH_2026-08-06-pr3.json BENCH_2026-08-06-pr4.json
+# pr4 -> pr6 adds allocations on telemetry-ON paths only: one run-local
+# access-latency LogHist per simulation run (E11 benchmarks with telemetry
+# enabled) and per-worker obs.Shard setup in the parallel solver; the
+# disabled path stays exact.
+go run ./cmd/benchdiff -ignore-ns \
+    -allocs-per 'BenchmarkE11NetsimValidation=0.25,BenchmarkParallelQPP/workers=4=0.001' \
+    BENCH_2026-08-06-pr4.json BENCH_2026-08-07-pr6.json
 
 echo "== perf gate (parallel QPP speedup; skipped below 4 CPUs)"
 go run ./cmd/benchdiff -min-cpus 4 \
