@@ -42,6 +42,14 @@
 //
 //	benchdiff -speedup SLOW:FAST:MINRATIO[,...] [-min-cpus N] SNAP.json
 //	  fails unless ns/op(SLOW) / ns/op(FAST) >= MINRATIO for every entry
+//
+//	benchdiff -max-time NAME=DURATION[,...] SNAP.json
+//	  fails unless ns/op(NAME) <= DURATION (e.g. 10s). An absolute
+//	  wall-clock ceiling is machine-dependent like ns/op itself, so these
+//	  gates belong next to the snapshot they were calibrated on; they
+//	  encode end-to-end promises ("a 10⁵-node tree solve stays under 10s")
+//	  that a relative comparison cannot express. -speedup and -max-time
+//	  compose in one invocation over the same snapshot.
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -133,15 +142,31 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	metricSpec := fs.String("metric", "", "comma-separated name=band custom-metric drift gates (e.g. p99_delay=0.02); drift beyond the band in either direction fails")
 	speedup := fs.String("speedup", "", "comma-separated SLOW:FAST:MINRATIO gates over one snapshot (ns/op ratio)")
 	minCPUs := fs.Int("min-cpus", 0, "with -speedup: pass trivially when the snapshot's maxprocs is below this")
+	maxTime := fs.String("max-time", "", "comma-separated NAME=DURATION absolute ns/op ceilings over one snapshot (e.g. BenchmarkTreeDP=10s)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
-	if *speedup != "" {
+	if *speedup != "" || *maxTime != "" {
 		if fs.NArg() != 1 {
 			fs.Usage()
-			return 2, fmt.Errorf("-speedup wants exactly one snapshot file, got %d", fs.NArg())
+			return 2, fmt.Errorf("single-snapshot gates want exactly one snapshot file, got %d", fs.NArg())
 		}
-		return runSpeedup(*speedup, *minCPUs, fs.Arg(0), stdout)
+		code := 0
+		if *speedup != "" {
+			c, err := runSpeedup(*speedup, *minCPUs, fs.Arg(0), stdout)
+			if err != nil {
+				return c, err
+			}
+			code = max(code, c)
+		}
+		if *maxTime != "" {
+			c, err := runMaxTime(*maxTime, fs.Arg(0), stdout)
+			if err != nil {
+				return c, err
+			}
+			code = max(code, c)
+		}
+		return code, nil
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
@@ -315,6 +340,49 @@ func runSpeedup(spec string, minCPUs int, path string, stdout io.Writer) (int, e
 		} else {
 			fmt.Fprintf(stdout, "ok        %s / %s = %.2fx (>= %.2fx)\n",
 				fields[0], fields[1], ratio, minRatio)
+		}
+	}
+	if failures > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runMaxTime evaluates NAME=DURATION ceilings against one snapshot: the
+// benchmark's ns/op must not exceed the stated wall-clock budget per op.
+func runMaxTime(spec, path string, stdout io.Writer) (int, error) {
+	snap, err := readSnapshot(path)
+	if err != nil {
+		return 2, err
+	}
+	byName := map[string]benchLine{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+		byName[b.Pkg+"/"+b.Name] = b
+	}
+	failures := 0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		// Split at the LAST '=': sub-benchmark names contain '='.
+		i := strings.LastIndex(part, "=")
+		if i < 0 {
+			return 2, fmt.Errorf("bad -max-time entry %q (want NAME=DURATION)", part)
+		}
+		name, durStr := part[:i], part[i+1:]
+		dur, err := time.ParseDuration(durStr)
+		if err != nil || dur <= 0 {
+			return 2, fmt.Errorf("bad -max-time duration %q in %q", durStr, part)
+		}
+		b, ok := byName[name]
+		if !ok {
+			return 2, fmt.Errorf("%s: benchmark %q not in snapshot", path, name)
+		}
+		got := time.Duration(b.NsPerOp)
+		if got > dur {
+			failures++
+			fmt.Fprintf(stdout, "REGRESS   %s = %v/op (want <= %v)\n", name, got, dur)
+		} else {
+			fmt.Fprintf(stdout, "ok        %s = %v/op (<= %v)\n", name, got, dur)
 		}
 	}
 	if failures > 0 {

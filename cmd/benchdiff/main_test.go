@@ -322,3 +322,51 @@ func TestMetricMissingIsNote(t *testing.T) {
 		t.Fatalf("bad -metric spec accepted (code %d, err %v)", code, err)
 	}
 }
+
+func TestMaxTimeGate(t *testing.T) {
+	dir := t.TempDir()
+	snap := writeSnap(t, dir, "snap.json", []benchLine{
+		{Pkg: "quorumplace", Name: "BenchmarkTreeDP/nodes=100000", NsPerOp: 7.2e9}, // 7.2s
+		{Pkg: "quorumplace", Name: "BenchmarkA", NsPerOp: 100},
+	})
+
+	// 7.2s <= 10s passes; sub-benchmark names with '=' parse.
+	code, out := diff(t, "-max-time", "BenchmarkTreeDP/nodes=100000=10s", snap)
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+
+	// 7.2s > 5s fails.
+	code, out = diff(t, "-max-time", "BenchmarkTreeDP/nodes=100000=5s", snap)
+	if code != 1 || !strings.Contains(out, "REGRESS") {
+		t.Fatalf("exceeded ceiling did not gate, code %d:\n%s", code, out)
+	}
+
+	// Composes with -speedup over the same snapshot: both must pass.
+	code, _ = diff(t,
+		"-speedup", "BenchmarkTreeDP/nodes=100000:BenchmarkA:2",
+		"-max-time", "BenchmarkTreeDP/nodes=100000=10s", snap)
+	if code != 0 {
+		t.Fatalf("composed gates failed, code %d", code)
+	}
+	code, _ = diff(t,
+		"-speedup", "BenchmarkTreeDP/nodes=100000:BenchmarkA:2",
+		"-max-time", "BenchmarkTreeDP/nodes=100000=5s", snap)
+	if code != 1 {
+		t.Fatalf("composed gates passed despite max-time breach, code %d", code)
+	}
+
+	var buf bytes.Buffer
+	// Malformed duration.
+	if code, err := run([]string{"-max-time", "BenchmarkA=verylong", snap}, &buf, &buf); err == nil || code != 2 {
+		t.Fatalf("bad duration accepted (code %d, err %v)", code, err)
+	}
+	// Unknown benchmark.
+	if code, err := run([]string{"-max-time", "BenchmarkNope=1s", snap}, &buf, &buf); err == nil || code != 2 {
+		t.Fatalf("unknown benchmark accepted (code %d, err %v)", code, err)
+	}
+	// Missing '='.
+	if code, err := run([]string{"-max-time", "nodelimiter", snap}, &buf, &buf); err == nil || code != 2 {
+		t.Fatalf("missing delimiter accepted (code %d, err %v)", code, err)
+	}
+}

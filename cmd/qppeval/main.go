@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	metricsHold := fs.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the experiments finish")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
+	scaleNodes := fs.Int("scale-nodes", 0, "append an E18 row with this many tree nodes (e.g. 100000 for the headline run)")
+	scaleClients := fs.Int("scale-clients", 0, "append an E18 row with this many raw clients (e.g. 1000000)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -156,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
-	s := &eval.Suite{Seed: *seed, Quick: *quick}
+	s := &eval.Suite{Seed: *seed, Quick: *quick, ScaleNodes: *scaleNodes, ScaleClients: *scaleClients}
 	ran := 0
 	for _, e := range eval.Experiments() {
 		if *only != "" && e.ID != *only {

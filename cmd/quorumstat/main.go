@@ -3,7 +3,12 @@
 // (Naor–Wool LP) load next to its lower bound, resilience, and the failure
 // probability at selected element-failure rates. With -sim it additionally
 // places each system on a random geometric network and reports simulated
-// access-latency statistics (mean, p50, p95, p99).
+// access-latency statistics (mean, p50, p95, p99). -clients synthesizes a
+// weighted client population, aggregates it into per-node demand rates
+// (internal/agg), and weights both the placement objective and the simulated
+// access mix by it; -landmarks builds a k-row sparse landmark metric of the
+// same network and reports its maximum sampled stretch against exact
+// distances.
 //
 // With -trace-out the simulated accesses are additionally captured as
 // per-access traces (one probe span per contacted quorum member) and
@@ -25,6 +30,7 @@
 // Usage:
 //
 //	quorumstat [-p 0.1,0.2,0.3] [-system grid:3] [-sim 200 -nodes 16 -seed 1]
+//	           [-clients 100000] [-landmarks 8]
 //	           [-trace-out t.json] [-trace-sample 10] [-timeseries 0.5]
 //	           [-slo p99=4,skew=3 [-slo-window 25]]
 //	           [-metrics-addr 127.0.0.1:9464 [-metrics-hold 30s]]
@@ -58,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	only := fs.String("system", "", "show a single system (grid:k | majority:n:t | fpp:q | wheel:n | recmajority:h | cwall:w1,w2,...)")
 	simN := fs.Int("sim", 0, "simulate N accesses per client on a geometric network and print latency percentiles")
 	nodes := fs.Int("nodes", 16, "network size for -sim")
+	clients := fs.Int("clients", 0, "with -sim: synthesize this many weighted clients, aggregate them into per-node demand rates, and weight placement + simulation by them")
+	landmarks := fs.Int("landmarks", 0, "with -sim: also build a k-landmark sparse metric of the sim network and report its max sampled stretch")
 	seed := fs.Int64("seed", 1, "random seed for -sim (fixed default keeps traces reproducible)")
 	traceOut := fs.String("trace-out", "", "with -sim: write per-access traces as Chrome trace-event JSON (Perfetto) to this file")
 	traceSample := fs.Int("trace-sample", 1, "with -trace-out: record every k-th access only")
@@ -76,6 +84,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *simN > 0 && *nodes < 2 {
 		return fmt.Errorf("-nodes %d too small for -sim", *nodes)
+	}
+	if *clients > 0 && *simN <= 0 {
+		return fmt.Errorf("-clients requires -sim")
+	}
+	if *landmarks > 0 && *simN <= 0 {
+		return fmt.Errorf("-landmarks requires -sim")
 	}
 
 	systems := defaultSystems()
@@ -161,13 +175,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if rec != nil {
 				rec.NextRunLabel(s.Name())
 			}
-			sim, err := simulateSystem(s, *nodes, *simN, *seed, rec)
+			sim, err := simulateSystem(s, *nodes, *simN, *clients, *seed, rec)
 			if err != nil {
 				return fmt.Errorf("%s: sim: %v", s.Name(), err)
 			}
 			fmt.Fprintf(stdout, "  %8.4f  %8.4f  %8.4f  %8.4f", sim.Mean, sim.P50, sim.P95, sim.P99)
 		}
 		fmt.Fprintln(stdout)
+	}
+	if *landmarks > 0 {
+		// Same construction and seed as simulateSystem, so the stretch
+		// report describes the exact network the simulations ran on.
+		rng := rand.New(rand.NewSource(*seed))
+		g := qp.RandomGeometric(*nodes, 0.4, rng)
+		lm, err := qp.NewLandmarkMetric(g, *landmarks)
+		if err != nil {
+			return err
+		}
+		sources := 8
+		if sources > *nodes {
+			sources = *nodes
+		}
+		stretch, err := lm.ValidateSampled(g, sources, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nlandmark metric: k=%d rows (%d floats vs %d dense), max sampled stretch %.4f over %d sources (bounds verified)\n",
+			lm.K(), lm.K()**nodes, *nodes**nodes, stretch, sources)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -207,9 +241,13 @@ type simSummary struct {
 
 // simulateSystem places sys greedily on a random geometric network with
 // auto-sized uniform capacities and runs the parallel-access simulator,
-// returning the latency digest. A non-nil recorder captures per-access
-// traces and time-series samples of the run.
-func simulateSystem(sys *qp.System, nodes, accesses int, seed int64, rec *qp.SimRecorder) (*simSummary, error) {
+// returning the latency digest. A positive clients count synthesizes that
+// many weighted clients (seeded), aggregates them into per-node demand
+// rates, and installs the rates on the instance, so both the greedy
+// placement objective and the simulator's per-client access weighting see
+// the aggregated population instead of uniform demand. A non-nil recorder
+// captures per-access traces and time-series samples of the run.
+func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, rec *qp.SimRecorder) (*simSummary, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := qp.RandomGeometric(nodes, 0.4, rng)
 	m, err := qp.NewMetricFromGraph(g)
@@ -236,6 +274,19 @@ func simulateSystem(sys *qp.System, nodes, accesses int, seed int64, rec *qp.Sim
 	ins, err := qp.NewInstance(m, caps, sys, st)
 	if err != nil {
 		return nil, err
+	}
+	if clients > 0 {
+		cs := make([]qp.Client, clients)
+		for i := range cs {
+			cs[i] = qp.Client{Node: rng.Intn(nodes), Weight: float64(1 + rng.Intn(9))}
+		}
+		d := qp.NewDemand(nodes)
+		if err := d.AddClients(cs); err != nil {
+			return nil, err
+		}
+		if err := ins.SetRates(d.Rates()); err != nil {
+			return nil, err
+		}
 	}
 	pl, err := qp.BestGreedyPlacement(ins)
 	if err != nil {

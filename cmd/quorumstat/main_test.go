@@ -82,7 +82,7 @@ func TestRunSim(t *testing.T) {
 		}
 	}
 
-	sim, err := simulateSystem(qp.Grid(2), 12, 200, 3, nil)
+	sim, err := simulateSystem(qp.Grid(2), 12, 200, 0, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +109,49 @@ func TestRunBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-sim", "10", "-nodes", "1"}, &buf, &buf); err == nil {
 		t.Fatal("tiny -nodes accepted with -sim")
+	}
+	if err := run([]string{"-clients", "100"}, &buf, &buf); err == nil {
+		t.Fatal("-clients without -sim accepted")
+	}
+	if err := run([]string{"-landmarks", "4"}, &buf, &buf); err == nil {
+		t.Fatal("-landmarks without -sim accepted")
+	}
+}
+
+// TestRunClientsAndLandmarks drives the demand-aggregation and sparse-metric
+// reporting paths: an aggregated client population changes the simulated
+// latency digest (the placement objective and access mix are reweighted),
+// and -landmarks prints a verified stretch line.
+func TestRunClientsAndLandmarks(t *testing.T) {
+	base := []string{"-system", "grid:2", "-p", "0.1", "-sim", "150", "-nodes", "14", "-seed", "5"}
+
+	var uniform, weighted, errOut bytes.Buffer
+	if err := run(base, &uniform, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-clients", "20000", "-landmarks", "4"), &weighted, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := weighted.String()
+	if !strings.Contains(got, "landmark metric: k=4") || !strings.Contains(got, "max sampled stretch") {
+		t.Errorf("landmark stretch line missing:\n%s", got)
+	}
+	if uniform.String() == strings.Join(strings.SplitAfter(got, "\n")[:2], "") {
+		t.Error("aggregated clients left the latency digest bitwise unchanged")
+	}
+
+	// The aggregated population must actually reach the sim: the digest
+	// differs from the uniform-demand run of the same seed.
+	simU, err := simulateSystem(qp.Grid(2), 14, 150, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simW, err := simulateSystem(qp.Grid(2), 14, 150, 20000, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simU.Mean == simW.Mean && simU.P99 == simW.P99 {
+		t.Errorf("client weighting had no effect: uniform %+v weighted %+v", simU, simW)
 	}
 }
 

@@ -21,7 +21,7 @@ func main() {
 
 	// Three data centers of four hosts, joined by slow WAN bridges.
 	g := qp.RingOfCliques(3, 4, 8)
-	m, err := qp.NewMetricFromGraph(g)
+	m, err := qp.BuildMetric(g)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func main() {
 
 	const hosts = 16
 	g := qp.RandomGeometric(hosts, 0.35, rng)
-	m, err := qp.NewMetricFromGraph(g)
+	m, err := qp.BuildMetric(g)
 	if err != nil {
 		log.Fatal(err)
 	}

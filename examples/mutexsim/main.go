@@ -23,7 +23,7 @@ func main() {
 
 	const hosts = 25
 	g := qp.RandomTree(hosts, 1, 10, rng) // WAN latencies 1–10 ms per hop
-	m, err := qp.NewMetricFromGraph(g)
+	m, err := qp.BuildMetric(g)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,7 +17,7 @@ func main() {
 
 	// A 20-host WAN: points in the unit square, link latency = distance.
 	g := qp.RandomGeometric(20, 0.4, rng)
-	m, err := qp.NewMetricFromGraph(g)
+	m, err := qp.BuildMetric(g)
 	if err != nil {
 		log.Fatal(err)
 	}

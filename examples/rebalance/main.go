@@ -24,7 +24,7 @@ func main() {
 
 	const hosts = 24
 	g := qp.RandomGeometric(hosts, 0.35, rng)
-	m, err := qp.NewMetricFromGraph(g)
+	m, err := qp.BuildMetric(g)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func main() {
 	rng := rand.New(rand.NewSource(11))
 
 	g := qp.RandomGeometric(18, 0.35, rng)
-	m, err := qp.NewMetricFromGraph(g)
+	m, err := qp.BuildMetric(g)
 	if err != nil {
 		log.Fatal(err)
 	}

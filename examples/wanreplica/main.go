@@ -22,7 +22,7 @@ func main() {
 
 	const hosts = 40
 	g := qp.RandomGeometric(hosts, 0.3, rng)
-	m, err := qp.NewMetricFromGraph(g)
+	m, err := qp.BuildMetric(g)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,50 @@
+package agg
+
+import (
+	"fmt"
+
+	"quorumplace/internal/placement"
+)
+
+// ApplyTo installs the demand as the instance's client rates. It is the
+// hand-off point of the aggregation pipeline: after this, every solver and
+// evaluator weighs node v by the accumulated client weight at v.
+func (d *Demand) ApplyTo(ins *placement.Instance) error {
+	if ins.M.N() != len(d.w) {
+		return fmt.Errorf("agg: demand over %d nodes applied to %d-node instance", len(d.w), ins.M.N())
+	}
+	return ins.SetRates(d.w)
+}
+
+// PerClientAvgMaxDelay evaluates the rate-weighted QPP objective the slow
+// way, iterating raw clients one by one:
+//
+//	Σ_i weight_i · Δ_f(node_i) / Σ_i weight_i
+//
+// It exists as the independent reference for the aggregation equivalence
+// property: aggregating the same clients into a Demand, applying it as
+// rates, and calling Instance.AvgMaxDelay must agree with this sum (exactly
+// up to summation rounding; linearity of the objective in client weight is
+// what makes aggregation lossless). Never use it at scale — it is
+// O(clients·Q·|Q|) by construction.
+func PerClientAvgMaxDelay(ins *placement.Instance, clients []Client, pl placement.Placement) (float64, error) {
+	n := ins.M.N()
+	delay := make([]float64, n)
+	have := make([]bool, n)
+	sum, wsum := 0.0, 0.0
+	for i, c := range clients {
+		if c.Node < 0 || c.Node >= n {
+			return 0, fmt.Errorf("agg: client %d at node %d out of range [0,%d)", i, c.Node, n)
+		}
+		if !have[c.Node] {
+			delay[c.Node] = ins.MaxDelayFrom(c.Node, pl)
+			have[c.Node] = true
+		}
+		sum += c.Weight * delay[c.Node]
+		wsum += c.Weight
+	}
+	if wsum <= 0 {
+		return 0, fmt.Errorf("agg: client weights sum to %v", wsum)
+	}
+	return sum / wsum, nil
+}

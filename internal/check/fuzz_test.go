@@ -198,3 +198,50 @@ func FuzzRunWithFailures(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTreeDPvsLP pits the exact subset DP (the placement fast path) against
+// both references on tiny instances: its optimum must equal the
+// branch-and-bound optimum, dominate the LP relaxation's lower bound, and
+// its result certificate must pass every SSQPP audit — including the
+// against-exact audit, which with LPBound = OPT pins the DP's claimed bound
+// to the true optimum.
+func FuzzTreeDPvsLP(f *testing.F) {
+	f.Add(int64(7), int64(0))
+	f.Add(int64(41), int64(2))
+	f.Add(int64(133), int64(4))
+	f.Fuzz(func(t *testing.T, seed, v0Sel int64) {
+		ci := GenTiny(seed)
+		ins := ci.Instance
+		if err := AuditInstance(ins); err != nil {
+			t.Fatalf("instance [%s]: %v", ci.Desc, err)
+		}
+		v0 := pick(v0Sel, ins.M.N())
+		res, err := placement.SolveSSQPPExact(ins, v0, 2)
+		if err != nil {
+			t.Fatalf("dp [%s] v0=%d: %v", ci.Desc, v0, err)
+		}
+		if err := AuditSSQPP(ins, res); err != nil {
+			t.Fatalf("dp audit [%s] v0=%d: %v", ci.Desc, v0, err)
+		}
+		if err := AuditPlacement(ins, res.Placement, 1); err != nil {
+			t.Fatalf("dp placement [%s] v0=%d: %v", ci.Desc, v0, err)
+		}
+		_, exactVal, err := exact.SolveSSQPP(ins, v0)
+		if err != nil {
+			t.Fatalf("exact [%s] v0=%d: %v", ci.Desc, v0, err)
+		}
+		if !approxEq(res.Delay, exactVal) {
+			t.Fatalf("dp optimum %v, branch-and-bound optimum %v [%s] v0=%d", res.Delay, exactVal, ci.Desc, v0)
+		}
+		if err := AuditSSQPPAgainstExact(res, exactVal); err != nil {
+			t.Fatalf("dp vs exact [%s] v0=%d: %v", ci.Desc, v0, err)
+		}
+		lpBound, err := placement.SSQPPLowerBound(ins, v0)
+		if err != nil {
+			t.Fatalf("lp [%s] v0=%d: %v", ci.Desc, v0, err)
+		}
+		if !leq(lpBound, res.Delay) {
+			t.Fatalf("lp bound %v exceeds dp optimum %v [%s] v0=%d", lpBound, res.Delay, ci.Desc, v0)
+		}
+	})
+}

@@ -18,6 +18,12 @@ import (
 type Suite struct {
 	Seed  int64
 	Quick bool
+	// ScaleNodes/ScaleClients, when positive, append an extra E18 row with
+	// the overridden dimensions (cmd/qppeval -scale-nodes/-scale-clients),
+	// so the headline 10⁵-node/10⁶-client configuration runs on demand
+	// without every full suite run paying for it.
+	ScaleNodes   int
+	ScaleClients int
 }
 
 // trials returns quick or full trial counts.
@@ -54,6 +60,7 @@ func Experiments() []Experiment {
 		{"E15", (*Suite).E15Queueing},
 		{"E16", (*Suite).E16ReadWriteMix},
 		{"E17", (*Suite).E17DynamicEpochs},
+		{"E18", (*Suite).E18Scaling},
 	}
 }
 

@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultDenseLimit is the largest vertex count for which BuildMetric will
+// materialize the dense n² distance matrix (128 MiB of float64 at the
+// default).
+const DefaultDenseLimit = 4096
+
+// ErrMetricTooLarge is returned (wrapped) by BuildMetric when the graph
+// exceeds the dense limit: beyond it a caller must opt into an explicit
+// scalable representation instead of silently paying n² memory.
+var ErrMetricTooLarge = errors.New("graph: dense metric would exceed the size limit")
+
+// BuildOption configures BuildMetric.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct{ denseLimit int }
+
+// WithDenseLimit overrides the vertex-count ceiling for the dense matrix.
+func WithDenseLimit(n int) BuildOption {
+	return func(c *buildConfig) { c.denseLimit = n }
+}
+
+// BuildMetric is the auto-selecting metric constructor: up to the dense
+// limit it computes the exact all-pairs metric with the parallel build;
+// beyond it, it refuses with ErrMetricTooLarge rather than allocating n²
+// floats behind the caller's back, directing them to the scalable paths —
+// NewLandmarkMetric for approximate distance queries, or the treedp tree
+// fast path, which needs no materialized metric at all.
+func BuildMetric(g *Graph, opts ...BuildOption) (*Metric, error) {
+	cfg := buildConfig{denseLimit: DefaultDenseLimit}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if g.N() > cfg.denseLimit {
+		return nil, fmt.Errorf("%w: %d vertices > limit %d (use NewLandmarkMetric, or SolveQPPTree on trees)",
+			ErrMetricTooLarge, g.N(), cfg.denseLimit)
+	}
+	return NewMetricFromGraph(g)
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 )
@@ -108,31 +109,23 @@ func (g *Graph) Connected() bool {
 }
 
 // ShortestPathsFrom runs Dijkstra's algorithm from src and returns the
-// distance to every vertex. Unreachable vertices get +Inf.
+// distance to every vertex. Unreachable vertices get +Inf. Callers running
+// many sources should go through NewMetricFromGraph, whose workers reuse one
+// workspace per core instead of allocating per source.
 func (g *Graph) ShortestPathsFrom(src int) []float64 {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: source %d out of range [0,%d)", src, g.n))
 	}
 	dist := make([]float64, g.n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	dist[src] = 0
-	h := newIndexedHeap(g.n)
-	h.push(src, 0)
-	for h.len() > 0 {
-		u, du := h.pop()
-		if du > dist[u] {
-			continue
-		}
-		for _, e := range g.adj[u] {
-			if nd := du + e.Length; nd < dist[e.To] {
-				dist[e.To] = nd
-				h.push(e.To, nd)
-			}
-		}
-	}
+	g.shortestPathsInto(src, dist, newIndexedHeap(g.n))
 	return dist
+}
+
+// IsTree reports whether the graph is a tree: non-empty, connected, with
+// exactly n−1 edges. Tree instances admit the exact near-linear placement
+// fast path (package treedp) without materializing any n² metric.
+func (g *Graph) IsTree() bool {
+	return g.n >= 1 && g.m == g.n-1 && g.Connected()
 }
 
 // Metric is a finite metric space on points 0..n-1, typically the
@@ -145,18 +138,14 @@ type Metric struct {
 	d []float64 // row-major, d[u*n+v] = d(u, v)
 }
 
-// NewMetricFromGraph computes the all-pairs shortest-path metric of g.
-// It returns ErrDisconnected if any pair of vertices is unreachable.
+// NewMetricFromGraph computes the all-pairs shortest-path metric of g,
+// fanning the per-source Dijkstra runs across cores with one reusable
+// workspace per worker (see apspInto). It returns ErrDisconnected if any
+// pair of vertices is unreachable.
 func NewMetricFromGraph(g *Graph) (*Metric, error) {
 	d := make([]float64, g.n*g.n)
-	for v := 0; v < g.n; v++ {
-		row := g.ShortestPathsFrom(v)
-		for _, x := range row {
-			if math.IsInf(x, 1) {
-				return nil, ErrDisconnected
-			}
-		}
-		copy(d[v*g.n:(v+1)*g.n], row)
+	if !g.apspInto(d) {
+		return nil, ErrDisconnected
 	}
 	return &Metric{n: g.n, d: d}, nil
 }
@@ -184,8 +173,21 @@ func NewMetricFromMatrix(d [][]float64) (*Metric, error) {
 // explicitly supplied matrices (floating-point closures of exact metrics).
 const metricTol = 1e-9
 
+// Triangle-inequality checking is cubic in n; above validateExactLimit,
+// Validate switches from the exhaustive scan to a fixed-seed random sample
+// of triples (the quadratic symmetry and finiteness checks always run in
+// full). The seed is a constant so Validate stays deterministic.
+const (
+	validateExactLimit     = 128
+	validateSampledTriples = 1 << 20
+	validateSampleSeed     = 0x71C5
+)
+
 // Validate checks the metric axioms and returns a descriptive error for the
-// first violation found.
+// first violation found. Symmetry, finiteness and the zero diagonal are
+// always checked exhaustively; the triangle inequality is exhaustive up to
+// validateExactLimit points and sampled (seeded, deterministic) beyond it,
+// keeping NewMetricFromMatrix usable at large n.
 func (m *Metric) Validate() error {
 	for i := 0; i < m.n; i++ {
 		if m.D(i, i) != 0 {
@@ -200,14 +202,39 @@ func (m *Metric) Validate() error {
 			}
 		}
 	}
+	if m.n <= validateExactLimit {
+		return m.validateTrianglesExact()
+	}
+	return m.validateTrianglesSampled(validateSampledTriples, validateSampleSeed)
+}
+
+// checkTriangle verifies d(i,j) ≤ d(i,k) + d(k,j) up to tolerance.
+func (m *Metric) checkTriangle(i, j, k int) error {
+	if m.D(i, j) > m.D(i, k)+m.D(k, j)+metricTol*(1+m.D(i, j)) {
+		return fmt.Errorf("graph: triangle inequality violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
+			i, j, m.D(i, j), i, k, k, j, m.D(i, k)+m.D(k, j))
+	}
+	return nil
+}
+
+func (m *Metric) validateTrianglesExact() error {
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
 			for k := 0; k < m.n; k++ {
-				if m.D(i, j) > m.D(i, k)+m.D(k, j)+metricTol*(1+m.D(i, j)) {
-					return fmt.Errorf("graph: triangle inequality violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
-						i, j, m.D(i, j), i, k, k, j, m.D(i, k)+m.D(k, j))
+				if err := m.checkTriangle(i, j, k); err != nil {
+					return err
 				}
 			}
+		}
+	}
+	return nil
+}
+
+func (m *Metric) validateTrianglesSampled(samples int, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	for s := 0; s < samples; s++ {
+		if err := m.checkTriangle(r.Intn(m.n), r.Intn(m.n), r.Intn(m.n)); err != nil {
+			return err
 		}
 	}
 	return nil

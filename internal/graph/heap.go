@@ -18,6 +18,13 @@ func newIndexedHeap(capHint int) *indexedHeap {
 
 func (h *indexedHeap) len() int { return len(h.vert) }
 
+// reset empties the heap while keeping its storage, so one heap can serve
+// many Dijkstra runs without reallocating.
+func (h *indexedHeap) reset() {
+	h.vert = h.vert[:0]
+	h.prio = h.prio[:0]
+}
+
 func (h *indexedHeap) push(v int, p float64) {
 	h.vert = append(h.vert, v)
 	h.prio = append(h.prio, p)

@@ -1,0 +1,107 @@
+package graph
+
+// Reusable Dijkstra state and the parallel all-pairs build behind
+// NewMetricFromGraph. One workspace serves any number of sources: the dist
+// slice doubles as the output row and the heap keeps its storage between
+// runs, so an n-source sweep allocates O(workers) scratch instead of O(n).
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// shortestPathsInto runs Dijkstra from src, writing the distance to every
+// vertex into dist (length g.n) and reusing the heap's storage. Unreachable
+// vertices get +Inf.
+func (g *Graph) shortestPathsInto(src int, dist []float64, h *indexedHeap) {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h.reset()
+	h.push(src, 0)
+	for h.len() > 0 {
+		u, du := h.pop()
+		if du > dist[u] {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if nd := du + e.Length; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(e.To, nd)
+			}
+		}
+	}
+}
+
+// metricBuildChunk is the number of sources a worker claims per atomic
+// fetch-add during the parallel all-pairs build. A handful of rows per claim
+// amortizes the atomic without hurting balance.
+const metricBuildChunk = 8
+
+// apspInto fills the row-major n×n matrix d with all-pairs shortest-path
+// distances, fanning sources across GOMAXPROCS workers. Workers write
+// disjoint rows of the shared backing slice, so the only synchronization is
+// the claim counter; each row is the output of an independent Dijkstra run,
+// making the matrix bit-identical to a sequential sweep. Returns false if
+// some pair of vertices is unreachable.
+func (g *Graph) apspInto(d []float64) bool {
+	n := g.n
+	workers := runtime.GOMAXPROCS(0)
+	if max := (n + metricBuildChunk - 1) / metricBuildChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		h := newIndexedHeap(n)
+		for v := 0; v < n; v++ {
+			if !g.rowInto(v, d[v*n:(v+1)*n], h) {
+				return false
+			}
+		}
+		return true
+	}
+	var (
+		cursor       atomic.Int64
+		disconnected atomic.Bool
+		wg           sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := newIndexedHeap(n)
+			for {
+				lo := int(cursor.Add(metricBuildChunk)) - metricBuildChunk
+				if lo >= n || disconnected.Load() {
+					return
+				}
+				hi := lo + metricBuildChunk
+				if hi > n {
+					hi = n
+				}
+				for v := lo; v < hi; v++ {
+					if !g.rowInto(v, d[v*n:(v+1)*n], h) {
+						disconnected.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !disconnected.Load()
+}
+
+// rowInto computes one metric row and reports whether every vertex was
+// reachable from v.
+func (g *Graph) rowInto(v int, row []float64, h *indexedHeap) bool {
+	g.shortestPathsInto(v, row, h)
+	for _, x := range row {
+		if math.IsInf(x, 1) {
+			return false
+		}
+	}
+	return true
+}

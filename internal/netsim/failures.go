@@ -78,6 +78,12 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := ins.M.N()
 	nQ := ins.Sys.NumQuorums()
+	// Same rate-weighted access apportionment as Run, so the failure-free
+	// configuration keeps reproducing Run trace-for-trace under rates.
+	var counts []int
+	if ins.Rates != nil {
+		counts = clientAccessCounts(ins.Rates, n, cfg.AccessesPerClient)
+	}
 
 	cdf := make([]float64, nQ)
 	acc := 0.0
@@ -147,6 +153,9 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 	var q eventQueue
 	seq := 0
 	for v := 0; v < n; v++ {
+		if counts != nil && counts[v] == 0 {
+			continue
+		}
 		q.push(event{at: 0, seq: seq, client: v, access: 0})
 		seq++
 	}
@@ -269,7 +278,11 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		if slo {
 			rec.sloAccess(runID, e.at+elapsed, elapsed, int64(accRetries), !success, sloNodes)
 		}
-		if e.access+1 < cfg.AccessesPerClient {
+		limit := cfg.AccessesPerClient
+		if counts != nil {
+			limit = counts[v]
+		}
+		if e.access+1 < limit {
 			q.push(event{at: e.at + elapsed, seq: seq, client: v, access: e.access + 1})
 			seq++
 		}

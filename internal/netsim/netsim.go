@@ -53,7 +53,10 @@ type Config struct {
 	Mode      Mode
 	// AccessesPerClient is the number of quorum accesses each client
 	// issues. Clients are all nodes of the network (the paper's model);
-	// set Instance.Rates to weight them.
+	// set Instance.Rates to weight them — each client then issues its
+	// rate-proportional share of the n·AccessesPerClient total, so an
+	// aggregated demand population shapes the simulated access mix the
+	// same way it shapes the analytic objective.
 	AccessesPerClient int
 	// InterAccessTime is the mean of the exponential think time between a
 	// client's accesses (virtual time units). Zero means back-to-back.
@@ -118,6 +121,54 @@ func (s *Stats) sortedLatencies() []float64 {
 // Latencies returns a copy of the raw per-access latency samples.
 func (s *Stats) Latencies() []float64 {
 	return append([]float64(nil), s.latencies...)
+}
+
+// clientAccessCounts returns how many accesses each client issues: the
+// uniform AccessesPerClient when rates is nil, otherwise each client's
+// rate-proportional share of the n·AccessesPerClient total, apportioned by
+// the largest-remainder method so the counts sum to exactly
+// n·AccessesPerClient (the counting identities audited downstream depend on
+// the exact total). Zero-rate clients issue no accesses: a leftover unit
+// only ever lands on a positive fractional remainder, and there are at
+// least as many of those as leftover units.
+func clientAccessCounts(rates []float64, n, perClient int) []int {
+	counts := make([]int, n)
+	if rates == nil {
+		for v := range counts {
+			counts[v] = perClient
+		}
+		return counts
+	}
+	rsum := 0.0
+	for _, r := range rates {
+		rsum += r
+	}
+	total := n * perClient
+	rem := make([]float64, n)
+	assigned := 0
+	for v := range counts {
+		s := float64(total) * rates[v] / rsum
+		c := int(math.Floor(s))
+		counts[v] = c
+		rem[v] = s - float64(c)
+		assigned += c
+	}
+	if leftover := total - assigned; leftover > 0 {
+		order := make([]int, n)
+		for v := range order {
+			order[v] = v
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if rem[order[i]] != rem[order[j]] {
+				return rem[order[i]] > rem[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		for i := 0; i < leftover; i++ {
+			counts[order[i]]++
+		}
+	}
+	return counts
 }
 
 // event is a pending message delivery or access start in the event queue.
@@ -192,6 +243,12 @@ func Run(cfg Config) (*Stats, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := ins.M.N()
 	nQ := ins.Sys.NumQuorums()
+	// counts stays nil for uniform (nil) rates: the default path pays no
+	// per-run allocation and every client issues cfg.AccessesPerClient.
+	var counts []int
+	if ins.Rates != nil {
+		counts = clientAccessCounts(ins.Rates, n, cfg.AccessesPerClient)
+	}
 
 	// Precompute the quorum sampling CDF.
 	cdf := make([]float64, nQ)
@@ -251,6 +308,9 @@ func Run(cfg Config) (*Stats, error) {
 	var q eventQueue
 	seq := 0
 	for v := 0; v < n; v++ {
+		if counts != nil && counts[v] == 0 {
+			continue
+		}
 		q.push(event{at: 0, seq: seq, client: v, access: 0})
 		seq++
 	}
@@ -336,7 +396,11 @@ func Run(cfg Config) (*Stats, error) {
 		if ts != nil {
 			ts.done.push(done)
 		}
-		if e.access+1 < cfg.AccessesPerClient {
+		limit := cfg.AccessesPerClient
+		if counts != nil {
+			limit = counts[v]
+		}
+		if e.access+1 < limit {
 			think := 0.0
 			if cfg.InterAccessTime > 0 {
 				think = rng.ExpFloat64() * cfg.InterAccessTime
@@ -352,12 +416,12 @@ func Run(cfg Config) (*Stats, error) {
 		}
 	}
 	stats.EmpiricalLoad = make([]float64, n)
-	perClientAccesses := float64(cfg.AccessesPerClient)
+	totalAccesses := float64(stats.Accesses)
 	for v := 0; v < n; v++ {
-		// Empirical load: fraction of a single client's accesses that hit
-		// node v, averaged over clients — the sampled analogue of
-		// load_f(v) = Σ_{u:f(u)=v} load(u).
-		stats.EmpiricalLoad[v] = float64(stats.NodeHits[v]) / (perClientAccesses * float64(n))
+		// Empirical load: fraction of all accesses that hit node v — the
+		// sampled analogue of load_f(v) = Σ_{u:f(u)=v} load(u). With
+		// uniform rates the denominator equals n·AccessesPerClient.
+		stats.EmpiricalLoad[v] = float64(stats.NodeHits[v]) / totalAccesses
 	}
 	if lh != nil {
 		obs.MergeHist("netsim.access_latency", lh)

@@ -240,3 +240,66 @@ func TestPercentileInterpolation(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRateWeightedClients checks the §6 rates extension in the
+// simulator: with Instance.Rates set, each client issues its
+// rate-proportional share of the n·AccessesPerClient total, zero-rate
+// clients issue nothing, and the empirical load stays normalized.
+func TestRunRateWeightedClients(t *testing.T) {
+	ins, p := buildInstance(t)
+	const per = 40
+	n := 9
+	rates := make([]float64, n)
+	rates[2] = 3
+	rates[7] = 1
+	if err := ins.SetRates(rates); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: per, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shares: client 2 gets 3/4 of n·per = 270, client 7 gets 90.
+	if stats.Accesses != n*per {
+		t.Fatalf("accesses = %d, want %d", stats.Accesses, n*per)
+	}
+	for v := 0; v < n; v++ {
+		if v != 2 && v != 7 && stats.PerClient[v] != 0 {
+			t.Fatalf("zero-rate client %d recorded latency %v", v, stats.PerClient[v])
+		}
+	}
+	if stats.PerClient[2] <= 0 || stats.PerClient[7] <= 0 {
+		t.Fatalf("weighted clients idle: %v", stats.PerClient)
+	}
+	sum := 0.0
+	for _, l := range stats.EmpiricalLoad {
+		sum += l
+	}
+	// Each Grid(2) quorum has 3 elements, so loads sum to 3 per access.
+	if math.Abs(sum-3) > 1e-9 {
+		t.Fatalf("empirical load sums to %v, want 3", sum)
+	}
+
+	// Uniform rates must be bitwise-identical to nil rates (same seed).
+	if err := ins.SetRates(nil); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: per, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := make([]float64, n)
+	for i := range uni {
+		uni[i] = 2.5
+	}
+	if err := ins.SetRates(uni); err != nil {
+		t.Fatal(err)
+	}
+	same, err := Run(Config{Instance: ins, Placement: p, Mode: Parallel, AccessesPerClient: per, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.AvgLatency != same.AvgLatency || base.Accesses != same.Accesses || base.Clock != same.Clock {
+		t.Fatalf("uniform explicit rates diverge from nil rates: %+v vs %+v", base, same)
+	}
+}

@@ -46,6 +46,17 @@ func (sv *ssqppSolver) solve(v0 int, alpha float64) (*SSQPPResult, error) {
 	if v0 < 0 || v0 >= ins.M.N() {
 		return nil, fmt.Errorf("placement: source %d out of range [0,%d)", v0, ins.M.N())
 	}
+	// Exact fast path: large instances with small universes are solved to
+	// optimality by the treedp subset DP (see exactdp.go). The gate is a
+	// pure function of instance shape, so every source — and both the
+	// sequential and parallel QPP sweeps — take the same branch. On DP
+	// budget exhaustion or infeasibility the LP pipeline below runs as
+	// before and reports with its own diagnostics.
+	if ins.exactDPAuto() {
+		if res, err := solveSSQPPExactDP(ins, v0, alpha, sv.rec); err == nil {
+			return res, nil
+		}
+	}
 	sp := sv.rec.Start("placement.ssqpp")
 	defer sp.End()
 	frac, err := sv.solveLP(v0)

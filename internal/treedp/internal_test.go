@@ -1,0 +1,126 @@
+package treedp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/quorum"
+)
+
+func TestSSQPPBudgetExhaustion(t *testing.T) {
+	n := 32
+	dist := make([]float64, n)
+	caps := make([]float64, n)
+	for i := range dist {
+		dist[i] = float64(i)
+		caps[i] = 0.05 // force spreading, keeping many states alive
+	}
+	sys := quorum.Majority(9, 5)
+	strat := quorum.Uniform(sys.NumQuorums())
+	loads, err := sys.Loads(strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := solveSSQPP(dist, caps, loads, sys, strat, 10); !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+}
+
+func TestSSQPPInfeasible(t *testing.T) {
+	sys := quorum.Majority(3, 2)
+	strat := quorum.Uniform(sys.NumQuorums())
+	loads, _ := sys.Loads(strat)
+	dist := []float64{0, 1, 2}
+	caps := []float64{0, 0, 0} // every element has positive load, no node fits it
+	if _, _, err := SolveSSQPP(dist, caps, loads, sys, strat); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("got %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSSQPPUniverseLimit(t *testing.T) {
+	qs := make([][]int, MaxUniverse+1)
+	for i := range qs {
+		qs[i] = make([]int, MaxUniverse+1)
+		for j := range qs[i] {
+			qs[i][j] = j
+		}
+	}
+	sys, err := quorum.NewSystem("big", MaxUniverse+1, qs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := quorum.Uniform(1)
+	loads, _ := sys.Loads(strat)
+	if _, _, err := SolveSSQPP([]float64{0}, []float64{100}, loads, sys, strat); err == nil {
+		t.Fatal("universe above MaxUniverse must be rejected")
+	}
+}
+
+// The rate-weighted 1-median from rerooting must match the brute-force
+// argmin of Σ w_v d(v, x) on random trees.
+func TestWeightedMedianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := graph.RandomTree(n, 0.2, 3.0, rng)
+		var w []float64
+		if trial%2 == 0 {
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.Float64() * 5
+			}
+			w[rng.Intn(n)] += 1 // keep the total positive
+		}
+		got := weightedMedian(g, w)
+
+		m, err := graph.NewMetricFromGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestVal := 0, 0.0
+		for x := 0; x < n; x++ {
+			s := 0.0
+			for v := 0; v < n; v++ {
+				wt := 1.0
+				if w != nil {
+					wt = w[v]
+				}
+				s += wt * m.D(v, x)
+			}
+			if x == 0 || s < bestVal {
+				best, bestVal = x, s
+			}
+		}
+		// Accept either on float ties.
+		gotVal := 0.0
+		for v := 0; v < n; v++ {
+			wt := 1.0
+			if w != nil {
+				wt = w[v]
+			}
+			gotVal += wt * m.D(v, got)
+		}
+		if gotVal > bestVal*(1+1e-9)+1e-9 {
+			t.Fatalf("trial %d: median %d scores %v, brute force %d scores %v", trial, got, gotVal, best, bestVal)
+		}
+	}
+}
+
+// distsFrom must agree with Dijkstra on trees.
+func TestDistsFromMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomTree(60, 0.5, 2.5, rng)
+	dist := make([]float64, g.N())
+	var stack []int
+	for src := 0; src < g.N(); src += 7 {
+		stack = distsFrom(g, src, dist, stack)
+		want := g.ShortestPathsFrom(src)
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("d(%d,%d) = %v, Dijkstra gives %v", src, v, dist[v], want[v])
+			}
+		}
+	}
+}

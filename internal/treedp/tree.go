@@ -1,0 +1,105 @@
+package treedp
+
+// Tree helpers: O(n) distance vectors, the rate-weighted 1-median by
+// rerooting, and farthest-member scans used by the diametral-pair
+// evaluation. All of them assume the graph is a tree (unique paths), which
+// the QPP driver verifies once up front.
+
+import (
+	"quorumplace/internal/graph"
+)
+
+// distsFrom fills dist (length g.N()) with the tree distance from src to
+// every vertex using one DFS — unique paths make Dijkstra unnecessary.
+func distsFrom(g *graph.Graph, src int, dist []float64, stack []int) []int {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	stack = append(stack[:0], src)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Neighbors(u) {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[u] + e.Length
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return stack
+}
+
+// weightedMedian returns the vertex minimizing Σ_v w[v]·d(v, x) — the
+// rate-weighted 1-median — in O(n) by the classic two-pass rerooting: a
+// post-order pass accumulates subtree weights, then S(child) =
+// S(parent) + (W − 2·subtree(child))·len(parent,child) walks the objective
+// down every edge. Ties break toward the smaller vertex id. w == nil means
+// uniform weights.
+func weightedMedian(g *graph.Graph, w []float64) int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	parent := make([]int, n)
+	parentLen := make([]float64, n)
+	depth := make([]float64, n)
+	order := make([]int, 0, n) // preorder
+	parent[0] = -1
+	stack := []int{0}
+	seen := make([]bool, n)
+	seen[0] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, e := range g.Neighbors(u) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				parent[e.To] = u
+				parentLen[e.To] = e.Length
+				depth[e.To] = depth[u] + e.Length
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	weight := func(v int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[v]
+	}
+	subW := make([]float64, n)
+	totalW, s0 := 0.0, 0.0
+	for i := n - 1; i >= 0; i-- { // reverse preorder = children before parents
+		v := order[i]
+		subW[v] += weight(v)
+		if parent[v] >= 0 {
+			subW[parent[v]] += subW[v]
+		}
+		totalW += weight(v)
+		s0 += weight(v) * depth[v]
+	}
+	score := make([]float64, n)
+	score[0] = s0
+	best, bestVal := 0, s0
+	for _, v := range order[1:] {
+		score[v] = score[parent[v]] + (totalW-2*subW[v])*parentLen[v]
+		if score[v] < bestVal || (score[v] == bestVal && v < best) {
+			best, bestVal = v, score[v]
+		}
+	}
+	return best
+}
+
+// farthestMember returns the member (from the given node list) maximizing
+// dist, ties toward the smaller node id.
+func farthestMember(members []int, dist []float64) int {
+	best, bestD := members[0], dist[members[0]]
+	for _, m := range members[1:] {
+		if dist[m] > bestD || (dist[m] == bestD && m < best) {
+			best, bestD = m, dist[m]
+		}
+	}
+	return best
+}

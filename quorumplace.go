@@ -35,6 +35,7 @@ import (
 	"io"
 	"math/rand"
 
+	"quorumplace/internal/agg"
 	"quorumplace/internal/graph"
 	"quorumplace/internal/migrate"
 	"quorumplace/internal/netsim"
@@ -43,6 +44,7 @@ import (
 	"quorumplace/internal/quorum"
 	"quorumplace/internal/recommend"
 	"quorumplace/internal/sched"
+	"quorumplace/internal/treedp"
 )
 
 // --- network substrate -------------------------------------------------------
@@ -61,6 +63,34 @@ func NewMetricFromGraph(g *Graph) (*Metric, error) { return graph.NewMetricFromG
 
 // NewMetricFromMatrix builds a metric from an explicit distance matrix.
 func NewMetricFromMatrix(d [][]float64) (*Metric, error) { return graph.NewMetricFromMatrix(d) }
+
+// BuildMetric is the scale-aware metric constructor: it computes the dense
+// all-pairs metric with the parallel builder when the graph fits the dense
+// budget (DefaultDenseLimit nodes unless overridden with WithDenseLimit),
+// and refuses with ErrMetricTooLarge — naming the sparse alternatives —
+// rather than silently attempting an n² build. Prefer it over
+// NewMetricFromGraph anywhere the input size is not fixed by construction.
+func BuildMetric(g *Graph, opts ...BuildOption) (*Metric, error) {
+	return graph.BuildMetric(g, opts...)
+}
+
+// BuildOption configures BuildMetric; see WithDenseLimit.
+type BuildOption = graph.BuildOption
+
+// LandmarkMetric is the sparse landmark (beacon) distance oracle: k Dijkstra
+// rows instead of n², with certified upper/lower bounds per pair.
+type LandmarkMetric = graph.LandmarkMetric
+
+// Sparse-metric constructors and limits (see internal/graph for semantics).
+var (
+	WithDenseLimit    = graph.WithDenseLimit
+	ErrMetricTooLarge = graph.ErrMetricTooLarge
+	NewLandmarkMetric = graph.NewLandmarkMetric
+)
+
+// DefaultDenseLimit is the node count above which BuildMetric refuses a
+// dense build unless overridden.
+const DefaultDenseLimit = graph.DefaultDenseLimit
 
 // Topology generators. Random generators take a *rand.Rand for
 // reproducibility; see the graph package for parameter semantics.
@@ -161,9 +191,51 @@ func SolveQPP(ins *Instance, alpha float64) (*QPPResult, error) {
 }
 
 // SolveSSQPP runs the Theorem 3.7 single-source pipeline for source v0.
+// Large instances with small quorum universes are transparently routed
+// through the exact subset DP (see SolveSSQPPExact) instead of the LP.
 func SolveSSQPP(ins *Instance, v0 int, alpha float64) (*SSQPPResult, error) {
 	return placement.SolveSSQPP(ins, v0, alpha)
 }
+
+// SolveSSQPPExact solves the single-source problem to optimality with the
+// O(n·3^U) subset DP — exponential only in the universe size, so fast
+// whenever the quorum system is over a small logical universe. The returned
+// certificate carries the optimum itself as LPBound.
+func SolveSSQPPExact(ins *Instance, v0 int, alpha float64) (*SSQPPResult, error) {
+	return placement.SolveSSQPPExact(ins, v0, alpha)
+}
+
+// TreeQPPResult is the outcome of SolveQPPTree.
+type TreeQPPResult = treedp.Result
+
+// SolveQPPTree solves QPP on a tree topology without materializing the n²
+// metric: O(n) tree-distance vectors per candidate source, the exact subset
+// DP per source, and exact objective evaluation via per-quorum diametral
+// pairs. rates may be nil for uniform clients. This is the path that takes
+// 10⁵-node networks with aggregated million-client demand in seconds.
+func SolveQPPTree(g *Graph, caps []float64, sys *System, strat Strategy, rates []float64) (*TreeQPPResult, error) {
+	return treedp.SolveQPP(g, caps, sys, strat, rates)
+}
+
+// --- demand aggregation ------------------------------------------------------
+
+// Demand accumulates per-node client weight; Client is one raw demand
+// source. See internal/agg: the objective is linear in client weight, so
+// arbitrarily large client populations collapse losslessly into one weight
+// per node, and with integer weights the collapse is bitwise deterministic
+// under any sharding.
+type (
+	Demand        = agg.Demand
+	Client        = agg.Client
+	ShardedDemand = agg.Sharded
+)
+
+// Demand constructors and the per-client reference evaluator.
+var (
+	NewDemand            = agg.NewDemand
+	NewShardedDemand     = agg.NewSharded
+	PerClientAvgMaxDelay = agg.PerClientAvgMaxDelay
+)
 
 // SSQPPLowerBound returns the LP (9)–(14) lower bound on the single-source
 // optimum.
