@@ -7,6 +7,7 @@
 //	qpp -graph tree -nodes 15 -system majority:5:3 -objective total
 //	qpp -graph path -nodes 12 -system fpp:2 -cap 1.5 -seed 7
 //	qpp -nodes 12 -system grid:2 -trace trace.jsonl -stats
+//	qpp -nodes 12 -system grid:2 -sim 500 -metrics-addr 127.0.0.1:0 -metrics-hold 30s
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	qp "quorumplace"
+	"quorumplace/internal/obs/export"
 	"quorumplace/internal/viz"
 )
 
@@ -35,23 +38,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("qpp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		graphKind  = fs.String("graph", "geometric", "topology: geometric|path|cycle|tree|erdos|hypercube|cliques")
-		graphFile  = fs.String("graphfile", "", "read the topology from an edge-list file instead of generating one")
-		nodes      = fs.Int("nodes", 16, "number of network nodes")
-		system     = fs.String("system", "grid:2", "quorum system: grid:k | majority:n:t | fpp:q | star:n | wheel:n")
-		alpha      = fs.Float64("alpha", 2, "filtering parameter α > 1 (Theorem 3.7 knob)")
-		capFlag    = fs.Float64("cap", 0, "uniform node capacity; 0 = auto (just enough for a balanced placement)")
-		objective  = fs.String("objective", "max", "delay objective: max (Theorem 1.2) or total (Theorem 1.4)")
-		seed       = fs.Int64("seed", 1, "random seed")
-		specArg    = fs.Bool("specialized", false, "use the capacity-respecting §4 layout (grid/majority systems only)")
-		saveSpec   = fs.String("savespec", "", "write the built instance as a JSON spec to this file and exit")
-		loadSpec   = fs.String("loadspec", "", "load the instance from a JSON spec file (overrides -graph/-system/-cap)")
-		audit      = fs.Bool("audit", true, "print the placement audit report")
-		simN       = fs.Int("sim", 0, "simulate N accesses per client and print the latency distribution")
-		traceFile  = fs.String("trace", "", "write a JSONL telemetry trace (solver spans and counters) to this file")
-		stats      = fs.Bool("stats", false, "print a telemetry summary table to stderr")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
+		graphKind   = fs.String("graph", "geometric", "topology: geometric|path|cycle|tree|erdos|hypercube|cliques")
+		graphFile   = fs.String("graphfile", "", "read the topology from an edge-list file instead of generating one")
+		nodes       = fs.Int("nodes", 16, "number of network nodes")
+		system      = fs.String("system", "grid:2", "quorum system: grid:k | majority:n:t | fpp:q | star:n | wheel:n")
+		alpha       = fs.Float64("alpha", 2, "filtering parameter α > 1 (Theorem 3.7 knob)")
+		capFlag     = fs.Float64("cap", 0, "uniform node capacity; 0 = auto (just enough for a balanced placement)")
+		objective   = fs.String("objective", "max", "delay objective: max (Theorem 1.2) or total (Theorem 1.4)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		specArg     = fs.Bool("specialized", false, "use the capacity-respecting §4 layout (grid/majority systems only)")
+		saveSpec    = fs.String("savespec", "", "write the built instance as a JSON spec to this file and exit")
+		loadSpec    = fs.String("loadspec", "", "load the instance from a JSON spec file (overrides -graph/-system/-cap)")
+		audit       = fs.Bool("audit", true, "print the placement audit report")
+		simN        = fs.Int("sim", 0, "simulate N accesses per client and print the latency distribution")
+		traceFile   = fs.String("trace", "", "write a JSONL telemetry trace (solver spans and counters) to this file")
+		stats       = fs.Bool("stats", false, "print a telemetry summary table to stderr")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file")
+		metricsAddr = fs.String("metrics-addr", "", "serve live metrics (Prometheus /metrics, JSON /metrics.json) on this address while running")
+		metricsHold = fs.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the report prints")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}()
 	}
-	if *traceFile != "" || *stats {
+	if *traceFile != "" || *stats || *metricsAddr != "" {
 		qp.EnableTelemetry()
 		defer func() {
 			snap := qp.Snapshot()
@@ -104,6 +109,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if *stats {
 				fmt.Fprint(stderr, snap.Summary())
 			}
+		}()
+	}
+	if *metricsAddr != "" {
+		// Registered after the telemetry defer, so the hold-and-close runs
+		// first (LIFO) while the collector is still installed: scrapers see
+		// live data during the run and for -metrics-hold afterwards.
+		srv, err := export.Serve(*metricsAddr, export.ActiveSource())
+		if err != nil {
+			return fmt.Errorf("metrics-addr: %w", err)
+		}
+		fmt.Fprintf(stderr, "qpp: serving metrics on %s (json at /metrics.json)\n", srv.URL())
+		defer func() {
+			if *metricsHold > 0 {
+				time.Sleep(*metricsHold)
+			}
+			srv.Close()
 		}()
 	}
 

@@ -3,11 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestBuildGraph(t *testing.T) {
@@ -194,4 +199,57 @@ func TestRunSaveAndLoadSpec(t *testing.T) {
 	if !strings.Contains(buf.String(), "grid-2x2") {
 		t.Fatalf("loadspec output missing system name:\n%s", buf.String())
 	}
+}
+
+// TestRunMetricsAddr serves live metrics during a solve-and-simulate run
+// and scrapes the endpoint while -metrics-hold keeps it up.
+func TestRunMetricsAddr(t *testing.T) {
+	var out, errOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-graph", "path", "-nodes", "8", "-system", "grid:2", "-sim", "50",
+			"-metrics-addr", "127.0.0.1:0", "-metrics-hold", "3s"}, &out, &errOut)
+	}()
+	var url string
+	for i := 0; i < 300; i++ {
+		if m := regexp.MustCompile(`serving metrics on (http://\S+)`).FindStringSubmatch(errOut.String()); m != nil {
+			url = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if url == "" {
+		t.Fatalf("metrics server never announced itself:\n%s", errOut.String())
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "qpp_") {
+		t.Fatalf("scrape status %d body %q", resp.StatusCode, body)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the metrics test reads stderr
+// from the test goroutine while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

@@ -13,6 +13,7 @@
 //
 //	qppeval [-seed N] [-quick] [-csv] [-only E7] [-trace FILE] [-stats]
 //	        [-trace-out t.json] [-trace-sample 100] [-timeseries 0.5]
+//	        [-heat [-drift-threshold 0.5]]
 //	        [-metrics-addr 127.0.0.1:9464 [-metrics-hold 30s]]
 //
 // -metrics-addr serves the live telemetry snapshot over HTTP while the
@@ -20,6 +21,13 @@
 // payload at /metrics.json (the cmd/qppmon dashboard polls the latter);
 // -metrics-hold keeps the endpoint up after the run so short runs can
 // still be scraped.
+//
+// -heat installs a process-wide workload heat sketch, so every simulated
+// access across all experiments is folded into per-client/per-node totals
+// and EWMA rates; a drift/heavy-hitter report (against uniform demand —
+// the suite's experiments mostly run unweighted mixes) is printed to
+// stderr and published into the telemetry snapshot as heat.* gauges.
+// -drift-threshold exits nonzero when the cumulative drift TV exceeds it.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	qp "quorumplace"
@@ -58,12 +67,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	stats := fs.Bool("stats", false, "print a telemetry summary table to stderr")
 	metricsAddr := fs.String("metrics-addr", "", "serve live metrics (Prometheus /metrics, JSON /metrics.json) on this address while running")
 	metricsHold := fs.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the experiments finish")
+	heatOn := fs.Bool("heat", false, "fold every simulated access into a process-wide workload heat sketch and print a drift report to stderr")
+	driftThreshold := fs.Float64("drift-threshold", 0, "with -heat: exit nonzero if the cumulative drift TV vs uniform demand exceeds this")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
 	scaleNodes := fs.Int("scale-nodes", 0, "append an E18 row with this many tree nodes (e.g. 100000 for the headline run)")
 	scaleClients := fs.Int("scale-clients", 0, "append an E18 row with this many raw clients (e.g. 1000000)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *driftThreshold != 0 && !*heatOn {
+		return fmt.Errorf("-drift-threshold requires -heat")
+	}
+	if *driftThreshold < 0 || *driftThreshold > 1 {
+		return fmt.Errorf("-drift-threshold %v outside [0,1]", *driftThreshold)
 	}
 
 	if *cpuProfile != "" {
@@ -158,6 +175,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
+	var ht *qp.HeatSketch
+	if *heatOn {
+		ht = qp.NewHeatSketch(qp.HeatOptions{})
+		qp.SetDefaultHeat(ht)
+		defer qp.SetDefaultHeat(nil)
+	}
+
 	s := &eval.Suite{Seed: *seed, Quick: *quick, ScaleNodes: *scaleNodes, ScaleClients: *scaleClients}
 	ran := 0
 	for _, e := range eval.Experiments() {
@@ -181,5 +205,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches -only=%s", *only)
 	}
+	if ht != nil {
+		// Publish while the collector (if any) is still installed, so the
+		// heat.* gauges reach /metrics during a -metrics-hold window.
+		ht.Publish(nil)
+		d, err := ht.Drift(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "qppeval: heat: %d accesses, %d messages across %d epochs\n",
+			ht.Accesses(), ht.Messages(), ht.Epochs())
+		fmt.Fprint(stderr, prefixLines("qppeval: heat: ", d.Format()))
+		for _, e := range ht.TopClients(5) {
+			fmt.Fprintf(stderr, "qppeval: heat: hot client %d: %d accesses\n", e.Key, e.Count)
+		}
+		if *driftThreshold > 0 && d.TV > *driftThreshold {
+			return fmt.Errorf("heat drift TV %.4f exceeds threshold %.4f", d.TV, *driftThreshold)
+		}
+	}
 	return nil
+}
+
+// prefixLines prepends p to every non-empty line of s.
+func prefixLines(p, s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString(p)
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

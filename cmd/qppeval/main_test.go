@@ -109,6 +109,37 @@ func firstLine(s string) string {
 	return s
 }
 
+// TestRunHeat installs the process-wide heat sketch across an experiment
+// run: E11's simulated accesses all land in the sketch, the drift report
+// prints on stderr, and — the suite running exactly its uniform access mix
+// — the cumulative drift TV is 0, so any threshold passes.
+func TestRunHeat(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E11", "-heat", "-drift-threshold", "0.001"}, &out, &errOut); err != nil {
+		t.Fatalf("heat run failed: %v\n%s", err, errOut.String())
+	}
+	got := errOut.String()
+	if !regexp.MustCompile(`heat: [1-9]\d* accesses, [1-9]\d* messages across [1-9]\d* epochs`).MatchString(got) {
+		t.Errorf("heat totals line missing or empty:\n%s", got)
+	}
+	if !strings.Contains(got, "drift TV 0.0000") {
+		t.Errorf("uniform suite should report zero drift:\n%s", got)
+	}
+	if !strings.Contains(got, "hot client") {
+		t.Errorf("heavy-hitter lines missing:\n%s", got)
+	}
+}
+
+func TestRunHeatBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-drift-threshold", "0.5"}, &buf, &buf); err == nil {
+		t.Fatal("-drift-threshold without -heat accepted")
+	}
+	if err := run([]string{"-heat", "-drift-threshold", "1.5"}, &buf, &buf); err == nil {
+		t.Fatal("-drift-threshold > 1 accepted")
+	}
+}
+
 // TestRunMetricsAddr serves live metrics during an experiment run and
 // validates a Prometheus scrape while -metrics-hold keeps the endpoint up.
 func TestRunMetricsAddr(t *testing.T) {

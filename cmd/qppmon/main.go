@@ -6,11 +6,20 @@
 // (-validate, the CI smoke test) or render a one-shot dashboard from a
 // JSONL telemetry trace written with -trace (-tail).
 //
+// When the endpoint publishes workload-heat gauges (heat.*, see
+// internal/heat), a dedicated drift panel shows the drift score with its
+// trend, the top drifting client, and the current heavy hitters.
+//
+// With -json the payload is emitted as machine-readable JSON to stdout
+// instead of the rendered dashboard (no ANSI); it requires -once or
+// -tail, the one-shot modes scripts drive.
+//
 // Usage:
 //
 //	qppmon [-addr host:port] [-interval 1s] [-once] [-frames N]
+//	qppmon -addr host:port -once -json
 //	qppmon -addr host:port -validate
-//	qppmon -tail trace.jsonl
+//	qppmon -tail trace.jsonl [-json]
 package main
 
 import (
@@ -46,14 +55,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	validate := fs.Bool("validate", false, "fetch /metrics once, check Prometheus text syntax, and exit")
 	tail := fs.String("tail", "", "render a dashboard from a JSONL telemetry trace file instead of polling")
 	width := fs.Int("width", 30, "sparkline width in cells")
+	jsonOut := fs.Bool("json", false, "with -once or -tail: emit the payload as JSON to stdout instead of the dashboard")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut && !*once && *tail == "" {
+		return fmt.Errorf("-json requires -once or -tail")
 	}
 
 	if *tail != "" {
 		p, err := payloadFromJSONL(*tail)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return writeJSON(stdout, p)
 		}
 		st := newMonState(*width)
 		st.observe(p, 0)
@@ -90,6 +106,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stderr, "qppmon: %v (retrying)\n", err)
+		} else if *jsonOut {
+			if err := writeJSON(stdout, p); err != nil {
+				return err
+			}
 		} else {
 			st.observe(p, interval.Seconds())
 			out := render(p, st, base)
@@ -103,6 +123,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// writeJSON emits the payload as one indented JSON document — the
+// machine-readable mode scripts pipe into jq instead of scraping the
+// rendered dashboard.
+func writeJSON(w io.Writer, p *export.Payload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
 }
 
 func fetchPayload(base string) (*export.Payload, error) {
@@ -281,6 +310,36 @@ func sortedNames[V any](m map[string]V) []string {
 	return names
 }
 
+// heatPanel renders the workload-heat gauges (heat.*, published by the
+// heat sketches) as a dedicated drift panel, or "" when the endpoint
+// publishes none. The drift line tracks the recent (EWMA) drift trend —
+// the alerting signal — next to the cumulative score.
+func heatPanel(p *export.Payload, st *monState) string {
+	g := p.Gauges
+	if _, ok := g["heat.accesses"]; !ok {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%s\n", "workload heat")
+	fmt.Fprintf(&b, "  %-32s %12.0f\n", "accesses", g["heat.accesses"])
+	fmt.Fprintf(&b, "  %-32s %12.0f\n", "messages", g["heat.messages"])
+	fmt.Fprintf(&b, "  %-32s %12.0f\n", "epochs", g["heat.epochs"])
+	fmt.Fprintf(&b, "  %-32s %12.4f  %s\n", "drift TV (cumulative)",
+		g["heat.drift_tv"], sparkline(st.hist["gauge:heat.drift_tv"], st.width))
+	fmt.Fprintf(&b, "  %-32s %12.4f  %s\n", "drift TV (recent, EWMA)",
+		g["heat.drift_recent_tv"], sparkline(st.hist["gauge:heat.drift_recent_tv"], st.width))
+	if c, ok := g["heat.drift_top_client"]; ok {
+		fmt.Fprintf(&b, "  %-32s %12.0f  (%.0f%% of drift)\n", "top drifting client", c, 100*g["heat.drift_top_share"])
+	}
+	if c, ok := g["heat.hot_client"]; ok {
+		fmt.Fprintf(&b, "  %-32s %12.0f  (%.1f%% of accesses)\n", "hot client", c, 100*g["heat.hot_client_share"])
+	}
+	if c, ok := g["heat.hot_node"]; ok {
+		fmt.Fprintf(&b, "  %-32s %12.0f  (%.1f%% of messages)\n", "hot node", c, 100*g["heat.hot_node_share"])
+	}
+	return b.String()
+}
+
 // render draws one dashboard frame.
 func render(p *export.Payload, st *monState, source string) string {
 	var b strings.Builder
@@ -297,13 +356,22 @@ func render(p *export.Payload, st *monState, source string) string {
 				name, p.Counters[name], rate, sparkline(st.hist["counter:"+name], st.width))
 		}
 	}
+	heat := heatPanel(p, st)
 	if len(p.Gauges) > 0 {
-		fmt.Fprintf(&b, "\n%-34s %12s  %s\n", "gauges", "value", "trend")
+		wrote := false
 		for _, name := range sortedNames(p.Gauges) {
+			if heat != "" && strings.HasPrefix(name, "heat.") {
+				continue // shown in the workload-heat panel below
+			}
+			if !wrote {
+				fmt.Fprintf(&b, "\n%-34s %12s  %s\n", "gauges", "value", "trend")
+				wrote = true
+			}
 			fmt.Fprintf(&b, "  %-32s %12.4g  %s\n",
 				name, p.Gauges[name], sparkline(st.hist["gauge:"+name], st.width))
 		}
 	}
+	b.WriteString(heat)
 	if len(p.Histograms) > 0 {
 		fmt.Fprintf(&b, "\n%-34s %9s %9s %9s %9s %9s  %s\n",
 			"histograms", "count", "p50", "p99", "p99.9", "max", "p99 trend")

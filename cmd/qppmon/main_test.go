@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"quorumplace/internal/heat"
 	"quorumplace/internal/obs"
 	"quorumplace/internal/obs/export"
 )
@@ -118,6 +120,95 @@ func TestTailJSONL(t *testing.T) {
 	}
 	if err := run([]string{"-tail", bad}, &out, &errb); err == nil {
 		t.Error("tail accepted malformed JSONL")
+	}
+}
+
+// heatServer is demoServer plus a published heat sketch, so the dashboard
+// shows the workload-heat panel.
+func heatServer(t *testing.T) *export.Server {
+	t.Helper()
+	c := obs.NewCollector()
+	c.Count("netsim.events", 30)
+	obs.Enable(c)
+	t.Cleanup(func() { obs.Disable() })
+	ht := heat.New(heat.Options{})
+	for i := 0; i < 30; i++ {
+		ht.Observe(float64(i)/10, i%3, []int{0, 1})
+	}
+	ht.Publish([]float64{1, 1, 4})
+	s, err := export.Serve("127.0.0.1:0", func() *obs.Snapshot { return c.Snapshot() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestHeatPanel renders the workload-heat panel from published heat.*
+// gauges and checks the raw gauge rows are folded into it instead of the
+// generic gauges section.
+func TestHeatPanel(t *testing.T) {
+	s := heatServer(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", s.Addr(), "-once"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"workload heat", "drift TV (cumulative)", "drift TV (recent, EWMA)",
+		"top drifting client", "hot client", "hot node",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("heat panel missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "heat.drift_tv") {
+		t.Errorf("raw heat.* gauge rows leaked into the gauges panel:\n%s", text)
+	}
+}
+
+// TestJSONOutput drives -json in both one-shot modes: the output must be
+// a decodable payload with the gauges intact and no ANSI escapes, and
+// -json without a one-shot mode must be rejected.
+func TestJSONOutput(t *testing.T) {
+	s := heatServer(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", s.Addr(), "-once", "-json"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, errb.String())
+	}
+	var p export.Payload
+	if err := json.Unmarshal(out.Bytes(), &p); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if p.Counters["netsim.events"] != 30 {
+		t.Errorf("netsim.events = %d, want 30", p.Counters["netsim.events"])
+	}
+	if p.Gauges["heat.accesses"] != 30 {
+		t.Errorf("heat.accesses = %v, want 30", p.Gauges["heat.accesses"])
+	}
+	if bytes.ContainsRune(out.Bytes(), '\x1b') {
+		t.Error("-json output contains ANSI escapes")
+	}
+
+	trace := `{"type":"gauge","name":"placement.qpp_workers","value":8}` + "\n"
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-tail", path, "-json"}, &out, &errb); err != nil {
+		t.Fatalf("tail -json: %v", err)
+	}
+	var tp export.Payload
+	if err := json.Unmarshal(out.Bytes(), &tp); err != nil {
+		t.Fatalf("tail -json output is not valid JSON: %v", err)
+	}
+	if tp.Gauges["placement.qpp_workers"] != 8 {
+		t.Errorf("tail gauge = %v, want 8", tp.Gauges["placement.qpp_workers"])
+	}
+
+	if err := run([]string{"-addr", s.Addr(), "-json"}, &out, &errb); err == nil {
+		t.Error("-json without -once/-tail accepted")
 	}
 }
 

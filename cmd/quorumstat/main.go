@@ -27,12 +27,22 @@
 // (Prometheus /metrics, JSON /metrics.json for cmd/qppmon) while running;
 // -metrics-hold keeps the endpoint up afterwards.
 //
+// With -heat each simulated run additionally feeds a workload heat sketch
+// (internal/heat): per-client/per-node access totals, heavy hitters, the
+// total-variation drift of the observed demand from the demand the
+// placement was solved for (the aggregated -clients rates, or uniform),
+// and a plan-vs-actual delay attribution splitting the prediction gap
+// into drift vs residual. -drift-threshold turns the drift score into a
+// CI gate: the process exits nonzero if any system's drift TV exceeds it,
+// mirroring -slo.
+//
 // Usage:
 //
 //	quorumstat [-p 0.1,0.2,0.3] [-system grid:3] [-sim 200 -nodes 16 -seed 1]
 //	           [-clients 100000] [-landmarks 8]
 //	           [-trace-out t.json] [-trace-sample 10] [-timeseries 0.5]
 //	           [-slo p99=4,skew=3 [-slo-window 25]]
+//	           [-heat [-drift-threshold 0.2]]
 //	           [-metrics-addr 127.0.0.1:9464 [-metrics-hold 30s]]
 package main
 
@@ -72,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	timeseries := fs.Float64("timeseries", 0, "with -trace-out: sample gauge counters every this many virtual-time units")
 	sloSpec := fs.String("slo", "", "with -sim: windowed SLO targets, e.g. p99=4,p999=6,skew=2.5 (exit nonzero on violation)")
 	sloWindow := fs.Float64("slo-window", 25, "with -slo: SLO window span in virtual-time units")
+	heatOn := fs.Bool("heat", false, "with -sim: feed each run into a workload heat sketch and print drift/heavy-hitter/attribution reports")
+	driftThreshold := fs.Float64("drift-threshold", 0, "with -heat: exit nonzero if any system's drift TV vs its plan demand exceeds this")
 	metricsAddr := fs.String("metrics-addr", "", "serve live metrics (Prometheus /metrics, JSON /metrics.json) on this address while running")
 	metricsHold := fs.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the tables print")
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +102,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *landmarks > 0 && *simN <= 0 {
 		return fmt.Errorf("-landmarks requires -sim")
+	}
+	if *heatOn && *simN <= 0 {
+		return fmt.Errorf("-heat requires -sim")
+	}
+	if *driftThreshold != 0 && !*heatOn {
+		return fmt.Errorf("-drift-threshold requires -heat")
+	}
+	if *driftThreshold < 0 || *driftThreshold > 1 {
+		return fmt.Errorf("-drift-threshold %v outside [0,1]", *driftThreshold)
 	}
 
 	systems := defaultSystems()
@@ -144,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
+	var heatReports []systemHeat
 	fmt.Fprintf(stdout, "%-18s  %5s  %7s  %6s  %9s  %9s  %10s  %3s", "system", "n", "quorums", "c(S)", "opt load", "load LB", "resilience", "ND")
 	for _, p := range ps {
 		fmt.Fprintf(stdout, "  %9s", fmt.Sprintf("F(%.2g)", p))
@@ -175,11 +197,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if rec != nil {
 				rec.NextRunLabel(s.Name())
 			}
-			sim, err := simulateSystem(s, *nodes, *simN, *clients, *seed, rec)
+			sim, hr, err := simulateSystem(s, *nodes, *simN, *clients, *seed, rec, *heatOn)
 			if err != nil {
 				return fmt.Errorf("%s: sim: %v", s.Name(), err)
 			}
 			fmt.Fprintf(stdout, "  %8.4f  %8.4f  %8.4f  %8.4f", sim.Mean, sim.P50, sim.P95, sim.P99)
+			if hr != nil {
+				hr.Name = s.Name()
+				heatReports = append(heatReports, *hr)
+			}
 		}
 		fmt.Fprintln(stdout)
 	}
@@ -219,6 +245,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, rec.Breakdown())
 		fmt.Fprintf(stdout, "wrote %s — open it at ui.perfetto.dev or chrome://tracing\n", *traceOut)
 	}
+	var driftBreaches []string
+	if *heatOn {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "workload heat (drift measured against each system's plan demand):")
+		for _, h := range heatReports {
+			fmt.Fprintf(stdout, "\n%s:\n%s", h.Name, h.Report)
+			if *driftThreshold > 0 && h.TV > *driftThreshold {
+				driftBreaches = append(driftBreaches,
+					fmt.Sprintf("%s: drift TV %.4f > threshold %.4f", h.Name, h.TV, *driftThreshold))
+			}
+		}
+		if *driftThreshold > 0 && len(driftBreaches) == 0 {
+			fmt.Fprintf(stdout, "\nall systems within drift threshold %.4f\n", *driftThreshold)
+		}
+	}
 	if *sloSpec != "" {
 		windows := rec.SLOWindows()
 		fmt.Fprintln(stdout)
@@ -231,12 +272,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "all SLO targets held in every window")
 	}
+	if len(driftBreaches) > 0 {
+		for _, b := range driftBreaches {
+			fmt.Fprintf(stderr, "quorumstat: drift alert: %s\n", b)
+		}
+		return fmt.Errorf("%d drift threshold breaches", len(driftBreaches))
+	}
 	return nil
 }
 
 // simSummary is the simulated access-latency digest printed per system.
 type simSummary struct {
 	Mean, P50, P95, P99 float64
+}
+
+// systemHeat is one system's heat-sketch digest: the drift TV gating the
+// -drift-threshold check plus the rendered report.
+type systemHeat struct {
+	Name   string
+	TV     float64
+	Report string
 }
 
 // simulateSystem places sys greedily on a random geometric network with
@@ -246,20 +301,23 @@ type simSummary struct {
 // rates, and installs the rates on the instance, so both the greedy
 // placement objective and the simulator's per-client access weighting see
 // the aggregated population instead of uniform demand. A non-nil recorder
-// captures per-access traces and time-series samples of the run.
-func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, rec *qp.SimRecorder) (*simSummary, error) {
+// captures per-access traces and time-series samples of the run. With
+// heatOn the run feeds a workload heat sketch and the returned systemHeat
+// carries its drift-vs-plan score, heavy hitters, and the plan-vs-actual
+// delay attribution.
+func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, rec *qp.SimRecorder, heatOn bool) (*simSummary, *systemHeat, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := qp.RandomGeometric(nodes, 0.4, rng)
 	m, err := qp.NewMetricFromGraph(g)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	st := qp.Uniform(sys.NumQuorums())
 	// Auto capacity: total load spread evenly with headroom, never below
 	// the largest element load (mirrors cmd/qpp's default).
 	tmp, err := qp.NewInstance(m, make([]float64, nodes), sys, st)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	capVal := tmp.TotalLoad() / float64(nodes) * 1.3
 	for u := 0; u < sys.Universe(); u++ {
@@ -273,7 +331,7 @@ func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, re
 	}
 	ins, err := qp.NewInstance(m, caps, sys, st)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if clients > 0 {
 		cs := make([]qp.Client, clients)
@@ -282,15 +340,19 @@ func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, re
 		}
 		d := qp.NewDemand(nodes)
 		if err := d.AddClients(cs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := ins.SetRates(d.Rates()); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	pl, err := qp.BestGreedyPlacement(ins)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var ht *qp.HeatSketch
+	if heatOn {
+		ht = qp.NewHeatSketch(qp.HeatOptions{})
 	}
 	stats, err := qp.RunSim(qp.SimConfig{
 		Instance:          ins,
@@ -299,16 +361,57 @@ func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, re
 		AccessesPerClient: accesses,
 		Seed:              seed,
 		Recorder:          rec,
+		Heat:              ht,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var hr *systemHeat
+	if ht != nil {
+		hr, err = heatReport(ins, pl, ht, stats.AvgLatency)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	return &simSummary{
 		Mean: stats.AvgLatency,
 		P50:  stats.Percentile(0.5),
 		P95:  stats.Percentile(0.95),
 		P99:  stats.Percentile(0.99),
-	}, nil
+	}, hr, nil
+}
+
+// heatReport renders one run's sketch: cumulative drift against the demand
+// the placement was solved for (ins.Rates, or uniform when nil), the top
+// heavy hitters, and the plan-vs-actual attribution of the mean-latency
+// gap (pure Run has no queueing or failures, so those legs are zero and
+// the gap splits into drift vs residual sampling noise).
+func heatReport(ins *qp.Instance, pl qp.Placement, ht *qp.HeatSketch, measured float64) (*systemHeat, error) {
+	d, err := ht.Drift(ins.Rates)
+	if err != nil {
+		return nil, err
+	}
+	totals := ht.ClientTotals()
+	live := make([]float64, len(totals))
+	for i, c := range totals {
+		live[i] = float64(c)
+	}
+	predPlan := ins.AvgMaxDelay(pl)
+	predLive, err := qp.PredictDelayUnderRates(ins, pl, false, live)
+	if err != nil {
+		return nil, err
+	}
+	a := qp.AttributeDelayGap(predPlan, predLive, measured, 0, 0)
+	var b strings.Builder
+	b.WriteString(d.Format())
+	for _, e := range ht.TopClients(3) {
+		fmt.Fprintf(&b, "hot client %3d: %6d accesses\n", e.Key, e.Count)
+	}
+	for _, e := range ht.TopNodes(3) {
+		fmt.Fprintf(&b, "hot node   %3d: %6d messages\n", e.Key, e.Count)
+	}
+	b.WriteString(a.Format())
+	return &systemHeat{TV: d.TV, Report: b.String()}, nil
 }
 
 func defaultSystems() []*qp.System {

@@ -82,7 +82,7 @@ func TestRunSim(t *testing.T) {
 		}
 	}
 
-	sim, err := simulateSystem(qp.Grid(2), 12, 200, 0, 3, nil)
+	sim, _, err := simulateSystem(qp.Grid(2), 12, 200, 0, 3, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +142,11 @@ func TestRunClientsAndLandmarks(t *testing.T) {
 
 	// The aggregated population must actually reach the sim: the digest
 	// differs from the uniform-demand run of the same seed.
-	simU, err := simulateSystem(qp.Grid(2), 14, 150, 0, 5, nil)
+	simU, _, err := simulateSystem(qp.Grid(2), 14, 150, 0, 5, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	simW, err := simulateSystem(qp.Grid(2), 14, 150, 20000, 5, nil)
+	simW, _, err := simulateSystem(qp.Grid(2), 14, 150, 20000, 5, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,6 +196,56 @@ func TestRunSLOBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-sim", "10", "-slo", "bogus=1"}, &buf, &buf); err == nil {
 		t.Fatal("unknown SLO key accepted")
+	}
+}
+
+// TestRunHeat drives the -heat report end to end: the workload-heat section
+// prints drift, heavy hitters and the attribution block, a loose threshold
+// passes, and a threshold below the apportionment noise of a weighted run
+// exits nonzero with drift alerts on stderr.
+func TestRunHeat(t *testing.T) {
+	base := []string{"-system", "grid:2", "-p", "0.1", "-sim", "10", "-nodes", "12", "-seed", "5",
+		"-clients", "1000", "-heat"}
+
+	var out, errOut bytes.Buffer
+	if err := run(append(base, "-drift-threshold", "0.9"), &out, &errOut); err != nil {
+		t.Fatalf("loose drift threshold failed: %v\n%s", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"workload heat", "drift TV", "hot client", "hot node",
+		"predicted (plan demand)", "dominant cause",
+		"all systems within drift threshold",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("heat report missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	err := run(append(base, "-drift-threshold", "1e-9"), &out, &errOut)
+	if err == nil {
+		t.Fatal("sub-noise drift threshold passed")
+	}
+	if !strings.Contains(err.Error(), "drift threshold breaches") {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if !strings.Contains(errOut.String(), "drift alert") {
+		t.Errorf("alerts not reported on stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunHeatBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-heat"}, &buf, &buf); err == nil {
+		t.Fatal("-heat without -sim accepted")
+	}
+	if err := run([]string{"-sim", "10", "-drift-threshold", "0.5"}, &buf, &buf); err == nil {
+		t.Fatal("-drift-threshold without -heat accepted")
+	}
+	if err := run([]string{"-sim", "10", "-heat", "-drift-threshold", "2"}, &buf, &buf); err == nil {
+		t.Fatal("-drift-threshold > 1 accepted")
 	}
 }
 

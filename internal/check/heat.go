@@ -1,0 +1,117 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quorumplace/internal/heat"
+	"quorumplace/internal/netsim"
+	"quorumplace/internal/placement"
+)
+
+// Heat-plane audits: the workload sketches of internal/heat promise two
+// invariants that the observability pipeline leans on — sharded collection
+// is lossless (merging per-shard sketches reproduces the single-stream
+// sketch bitwise, so the metrics plane can fan out), and a run that
+// executes exactly its plan-time demand scores (near-)zero drift (so a
+// drift alert always means the workload actually moved). Both are
+// re-derived here from first principles against seeded streams.
+
+// AuditHeatMerge feeds one deterministic synthetic access stream derived
+// from seed both into a single sketch and round-robin across shards
+// sketches, merges the shards, and demands bitwise agreement: Equal
+// sketches, identical EWMA rates, and identical drift reports. Any
+// divergence means sharded collection is lossy and is returned as the
+// violation.
+func AuditHeatMerge(seed int64, shards int) error {
+	if shards < 2 {
+		return fmt.Errorf("heat merge: %d shards, want >= 2", shards)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(12)
+	events := 200 + rng.Intn(400)
+	opts := heat.Options{EpochLen: 0.5 + rng.Float64(), HalfLife: 2 + 6*rng.Float64()}
+
+	single := heat.New(opts)
+	parts := make([]*heat.Sketch, shards)
+	for i := range parts {
+		parts[i] = heat.New(opts)
+	}
+	at := 0.0
+	nodes := make([]int, 3)
+	for i := 0; i < events; i++ {
+		at += rng.Float64()
+		client := rng.Intn(n)
+		for j := range nodes {
+			nodes[j] = rng.Intn(n)
+		}
+		single.Observe(at, client, nodes)
+		parts[i%shards].Observe(at, client, nodes)
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		if err := merged.Merge(p); err != nil {
+			return fmt.Errorf("heat merge: %w", err)
+		}
+	}
+	if !merged.Equal(single) {
+		return fmt.Errorf("heat merge: %d-shard merge diverges from single stream", shards)
+	}
+	mr, sr := merged.ClientRates(), single.ClientRates()
+	for v := range sr {
+		if mr[v] != sr[v] {
+			return fmt.Errorf("heat merge: client %d EWMA rate %v (merged) != %v (single)", v, mr[v], sr[v])
+		}
+	}
+	md, err := merged.Drift(nil)
+	if err != nil {
+		return fmt.Errorf("heat merge: merged drift: %w", err)
+	}
+	sd, err := single.Drift(nil)
+	if err != nil {
+		return fmt.Errorf("heat merge: single drift: %w", err)
+	}
+	if md.TV != sd.TV {
+		return fmt.Errorf("heat merge: drift TV %v (merged) != %v (single)", md.TV, sd.TV)
+	}
+	return nil
+}
+
+// AuditHeatDrift runs the simulator on (ins, pl) with a sketch attached
+// and audits the no-false-alarm guarantee: the stream IS the plan-time
+// demand, so the cumulative drift TV against ins.Rates must stay within
+// the largest-remainder apportionment bound n/(2·accesses) — and be
+// exactly zero when demand is uniform (identical integer totals divide to
+// bitwise-identical shares).
+func AuditHeatDrift(ins *placement.Instance, pl placement.Placement, accessesPerClient int, seed int64) error {
+	ht := heat.New(heat.Options{})
+	stats, err := netsim.Run(netsim.Config{
+		Instance:          ins,
+		Placement:         pl,
+		Mode:              netsim.Parallel,
+		AccessesPerClient: accessesPerClient,
+		Seed:              seed,
+		Heat:              ht,
+	})
+	if err != nil {
+		return fmt.Errorf("heat drift: sim: %w", err)
+	}
+	if got := ht.Accesses(); got != int64(stats.Accesses) {
+		return fmt.Errorf("heat drift: sketch saw %d accesses, simulator reports %d", got, stats.Accesses)
+	}
+	d, err := ht.Drift(ins.Rates)
+	if err != nil {
+		return fmt.Errorf("heat drift: %w", err)
+	}
+	if ins.Rates == nil {
+		if d.TV != 0 {
+			return fmt.Errorf("heat drift: uniform demand scored TV %v, want exactly 0", d.TV)
+		}
+		return nil
+	}
+	n := float64(ins.M.N())
+	if bound := n / (2 * float64(stats.Accesses)); d.TV > bound+auditTol {
+		return fmt.Errorf("heat drift: plan-demand run scored TV %v above apportionment bound %v", d.TV, bound)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package check
+
+import "testing"
+
+// TestAuditHeatMergeSweep drives the lossless-sharding audit across seeds
+// and shard counts: every synthetic stream must reproduce bitwise when
+// collected in shards and merged, the discipline the sharded metrics
+// plane (obs.Shard, agg merges) relies on.
+func TestAuditHeatMergeSweep(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		for _, shards := range []int{2, 3, 8} {
+			if err := AuditHeatMerge(seed, shards); err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+		}
+	}
+}
+
+// TestAuditHeatDriftSweep runs the no-false-alarm audit over generated
+// instances on their planted placements: simulating exactly the plan-time
+// demand must never trip a drift alert (TV within apportionment noise,
+// exactly 0 under uniform demand).
+func TestAuditHeatDriftSweep(t *testing.T) {
+	sawRates, sawUniform := false, false
+	for seed := int64(1); seed <= 40; seed++ {
+		ci := Gen(seed)
+		if ci.Rates != nil {
+			sawRates = true
+		} else {
+			sawUniform = true
+		}
+		if err := AuditHeatDrift(ci.Instance, ci.Planted, 50, seed); err != nil {
+			t.Fatalf("[%s]: %v", ci.Desc, err)
+		}
+	}
+	// The sweep is only meaningful if it exercised both demand regimes.
+	if !sawRates || !sawUniform {
+		t.Fatalf("sweep coverage: rates=%v uniform=%v, want both", sawRates, sawUniform)
+	}
+}
+
+func TestAuditHeatMergeRejectsBadShards(t *testing.T) {
+	if err := AuditHeatMerge(1, 1); err == nil {
+		t.Fatal("single shard accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -81,6 +82,48 @@ func TestRunAllQuick(t *testing.T) {
 		if row[len(row)-1] != "yes" {
 			t.Errorf("E9: arrangement invariance failed: %v", row)
 		}
+	}
+}
+
+// TestE19DriftLeadsRegression pins the observability claim of E19: the
+// drift score rises strictly from the first skewed epoch while the
+// simulated p99 stays flat for at least three epochs, and the final epoch
+// shows a real tail regression. Deterministic per seed.
+func TestE19DriftLeadsRegression(t *testing.T) {
+	s := &Suite{Seed: 1, Quick: true}
+	tab, err := s.E19HeatDrift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("E19 has %d epochs, want >= 5", len(tab.Rows))
+	}
+	cell := func(row int, col int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d %q: %v", row, col, tab.Rows[row][col], err)
+		}
+		return v
+	}
+	const tvCol, dp99Col = 2, 6
+	for k := 1; k < len(tab.Rows); k++ {
+		if cell(k, tvCol) <= cell(k-1, tvCol) {
+			t.Errorf("drift TV not strictly rising at epoch %d: %v -> %v", k, cell(k-1, tvCol), cell(k, tvCol))
+		}
+	}
+	// The drift signal is alertable (3x the apportionment noise floor)
+	// while the tail is still flat...
+	for k := 0; k <= 3; k++ {
+		if cell(k, dp99Col) != 0 {
+			t.Errorf("p99 regressed already at epoch %d: Δp99 = %v", k, cell(k, dp99Col))
+		}
+	}
+	if tv := cell(3, tvCol); tv < 0.004 {
+		t.Errorf("drift TV %v at epoch 3 below alertable level", tv)
+	}
+	// ...and the final epoch shows the regression drift predicted.
+	if last := len(tab.Rows) - 1; cell(last, dp99Col) <= 0 {
+		t.Errorf("no tail regression by epoch %d: Δp99 = %v", last, cell(last, dp99Col))
 	}
 }
 

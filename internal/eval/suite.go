@@ -61,6 +61,7 @@ func Experiments() []Experiment {
 		{"E16", (*Suite).E16ReadWriteMix},
 		{"E17", (*Suite).E17DynamicEpochs},
 		{"E18", (*Suite).E18Scaling},
+		{"E19", (*Suite).E19HeatDrift},
 	}
 }
 

@@ -1,0 +1,119 @@
+package heat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"quorumplace/internal/placement"
+)
+
+// Plan-vs-actual delay attribution: the solver promised PredictedPlan (its
+// objective under the demand it was solved against); the simulator (or a
+// deployment) measured Measured. The gap decomposes into
+//
+//	Drift     — re-evaluating the same placement analytically under the
+//	            live demand estimate moves the prediction by this much;
+//	            nonzero exactly when the workload shifted.
+//	Queueing  — measured queue wait, absent from the propagation-only
+//	            objective (Eq. 1 charges distance, not contention).
+//	Failures  — retry-penalty overhead from failed attempts.
+//	Residual  — whatever remains (sampling noise, model error).
+//
+// Each component answers "would the gap close if this cause vanished",
+// which is the question a re-planning loop has to triage: drift calls for
+// a re-solve, queueing for capacity, failures for replication.
+
+// Attribution is the decomposed plan-vs-actual delay gap.
+type Attribution struct {
+	PredictedPlan float64 // analytic objective under plan-time demand
+	PredictedLive float64 // analytic objective under the live demand estimate
+	Measured      float64 // measured mean access delay
+
+	Gap      float64 // Measured − PredictedPlan
+	Drift    float64 // PredictedLive − PredictedPlan
+	Queueing float64 // measured mean queue wait per access
+	Failures float64 // measured mean retry-penalty overhead per access
+	Residual float64 // Gap − Drift − Queueing − Failures
+}
+
+// Attribute decomposes the plan-vs-actual gap. queueWait and failurePenalty
+// are per-access means measured by the simulator (0 when the respective
+// mechanism is off).
+func Attribute(predictedPlan, predictedLive, measured, queueWait, failurePenalty float64) Attribution {
+	a := Attribution{
+		PredictedPlan: predictedPlan,
+		PredictedLive: predictedLive,
+		Measured:      measured,
+		Gap:           measured - predictedPlan,
+		Drift:         predictedLive - predictedPlan,
+		Queueing:      queueWait,
+		Failures:      failurePenalty,
+	}
+	a.Residual = a.Gap - a.Drift - a.Queueing - a.Failures
+	return a
+}
+
+// PredictUnderRates re-evaluates the analytic delay objective of a fixed
+// placement under an alternative demand vector: Avg Δ_f for the parallel
+// (max-delay, Eq. 1) model, Avg Γ_f for the sequential (total-delay, §5)
+// model. rates need not be normalized; shorter-than-n vectors are
+// zero-padded, longer ones rejected. The instance's own rates are
+// restored before returning. Not safe for concurrent use of ins.
+func PredictUnderRates(ins *placement.Instance, pl placement.Placement, sequential bool, rates []float64) (float64, error) {
+	n := ins.M.N()
+	if len(rates) > n {
+		return 0, fmt.Errorf("heat: %d live rates for %d clients", len(rates), n)
+	}
+	padded := make([]float64, n)
+	copy(padded, rates)
+	saved := ins.Rates
+	if err := ins.SetRates(padded); err != nil {
+		return 0, err
+	}
+	var d float64
+	if sequential {
+		d = ins.AvgTotalDelay(pl)
+	} else {
+		d = ins.AvgMaxDelay(pl)
+	}
+	ins.Rates = saved
+	return d, nil
+}
+
+// Format renders the attribution as a short human-readable block.
+func (a Attribution) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "predicted (plan demand)  %.6g\n", a.PredictedPlan)
+	fmt.Fprintf(&b, "predicted (live demand)  %.6g\n", a.PredictedLive)
+	fmt.Fprintf(&b, "measured                 %.6g\n", a.Measured)
+	fmt.Fprintf(&b, "gap %.6g = drift %.6g + queueing %.6g + failures %.6g + residual %.6g\n",
+		a.Gap, a.Drift, a.Queueing, a.Failures, a.Residual)
+	if cause, share := a.DominantCause(); cause != "" {
+		fmt.Fprintf(&b, "dominant cause: %s (%.0f%% of |gap|)\n", cause, share*100)
+	}
+	return b.String()
+}
+
+// DominantCause names the largest-magnitude component of the gap and its
+// share of the total absolute attribution, or "" when the gap is zero.
+func (a Attribution) DominantCause() (string, float64) {
+	parts := []struct {
+		name string
+		v    float64
+	}{
+		{"drift", a.Drift}, {"queueing", a.Queueing},
+		{"failures", a.Failures}, {"residual", a.Residual},
+	}
+	total, best := 0.0, 0
+	for i, p := range parts {
+		total += math.Abs(p.v)
+		if math.Abs(p.v) > math.Abs(parts[best].v) {
+			best = i
+		}
+	}
+	if total == 0 {
+		return "", 0
+	}
+	return parts[best].name, math.Abs(parts[best].v) / total
+}

@@ -1,0 +1,134 @@
+package heat
+
+import (
+	"math"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+func buildInstance(t *testing.T) (*placement.Instance, placement.Placement) {
+	t.Helper()
+	g := graph.Grid2D(3, 3)
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := quorum.Grid(2)
+	st := quorum.Uniform(sys.NumQuorums())
+	caps := make([]float64, 9)
+	for i := range caps {
+		caps[i] = 1
+	}
+	ins, err := placement.NewInstance(m, caps, sys, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, placement.NewPlacement([]int{0, 1, 3, 4})
+}
+
+func TestAttributeDecomposition(t *testing.T) {
+	a := Attribute(2.0, 2.5, 3.4, 0.3, 0.1)
+	if math.Abs(a.Gap-1.4) > 1e-15 {
+		t.Fatalf("gap %v", a.Gap)
+	}
+	if a.Drift != 0.5 || a.Queueing != 0.3 || a.Failures != 0.1 {
+		t.Fatalf("components %+v", a)
+	}
+	// The identity Gap = Drift + Queueing + Failures + Residual is exact
+	// by construction of Residual.
+	if got := a.Drift + a.Queueing + a.Failures + a.Residual; got != a.Gap {
+		t.Fatalf("decomposition %v != gap %v", got, a.Gap)
+	}
+	cause, share := a.DominantCause()
+	if cause != "drift" || share <= 0 {
+		t.Fatalf("dominant %q %v", cause, share)
+	}
+	if a.Format() == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestAttributeZeroGap(t *testing.T) {
+	a := Attribute(2, 2, 2, 0, 0)
+	if a.Gap != 0 || a.Residual != 0 {
+		t.Fatalf("%+v", a)
+	}
+	if cause, _ := a.DominantCause(); cause != "" {
+		t.Fatalf("dominant cause %q for zero gap", cause)
+	}
+}
+
+func TestPredictUnderRates(t *testing.T) {
+	ins, pl := buildInstance(t)
+	base := ins.AvgMaxDelay(pl)
+
+	// Uniform live rates reproduce the uniform objective.
+	uni := make([]float64, 9)
+	for i := range uni {
+		uni[i] = 1
+	}
+	got, err := PredictUnderRates(ins, pl, false, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-base) > 1e-12 {
+		t.Fatalf("uniform predict %v vs base %v", got, base)
+	}
+	if ins.Rates != nil {
+		t.Fatal("instance rates not restored")
+	}
+
+	// All mass on the farthest client reproduces that client's delay.
+	worst, worstD := 0, 0.0
+	for v := 0; v < 9; v++ {
+		if d := ins.MaxDelayFrom(v, pl); d > worstD {
+			worst, worstD = v, d
+		}
+	}
+	hot := make([]float64, 9)
+	hot[worst] = 1
+	got, err = PredictUnderRates(ins, pl, false, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-worstD) > 1e-12 {
+		t.Fatalf("hot predict %v vs client delay %v", got, worstD)
+	}
+	if got <= base {
+		t.Fatalf("worst-client demand %v should exceed uniform %v", got, base)
+	}
+
+	// Sequential switches to the total-delay objective.
+	seq, err := PredictUnderRates(ins, pl, true, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seq-ins.AvgTotalDelay(pl)) > 1e-12 {
+		t.Fatalf("sequential predict %v vs %v", seq, ins.AvgTotalDelay(pl))
+	}
+
+	// A short vector pads with zeros; an overlong one is rejected; the
+	// saved rates are restored even around errors.
+	if err := ins.SetRates([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PredictUnderRates(ins, pl, false, make([]float64, 10)); err == nil {
+		t.Fatal("overlong rates accepted")
+	}
+	if _, err := PredictUnderRates(ins, pl, false, []float64{0, 0}); err == nil {
+		t.Fatal("zero-mass rates accepted")
+	}
+	if ins.Rates == nil || ins.Rates[8] != 9 {
+		t.Fatalf("instance rates clobbered: %v", ins.Rates)
+	}
+	short := []float64{1}
+	if _, err := PredictUnderRates(ins, pl, false, short); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Rates[8] != 9 {
+		t.Fatalf("rates not restored after padded predict: %v", ins.Rates)
+	}
+}

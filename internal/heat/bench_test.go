@@ -1,0 +1,56 @@
+package heat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkHeatObserve measures the per-access cost of the sketch hot path
+// in the exact (dense-counter) configuration netsim uses: one mutex
+// round-trip plus integer increments, no per-access allocation once the
+// epoch cells exist.
+func BenchmarkHeatObserve(b *testing.B) {
+	s := New(Options{EpochLen: 1})
+	rng := rand.New(rand.NewSource(1))
+	const n = 64
+	nodes := [][]int{}
+	for i := 0; i < 256; i++ {
+		nodes = append(nodes, []int{rng.Intn(n), rng.Intn(n), rng.Intn(n)})
+	}
+	// Pre-touch every epoch the loop will hit so steady-state cost, not
+	// cell allocation, is measured.
+	for e := 0; e < 64; e++ {
+		s.Observe(float64(e), 0, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(float64(i%64)+0.5, i%n, nodes[i%len(nodes)])
+	}
+}
+
+// BenchmarkDriftScore measures the read-side cost of a full drift report
+// (EWMA fold over epochs plus the TV scan) at a realistic sketch size.
+func BenchmarkDriftScore(b *testing.B) {
+	s := New(Options{EpochLen: 1, HalfLife: 8})
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	for i := 0; i < 100000; i++ {
+		s.Observe(rng.Float64()*200, rng.Intn(n), nil)
+	}
+	plan := make([]float64, n)
+	for i := range plan {
+		plan[i] = 1 + rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.RecentDrift(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TV < 0 || r.TV > 1 {
+			b.Fatalf("TV %v", r.TV)
+		}
+	}
+}

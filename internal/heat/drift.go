@@ -1,0 +1,135 @@
+package heat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DriftReport quantifies how far a live demand estimate has moved from the
+// demand vector a placement was solved against.
+type DriftReport struct {
+	// TV is the total-variation distance between the normalized live and
+	// plan demand distributions: ½·Σ_v |live_v − plan_v| ∈ [0, 1]. It is
+	// the largest difference in probability the two distributions assign
+	// to any set of clients — the natural "how stale is the plan" scalar.
+	TV float64
+	// PerClient is each client's contribution ½·|live_v − plan_v| to TV.
+	PerClient []float64
+	// Top is the client with the largest contribution (minimum index on
+	// ties), -1 when TV is 0.
+	Top int
+	// TopShare is PerClient[Top]/TV — how concentrated the drift is. 0
+	// when TV is 0.
+	TopShare float64
+	// LiveWeight is the total live mass behind the estimate (accesses for
+	// cumulative drift, EWMA mass for recent drift). A report with tiny
+	// LiveWeight is an estimate of nothing; thresholds should require a
+	// floor.
+	LiveWeight float64
+}
+
+// Drift compares a live demand estimate against a plan demand vector.
+// Both are non-negative weight vectors, normalized internally; they need
+// not share a length (the shorter is zero-padded) and plan may be nil for
+// uniform demand over the live index space. A live vector with zero total
+// mass yields a zero report: no observations is "no evidence of drift",
+// not maximal drift.
+func Drift(live, plan []float64) (*DriftReport, error) {
+	n := len(live)
+	if len(plan) > n {
+		n = len(plan)
+	}
+	if n == 0 {
+		return &DriftReport{Top: -1}, nil
+	}
+	liveSum, err := massOf("live", live)
+	if err != nil {
+		return nil, err
+	}
+	r := &DriftReport{PerClient: make([]float64, n), Top: -1, LiveWeight: liveSum}
+	if liveSum == 0 {
+		return r, nil
+	}
+	var planSum float64
+	if plan == nil {
+		planSum = 1 // uniform: each of the n clients gets 1/n
+	} else {
+		planSum, err = massOf("plan", plan)
+		if err != nil {
+			return nil, err
+		}
+		if planSum == 0 {
+			return nil, fmt.Errorf("heat: plan demand has zero mass")
+		}
+	}
+	at := func(s []float64, i int) float64 {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0
+	}
+	for v := 0; v < n; v++ {
+		p := 1 / float64(n)
+		if plan != nil {
+			p = at(plan, v) / planSum
+		}
+		d := math.Abs(at(live, v)/liveSum-p) / 2
+		r.PerClient[v] = d
+		r.TV += d
+		if r.Top < 0 || d > r.PerClient[r.Top] {
+			r.Top = v
+		}
+	}
+	if r.TV > 0 {
+		r.TopShare = r.PerClient[r.Top] / r.TV
+	} else {
+		r.Top = -1
+	}
+	return r, nil
+}
+
+func massOf(what string, w []float64) (float64, error) {
+	sum := 0.0
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("heat: %s demand weight of client %d is %v", what, i, x)
+		}
+		sum += x
+	}
+	return sum, nil
+}
+
+// Drift returns the cumulative drift of the sketch's exact access totals
+// against the plan demand vector (nil for uniform). Because totals are
+// exact, this is the auditable form: when the stream is netsim running
+// exactly the plan-time demand, TV is bounded by n/(2·total) — the
+// largest-remainder apportionment error — and is exactly 0 for uniform
+// demand.
+func (s *Sketch) Drift(plan []float64) (*DriftReport, error) {
+	totals := s.ClientTotals()
+	live := make([]float64, len(totals))
+	for i, c := range totals {
+		live[i] = float64(c)
+	}
+	return Drift(live, plan)
+}
+
+// RecentDrift returns the drift of the EWMA rate estimate against the
+// plan demand vector (nil for uniform): the alerting form, which forgets
+// old epochs with the configured half-life and so reacts to a workload
+// shift within a few epochs instead of waiting for cumulative totals to
+// catch up.
+func (s *Sketch) RecentDrift(plan []float64) (*DriftReport, error) {
+	return Drift(s.ClientRates(), plan)
+}
+
+// Format renders the report as a short human-readable block.
+func (r *DriftReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "drift TV %.4f (live weight %.6g)\n", r.TV, r.LiveWeight)
+	if r.Top >= 0 {
+		fmt.Fprintf(&b, "top contributor: client %d (%.0f%% of drift)\n", r.Top, r.TopShare*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package heat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftIdenticalDistributions(t *testing.T) {
+	// Proportional vectors (any positive scaling) drift by exactly 0 for
+	// the uniform case: a/b with identical real quotients round identically.
+	r, err := Drift([]float64{7, 7, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TV != 0 || r.Top != -1 || r.TopShare != 0 {
+		t.Fatalf("uniform vs uniform: %+v", r)
+	}
+	r, err = Drift([]float64{2, 4, 6}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TV != 0 {
+		t.Fatalf("proportional vectors drifted: TV %v", r.TV)
+	}
+}
+
+func TestDriftDisjointDistributions(t *testing.T) {
+	r, err := Drift([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TV != 1 {
+		t.Fatalf("disjoint TV %v, want 1", r.TV)
+	}
+	if r.Top != 0 || r.TopShare != 0.5 {
+		t.Fatalf("top %d share %v", r.Top, r.TopShare)
+	}
+}
+
+func TestDriftKnownValue(t *testing.T) {
+	// live (3/4, 1/4) vs plan (1/2, 1/2): TV = 1/4, all representable.
+	r, err := Drift([]float64{3, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TV != 0.25 {
+		t.Fatalf("TV %v, want 0.25", r.TV)
+	}
+	if r.PerClient[0] != 0.125 || r.PerClient[1] != 0.125 {
+		t.Fatalf("per-client %v", r.PerClient)
+	}
+	// Tied contributions: Top is the minimum index.
+	if r.Top != 0 {
+		t.Fatalf("top %d, want 0", r.Top)
+	}
+	if r.LiveWeight != 4 {
+		t.Fatalf("live weight %v", r.LiveWeight)
+	}
+}
+
+func TestDriftLengthMismatchPads(t *testing.T) {
+	// A live vector shorter than the plan treats missing clients as zero.
+	r, err := Drift([]float64{1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TV != 0.5 {
+		t.Fatalf("TV %v, want 0.5", r.TV)
+	}
+}
+
+func TestDriftEmptyAndInvalid(t *testing.T) {
+	r, err := Drift(nil, nil)
+	if err != nil || r.TV != 0 || r.Top != -1 {
+		t.Fatalf("empty drift: %+v, %v", r, err)
+	}
+	// Zero live mass is "no evidence", not maximal drift.
+	r, err = Drift([]float64{0, 0}, []float64{1, 3})
+	if err != nil || r.TV != 0 {
+		t.Fatalf("zero-mass drift: %+v, %v", r, err)
+	}
+	if _, err := Drift([]float64{-1}, nil); err == nil {
+		t.Fatal("negative live weight accepted")
+	}
+	if _, err := Drift([]float64{1}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN plan weight accepted")
+	}
+	if _, err := Drift([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero-mass plan accepted")
+	}
+}
+
+func TestSketchDriftUniformExactlyZero(t *testing.T) {
+	// Equal per-client totals vs nil (uniform) plan: exact zero, because
+	// c/total and 1/n are correctly rounded quotients of the same real.
+	s := New(Options{})
+	for v := 0; v < 7; v++ {
+		for i := 0; i < 13; i++ {
+			s.Observe(float64(i), v, nil)
+		}
+	}
+	r, err := s.Drift(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TV != 0 {
+		t.Fatalf("uniform totals drifted: TV %v", r.TV)
+	}
+}
+
+func TestDriftFormat(t *testing.T) {
+	r, _ := Drift([]float64{3, 1}, nil)
+	out := r.Format()
+	if out == "" || r.Top < 0 {
+		t.Fatalf("format %q top %d", out, r.Top)
+	}
+}

@@ -1,0 +1,37 @@
+package heat
+
+import "quorumplace/internal/obs"
+
+// Publish emits the sketch's current state as gauges into the ambient obs
+// collector, under the heat.* namespace, so the sketches flow through the
+// /metrics and /metrics.json exposition like every other telemetry signal
+// (and qppmon's drift panel picks them up). Gauges, not counters: Publish
+// is idempotent — calling it again overwrites the previous reading with
+// the current one. plan is the demand vector the current placement was
+// solved against (nil for uniform). No-op while telemetry is disabled.
+func (s *Sketch) Publish(plan []float64) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Gauge("heat.accesses", float64(s.Accesses()))
+	obs.Gauge("heat.messages", float64(s.Messages()))
+	obs.Gauge("heat.epochs", float64(s.Epochs()))
+	if d, err := s.Drift(plan); err == nil {
+		obs.Gauge("heat.drift_tv", d.TV)
+		if d.Top >= 0 {
+			obs.Gauge("heat.drift_top_client", float64(d.Top))
+			obs.Gauge("heat.drift_top_share", d.TopShare)
+		}
+	}
+	if rd, err := s.RecentDrift(plan); err == nil {
+		obs.Gauge("heat.drift_recent_tv", rd.TV)
+	}
+	if top := s.TopClients(1); len(top) > 0 && s.Accesses() > 0 {
+		obs.Gauge("heat.hot_client", float64(top[0].Key))
+		obs.Gauge("heat.hot_client_share", float64(top[0].Count)/float64(s.Accesses()))
+	}
+	if top := s.TopNodes(1); len(top) > 0 && s.Messages() > 0 {
+		obs.Gauge("heat.hot_node", float64(top[0].Key))
+		obs.Gauge("heat.hot_node_share", float64(top[0].Count)/float64(s.Messages()))
+	}
+}

@@ -1,0 +1,45 @@
+package heat
+
+import (
+	"testing"
+
+	"quorumplace/internal/obs"
+)
+
+func TestPublishGauges(t *testing.T) {
+	s := New(Options{})
+	for i := 0; i < 30; i++ {
+		s.Observe(float64(i)*0.1, i%3, []int{i % 5})
+	}
+	// Disabled telemetry: Publish is a no-op, not a panic.
+	obs.Disable()
+	s.Publish(nil)
+
+	c := obs.Enable(nil)
+	defer obs.Disable()
+	s.Publish([]float64{1, 1, 4})
+	snap := c.Snapshot()
+	for _, g := range []string{
+		"heat.accesses", "heat.messages", "heat.epochs",
+		"heat.drift_tv", "heat.drift_recent_tv",
+		"heat.hot_client", "heat.hot_client_share",
+		"heat.hot_node", "heat.hot_node_share",
+		"heat.drift_top_client", "heat.drift_top_share",
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("gauge %s not published (have %v)", g, snap.Gauges)
+		}
+	}
+	if got := snap.Gauges["heat.accesses"]; got != 30 {
+		t.Fatalf("heat.accesses %v", got)
+	}
+	if tv := snap.Gauges["heat.drift_tv"]; tv <= 0 {
+		t.Fatalf("drift vs skewed plan should be positive, got %v", tv)
+	}
+	// Publishing again overwrites rather than accumulates.
+	s.Observe(99, 0, nil)
+	s.Publish([]float64{1, 1, 4})
+	if got := c.Snapshot().Gauges["heat.accesses"]; got != 31 {
+		t.Fatalf("heat.accesses after republish %v", got)
+	}
+}

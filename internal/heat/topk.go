@@ -1,0 +1,177 @@
+package heat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TopEntry is one heavy hitter: Count overestimates the key's true count
+// by at most Err (so Count-Err ≤ true ≤ Count). Err is 0 in the exact
+// regime.
+type TopEntry struct {
+	Key   int
+	Count int64
+	Err   int64
+}
+
+// TopK is a space-saving heavy-hitter sketch (Metwally–Agrawal–El Abbadi)
+// over integer keys with deterministic tie-breaking: when a new key
+// displaces a monitored one, the victim is the entry with the minimum
+// count, ties resolved toward the minimum key. Determinism matters here
+// for the same reason as everywhere else in this repo — two runs over the
+// same stream must produce byte-identical summaries.
+//
+// While the number of distinct keys stays within the capacity the sketch
+// is exact (no eviction ever happens); past capacity, every monitored
+// count overestimates its key's true count by at most that entry's Err,
+// and any key with true count > N/k (N observations, capacity k) is
+// guaranteed to be monitored.
+type TopK struct {
+	k      int
+	counts map[int]int64
+	errs   map[int]int64
+}
+
+// NewTopK returns an empty sketch monitoring up to k keys. k ≤ 0 panics:
+// the exact regime is spelled Options.TopK = 0 on the Sketch, which
+// bypasses this type entirely.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic(fmt.Sprintf("heat: TopK capacity %d, want > 0", k))
+	}
+	return &TopK{k: k, counts: make(map[int]int64, k), errs: make(map[int]int64, k)}
+}
+
+// Add folds w observations of key into the sketch.
+func (t *TopK) Add(key int, w int64) {
+	if w <= 0 {
+		return
+	}
+	if _, ok := t.counts[key]; ok {
+		t.counts[key] += w
+		return
+	}
+	if len(t.counts) < t.k {
+		t.counts[key] = w
+		return
+	}
+	victim, floor := t.minEntry()
+	delete(t.counts, victim)
+	delete(t.errs, victim)
+	t.counts[key] = floor + w
+	t.errs[key] = floor
+}
+
+// minEntry returns the monitored key with the minimum count (ties toward
+// the minimum key) and its count. The scan iterates a map, but a minimum
+// under a total order is independent of iteration order, so the result is
+// deterministic.
+func (t *TopK) minEntry() (key int, count int64) {
+	key, count = math.MaxInt, math.MaxInt64
+	for k2, c := range t.counts {
+		if c < count || (c == count && k2 < key) {
+			key, count = k2, c
+		}
+	}
+	return key, count
+}
+
+// evictFloor bounds the true count of any key absent from the sketch: 0
+// while the sketch has never been full (absent means never seen), else
+// the minimum monitored count.
+func (t *TopK) evictFloor() int64 {
+	if len(t.counts) < t.k {
+		return 0
+	}
+	_, c := t.minEntry()
+	return c
+}
+
+// Top returns the k heaviest monitored entries (all when k ≤ 0), ordered
+// by count descending with key ascending as tie-break.
+func (t *TopK) Top(k int) []TopEntry {
+	entries := make([]TopEntry, 0, len(t.counts))
+	for key, c := range t.counts {
+		entries = append(entries, TopEntry{Key: key, Count: c, Err: t.errs[key]})
+	}
+	sortTopEntries(entries)
+	if k > 0 && len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+func sortTopEntries(entries []TopEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+}
+
+// Merge folds o into t (Agarwal et al.'s mergeable-summaries rule): a key
+// absent from one side is bounded by that side's eviction floor, counts
+// add, error bounds add, and the union is re-truncated to the k heaviest.
+// The count-Err ≤ true ≤ count guarantee survives merging. When neither
+// side ever evicted and the union fits the capacity — always true for
+// shards of a netsim run with the capacity at the network size — the
+// merge is exact and equals the single-stream sketch.
+func (t *TopK) Merge(o *TopK) error {
+	if o == nil {
+		return fmt.Errorf("heat: merging nil TopK")
+	}
+	if t.k != o.k {
+		return fmt.Errorf("heat: merging TopK capacity %d with %d", t.k, o.k)
+	}
+	floorT, floorO := t.evictFloor(), o.evictFloor()
+	merged := make(map[int]TopEntry, len(t.counts)+len(o.counts))
+	for key, c := range t.counts {
+		e := TopEntry{Key: key, Count: c, Err: t.errs[key]}
+		if oc, ok := o.counts[key]; ok {
+			e.Count += oc
+			e.Err += o.errs[key]
+		} else {
+			e.Count += floorO
+			e.Err += floorO
+		}
+		merged[key] = e
+	}
+	for key, oc := range o.counts {
+		if _, ok := t.counts[key]; ok {
+			continue
+		}
+		merged[key] = TopEntry{Key: key, Count: oc + floorT, Err: o.errs[key] + floorT}
+	}
+	entries := make([]TopEntry, 0, len(merged))
+	for _, e := range merged {
+		entries = append(entries, e)
+	}
+	sortTopEntries(entries)
+	if len(entries) > t.k {
+		entries = entries[:t.k]
+	}
+	t.counts = make(map[int]int64, t.k)
+	t.errs = make(map[int]int64, t.k)
+	for _, e := range entries {
+		t.counts[e.Key] = e.Count
+		if e.Err != 0 {
+			t.errs[e.Key] = e.Err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two sketches hold identical entries and bounds.
+func (t *TopK) Equal(o *TopK) bool {
+	if o == nil || t.k != o.k || len(t.counts) != len(o.counts) {
+		return false
+	}
+	for key, c := range t.counts {
+		if o.counts[key] != c || o.errs[key] != t.errs[key] {
+			return false
+		}
+	}
+	return true
+}

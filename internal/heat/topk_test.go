@@ -1,0 +1,137 @@
+package heat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTopKExactRegime(t *testing.T) {
+	// Distinct keys within capacity: counts exact, errors zero.
+	tk := NewTopK(4)
+	for i := 0; i < 10; i++ {
+		tk.Add(i%3, 1)
+	}
+	top := tk.Top(0)
+	if len(top) != 3 {
+		t.Fatalf("entries %v", top)
+	}
+	for _, e := range top {
+		if e.Err != 0 {
+			t.Fatalf("exact regime produced error bound: %+v", e)
+		}
+	}
+	if top[0].Key != 0 || top[0].Count != 4 {
+		t.Fatalf("top entry %+v", top[0])
+	}
+	// Ties break toward the smaller key.
+	if top[1].Key != 1 || top[2].Key != 2 {
+		t.Fatalf("tie order %v", top)
+	}
+}
+
+// zipfOf draws from a small skewed alphabet: key k with probability ~2^-(k+1),
+// so heavy keys exist while the alphabet overflows small capacities.
+func zipfOf(r *rand.Rand) int {
+	k := 0
+	for k < 63 && r.Float64() < 0.5 {
+		k++
+	}
+	return k
+}
+
+func TestTopKEvictionDeterminism(t *testing.T) {
+	// Overflowing the capacity with identical streams must produce
+	// identical summaries, and the space-saving bounds must hold.
+	build := func() *TopK {
+		rng := rand.New(rand.NewSource(3))
+		tk := NewTopK(5)
+		for i := 0; i < 4000; i++ {
+			tk.Add(zipfOf(rng), 1)
+		}
+		return tk
+	}
+	a, b := build(), build()
+	if !a.Equal(b) {
+		t.Fatal("identical streams produced different sketches")
+	}
+	rng := rand.New(rand.NewSource(3))
+	truth := make(map[int]int64)
+	for i := 0; i < 4000; i++ {
+		truth[zipfOf(rng)]++
+	}
+	for _, e := range a.Top(0) {
+		if tc := truth[e.Key]; e.Count < tc || e.Count-e.Err > tc {
+			t.Fatalf("key %d: count %d err %d vs true %d", e.Key, e.Count, e.Err, tc)
+		}
+	}
+}
+
+func TestTopKHeavyHitterGuarantee(t *testing.T) {
+	// Any key with true count > N/k must be monitored after N adds.
+	rng := rand.New(rand.NewSource(9))
+	tk := NewTopK(8)
+	truth := make(map[int]int64)
+	const N = 8000
+	for i := 0; i < N; i++ {
+		k := zipfOf(rng)
+		truth[k]++
+		tk.Add(k, 1)
+	}
+	monitored := make(map[int]bool)
+	for _, e := range tk.Top(0) {
+		monitored[e.Key] = true
+	}
+	for k, c := range truth {
+		if c > N/8 && !monitored[k] {
+			t.Fatalf("heavy key %d (count %d > %d) not monitored", k, c, N/8)
+		}
+	}
+}
+
+func TestTopKMergeExactWhenUnderCapacity(t *testing.T) {
+	a, b, single := NewTopK(16), NewTopK(16), NewTopK(16)
+	for i := 0; i < 200; i++ {
+		k := i % 10
+		if i%2 == 0 {
+			a.Add(k, 1)
+		} else {
+			b.Add(k, 1)
+		}
+		single.Add(k, 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(single) {
+		t.Fatalf("under-capacity merge not exact:\n%v\nvs\n%v", a.Top(0), single.Top(0))
+	}
+}
+
+func TestTopKMergeBoundsSurviveOverflow(t *testing.T) {
+	// Sharded overflowing streams: merged bounds still sandwich the truth.
+	rng := rand.New(rand.NewSource(5))
+	parts := []*TopK{NewTopK(6), NewTopK(6)}
+	truth := make(map[int]int64)
+	for i := 0; i < 6000; i++ {
+		k := zipfOf(rng)
+		truth[k]++
+		parts[i%2].Add(k, 1)
+	}
+	if err := parts[0].Merge(parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range parts[0].Top(0) {
+		if tc := truth[e.Key]; e.Count < tc || e.Count-e.Err > tc {
+			t.Fatalf("key %d: count %d err %d vs true %d", e.Key, e.Count, e.Err, tc)
+		}
+	}
+}
+
+func TestTopKMergeRejects(t *testing.T) {
+	if err := NewTopK(4).Merge(NewTopK(5)); err == nil {
+		t.Fatal("merged mismatched capacities")
+	}
+	if err := NewTopK(4).Merge(nil); err == nil {
+		t.Fatal("merged nil")
+	}
+}

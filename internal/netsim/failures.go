@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"quorumplace/internal/heat"
 	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 )
@@ -44,6 +45,10 @@ type FailureConfig struct {
 	// MaxRetries = 0 the run consumes randomness identically to Run and
 	// reproduces its per-access latencies and traces exactly.
 	Recorder *Recorder
+	// Heat, when non-nil, folds every access into the workload sketch;
+	// nodes probed by failed attempts count as messages (the load landed).
+	// Nil falls back to the SetDefaultHeat sketch.
+	Heat *heat.Sketch
 }
 
 // FailureStats is the outcome of a failure-injection run.
@@ -137,10 +142,14 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 	// failed an attempt) to the window of the access's completion, and folds
 	// retries and aborts into the window burn rates.
 	slo := rec != nil && rec.sloEnabled()
-	var sloNodes []int
+	ht := heatFor(cfg.Heat)
+	collectNodes := slo || ht != nil
+	var accNodes []int
 	if slo {
 		rec.sloSetNodes(runID, n)
-		sloNodes = make([]int, 0, 16)
+	}
+	if collectNodes {
+		accNodes = make([]int, 0, 16)
 	}
 	var lh *obs.LogHist
 	if obs.Enabled() {
@@ -184,7 +193,7 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 		elapsed := 0.0 // virtual time the access occupies on the client
 		success := false
 		accRetries := 0
-		sloNodes = sloNodes[:0]
+		accNodes = accNodes[:0]
 		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 			qi := sampleQuorum()
 			attemptStart := e.at + penalty
@@ -196,8 +205,8 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 			var latency float64
 			for _, u := range ins.Sys.Quorum(qi) {
 				node := cfg.Placement.Node(u)
-				if slo {
-					sloNodes = append(sloNodes, node)
+				if collectNodes {
+					accNodes = append(accNodes, node)
 				}
 				if !alive[node] {
 					if tr != nil {
@@ -276,7 +285,10 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 			lh.Observe(elapsed)
 		}
 		if slo {
-			rec.sloAccess(runID, e.at+elapsed, elapsed, int64(accRetries), !success, sloNodes)
+			rec.sloAccess(runID, e.at+elapsed, elapsed, int64(accRetries), !success, accNodes)
+		}
+		if ht != nil {
+			ht.Observe(e.at, v, accNodes)
 		}
 		limit := cfg.AccessesPerClient
 		if counts != nil {

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"quorumplace/internal/heat"
 	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	// installed with SetDefaultRecorder, if any; with neither, tracing is
 	// off and costs one nil check per access.
 	Recorder *Recorder
+	// Heat, when non-nil, folds every access into the workload sketch
+	// (per-client issue counts and per-node message hits, keyed by the
+	// virtual-time epoch of the access's issue). Nil falls back to the
+	// SetDefaultHeat sketch; with neither, observation is off at one nil
+	// check per access.
+	Heat *heat.Sketch
 }
 
 // Stats is the outcome of a simulation run.
@@ -289,13 +296,18 @@ func Run(cfg Config) (*Stats, error) {
 		defer func() { obs.Count("netsim.traced_accesses", traced) }()
 	}
 	// Windowed SLO accounting folds every access into the window of its
-	// completion time; sloNodes is a per-access scratch of the nodes its
-	// messages hit, reused so the SLO path allocates nothing per access.
+	// completion time; accNodes is a per-access scratch of the nodes its
+	// messages hit, shared by the SLO and heat paths and reused so neither
+	// allocates per access.
 	slo := rec != nil && rec.sloEnabled()
-	var sloNodes []int
+	ht := heatFor(cfg.Heat)
+	collectNodes := slo || ht != nil
+	var accNodes []int
 	if slo {
 		rec.sloSetNodes(runID, n)
-		sloNodes = make([]int, 0, 16)
+	}
+	if collectNodes {
+		accNodes = make([]int, 0, 16)
 	}
 	// When telemetry is on, access latencies accumulate in a run-local
 	// log-linear histogram merged once at run end — one contention point per
@@ -343,14 +355,14 @@ func Run(cfg Config) (*Stats, error) {
 		}
 		row := ins.M.Row(v)
 		var latency float64
-		sloNodes = sloNodes[:0]
+		accNodes = accNodes[:0]
 		for _, u := range ins.Sys.Quorum(qi) {
 			node := cfg.Placement.Node(u)
 			d := row[node]
 			stats.NodeHits[node]++
 			messages++
-			if slo {
-				sloNodes = append(sloNodes, node)
+			if collectNodes {
+				accNodes = append(accNodes, node)
 			}
 			if tr != nil {
 				dispatch := e.at
@@ -384,7 +396,10 @@ func Run(cfg Config) (*Stats, error) {
 			lh.Observe(latency)
 		}
 		if slo {
-			rec.sloAccess(runID, done, latency, 0, false, sloNodes)
+			rec.sloAccess(runID, done, latency, 0, false, accNodes)
+		}
+		if ht != nil {
+			ht.Observe(e.at, v, accNodes)
 		}
 		if tr != nil {
 			tr.End = done

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"quorumplace/internal/heat"
 	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 )
@@ -43,6 +44,10 @@ type QueueConfig struct {
 	// and service-time probe spans) and time-series samples; nil falls back
 	// to the SetDefaultRecorder recorder.
 	Recorder *Recorder
+	// Heat, when non-nil, folds every access into the workload sketch at
+	// its issue time (when the load lands on the node queues). Nil falls
+	// back to the SetDefaultHeat sketch.
+	Heat *heat.Sketch
 }
 
 // QueueStats is the outcome of a queueing simulation.
@@ -270,10 +275,14 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 	// time (that is when the load lands on the nodes), while the access
 	// itself folds into the window of its completion.
 	slo := rec != nil && rec.sloEnabled()
-	var sloNodes []int
+	ht := heatFor(cfg.Heat)
+	collectNodes := slo || ht != nil
+	var accNodes []int
 	if slo {
 		rec.sloSetNodes(runID, n)
-		sloNodes = make([]int, 0, 16)
+	}
+	if collectNodes {
+		accNodes = make([]int, 0, 16)
 	}
 	var lh *obs.LogHist
 	if obs.Enabled() {
@@ -338,7 +347,7 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 				st.tr = &AccessTrace{Run: runID, Client: e.client, Quorum: qi, Start: e.at}
 				st.tr.Probes = rec.getProbes(len(q))
 			}
-			sloNodes = sloNodes[:0]
+			accNodes = accNodes[:0]
 			for slot, u := range q {
 				node := cfg.Placement.Node(u)
 				msgSlot := -1
@@ -349,13 +358,16 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 						NetDelay: row[node] + ins.M.D(node, e.client),
 					}
 				}
-				if slo {
-					sloNodes = append(sloNodes, node)
+				if collectNodes {
+					accNodes = append(accNodes, node)
 				}
 				push(queueEvent{at: e.at + row[node], kind: 1, client: e.client, access: e.access, node: node, slot: msgSlot})
 			}
 			if slo {
-				rec.sloNodeHits(runID, e.at, sloNodes)
+				rec.sloNodeHits(runID, e.at, accNodes)
+			}
+			if ht != nil {
+				ht.Observe(e.at, e.client, accNodes)
 			}
 		case 1: // message arrives at a node queue
 			enqueue(e.node, pendingMsg{

@@ -237,7 +237,9 @@ func (s *Server) Close() error {
 // with names in [a-zA-Z_:][a-zA-Z0-9_:]*, label names in
 // [a-zA-Z_][a-zA-Z0-9_]*, properly escaped label values, and a parseable
 // float sample value. It also checks that every # TYPE comment names a
-// valid metric and type. Used by the CI smoke test and qppmon -validate.
+// valid metric and type, and that no metric is declared by more than one
+// # TYPE line (Prometheus rejects re-declarations on ingest). Used by the
+// CI smoke test and qppmon -validate.
 func ValidateText(r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -245,13 +247,14 @@ func ValidateText(r io.Reader) error {
 	}
 	lines := strings.Split(string(data), "\n")
 	samples := 0
+	seenType := make(map[string]bool)
 	for i, line := range lines {
 		lineNo := i + 1
 		if line == "" {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if err := validateComment(line); err != nil {
+			if err := validateComment(line, seenType); err != nil {
 				return fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			continue
@@ -267,7 +270,7 @@ func ValidateText(r io.Reader) error {
 	return nil
 }
 
-func validateComment(line string) error {
+func validateComment(line string, seenType map[string]bool) error {
 	fields := strings.Fields(line)
 	if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
 		if len(fields) < 3 || !validMetricName(fields[2]) {
@@ -282,6 +285,10 @@ func validateComment(line string) error {
 			default:
 				return fmt.Errorf("unknown metric type %q", fields[3])
 			}
+			if seenType[fields[2]] {
+				return fmt.Errorf("duplicate # TYPE for metric %q", fields[2])
+			}
+			seenType[fields[2]] = true
 		}
 	}
 	return nil // other comments are free-form
@@ -325,10 +332,10 @@ func validateSample(line string) error {
 // and returns the index just past the closing brace.
 func scanLabels(s string) (int, error) {
 	i := 1 // past '{'
+	if i < len(s) && s[i] == '}' {
+		return i + 1, nil // empty label block
+	}
 	for {
-		if i < len(s) && s[i] == '}' {
-			return i + 1, nil
-		}
 		start := i
 		for i < len(s) && (isNameRune(s[i], i == start) && s[i] != ':') {
 			i++

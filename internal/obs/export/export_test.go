@@ -218,6 +218,11 @@ func TestValidateTextRejectsGarbage(t *testing.T) {
 		"metric 1 notatimestamp\n",      // bad timestamp
 		"# TYPE metric notatype\nm 1\n", // unknown type
 		"metric{l=\"v\"extra} 1\n",      // junk after label value
+		"# TYPE m\nm 1\n",               // TYPE missing the type word
+		"# TYPE 9m counter\nm 1\n",      // TYPE names invalid metric
+		"# HELP\nm 1\n",                 // HELP without a metric name
+		"metric 1 2 3\n",                // trailing junk after timestamp
+		"metric{l=\"v\",} 1\n",          // dangling comma in label block
 	}
 	for _, in := range bad {
 		if err := ValidateText(strings.NewReader(in)); err == nil {
@@ -227,5 +232,34 @@ func TestValidateTextRejectsGarbage(t *testing.T) {
 	good := "m_total 1\nm2{a=\"b\",c=\"d\\\"e\\\\f\\ng\"} +Inf 1700000000\n# random comment\nm3 NaN\n"
 	if err := ValidateText(strings.NewReader(good)); err != nil {
 		t.Errorf("ValidateText rejected valid input: %v", err)
+	}
+	// Non-finite sample spellings Prometheus emits must all parse.
+	if err := ValidateText(strings.NewReader("a NaN\nb +Inf\nc -Inf\nd Inf\n")); err != nil {
+		t.Errorf("ValidateText rejected non-finite samples: %v", err)
+	}
+}
+
+// TestValidateTextRejectsDuplicateType pins the re-declaration rule: a
+// metric may carry at most one # TYPE line per exposition (Prometheus
+// rejects duplicates on ingest), while distinct metrics and repeated
+// samples of one metric stay legal.
+func TestValidateTextRejectsDuplicateType(t *testing.T) {
+	dup := "# TYPE m counter\nm 1\n# TYPE m counter\nm 2\n"
+	err := ValidateText(strings.NewReader(dup))
+	if err == nil {
+		t.Fatal("ValidateText accepted duplicate # TYPE declarations")
+	}
+	if !strings.Contains(err.Error(), "duplicate # TYPE") {
+		t.Fatalf("unexpected error for duplicate TYPE: %v", err)
+	}
+	// Same type re-declared counts as a duplicate even when consistent,
+	// and a conflicting re-declaration is certainly one.
+	conflict := "# TYPE m counter\nm 1\n# TYPE m gauge\nm 2\n"
+	if err := ValidateText(strings.NewReader(conflict)); err == nil {
+		t.Fatal("ValidateText accepted conflicting # TYPE declarations")
+	}
+	ok := "# TYPE m counter\nm 1\nm 2\n# TYPE n gauge\nn 3\n# HELP m help text repeats fine\n"
+	if err := ValidateText(strings.NewReader(ok)); err != nil {
+		t.Fatalf("ValidateText rejected legal exposition: %v", err)
 	}
 }

@@ -37,6 +37,7 @@ import (
 
 	"quorumplace/internal/agg"
 	"quorumplace/internal/graph"
+	"quorumplace/internal/heat"
 	"quorumplace/internal/migrate"
 	"quorumplace/internal/netsim"
 	"quorumplace/internal/obs"
@@ -414,6 +415,56 @@ func ParseSimSLOTargets(spec string) (SimSLOTargets, error) {
 // FormatSimSLOWindows renders windows as an aligned table.
 func FormatSimSLOWindows(windows []SimSLOWindow) string {
 	return netsim.FormatSLOWindows(windows)
+}
+
+// --- workload heat & drift ---------------------------------------------------------
+
+// HeatSketch accumulates a stream of quorum accesses into deterministic,
+// mergeable workload sketches: per-client/per-node EWMA rates over virtual
+// time, heavy-hitter summaries, and drift scores against the demand the
+// placement was solved for. Attach one per run via SimConfig.Heat, or
+// install a process-wide default with SetDefaultHeat.
+type HeatSketch = heat.Sketch
+
+// HeatOptions configures a HeatSketch (epoch length, EWMA half-life,
+// optional space-saving heavy-hitter capacity).
+type HeatOptions = heat.Options
+
+// HeatTopEntry is one heavy hitter with its count and overestimate bound.
+type HeatTopEntry = heat.TopEntry
+
+// HeatDriftReport is the total-variation drift of a live demand estimate
+// from a plan demand vector, with per-client contributions.
+type HeatDriftReport = heat.DriftReport
+
+// HeatAttribution is the plan-vs-actual delay gap decomposed into drift,
+// queueing, failure and residual components.
+type HeatAttribution = heat.Attribution
+
+// NewHeatSketch returns an empty workload sketch.
+func NewHeatSketch(o HeatOptions) *HeatSketch { return heat.New(o) }
+
+// SetDefaultHeat installs (or with nil removes) the process-wide sketch
+// that simulation runs feed when their config carries none.
+func SetDefaultHeat(s *HeatSketch) { netsim.SetDefaultHeat(s) }
+
+// HeatDrift compares a live demand estimate against a plan demand vector
+// (nil plan means uniform); both are unnormalized non-negative weights.
+func HeatDrift(live, plan []float64) (*HeatDriftReport, error) {
+	return heat.Drift(live, plan)
+}
+
+// AttributeDelayGap decomposes measured−predicted delay into drift vs
+// queueing vs failures vs residual.
+func AttributeDelayGap(predictedPlan, predictedLive, measured, queueWait, failurePenalty float64) HeatAttribution {
+	return heat.Attribute(predictedPlan, predictedLive, measured, queueWait, failurePenalty)
+}
+
+// PredictDelayUnderRates re-evaluates a placement's analytic delay
+// objective under an alternative demand vector (the drift leg of the
+// attribution).
+func PredictDelayUnderRates(ins *Instance, pl Placement, sequential bool, rates []float64) (float64, error) {
+	return heat.PredictUnderRates(ins, pl, sequential, rates)
 }
 
 // --- strategy re-optimization & migration -----------------------------------------

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Benchmark harness: runs the E1-E16 experiment benchmarks, the ablation
+# Benchmark harness: runs the experiment benchmarks (E1-E19), the ablation
 # benchmarks and the LP substrate micro-benchmarks with a fixed -benchtime,
 # and writes the parsed results as BENCH_<utc-date><suffix>.json so
 # successive PRs leave a perf trajectory in the repo.
@@ -18,8 +18,8 @@ BENCHTIME="${BENCHTIME:-0.5s}"
 SUFFIX="${1:-}"
 DATE=$(date -u +%Y-%m-%d)
 OUT="${OUT:-BENCH_${DATE}${SUFFIX}.json}"
-PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallelQPP|BenchmarkSolve|BenchmarkWorkspace|BenchmarkShard|BenchmarkLogHist|BenchmarkScalingClients|BenchmarkMetricBuild|BenchmarkTreeDP)}"
-PKGS="${PKGS:-. ./internal/lp ./internal/obs}"
+PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallelQPP|BenchmarkSolve|BenchmarkWorkspace|BenchmarkShard|BenchmarkLogHist|BenchmarkScalingClients|BenchmarkMetricBuild|BenchmarkTreeDP|BenchmarkHeat|BenchmarkDrift)}"
+PKGS="${PKGS:-. ./internal/lp ./internal/obs ./internal/heat}"
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 # GOMAXPROCS of this run; benchdiff -min-cpus keys off it so parallel-scaling
 # gates only fire on machines with enough cores for the workers to overlap.
