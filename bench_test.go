@@ -294,7 +294,10 @@ func BenchmarkE11NetsimValidation(b *testing.B) {
 	b.StopTimer()
 	snap := c.Snapshot()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(snap.Counter("netsim.events"))/secs, "events/sec")
+		eps := float64(snap.Counter("netsim.events")) / secs
+		b.ReportMetric(eps, "events/sec")
+		// Workers = 0 runs the legacy single-threaded engine: one core.
+		b.ReportMetric(eps, "events/sec/core")
 	}
 	// Deterministic tail-latency metrics from one fixed-seed run: unlike
 	// ns/op these are virtual-time quantities, identical on every machine,
@@ -476,15 +479,25 @@ func BenchmarkFailureSim(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var events int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunSimWithFailures(FailureSimConfig{
+		stats, err := RunSimWithFailures(FailureSimConfig{
 			Instance: ins, Placement: p, Mode: SimParallel,
 			NodeFailureProb: 0.2, MaxRetries: 3,
 			AccessesPerClient: 100, Seed: int64(i),
-		}); err != nil {
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
+		// The failure simulator processes exactly one event per access.
+		events += int64(stats.Accesses)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		eps := float64(events) / secs
+		b.ReportMetric(eps, "events/sec")
+		b.ReportMetric(eps, "events/sec/core")
 	}
 }
 
@@ -505,6 +518,11 @@ func BenchmarkE14StrategyOpt(b *testing.B) {
 }
 
 // BenchmarkE15Queueing regenerates E15: a queueing simulation run.
+// Telemetry is enabled so the queueing engine's event count — issues,
+// arrivals and service completions, not directly derivable from
+// QueueStats — backs the events/sec/core metric; the per-run telemetry
+// cost (one span plus a run-local latency histogram) is covered by an
+// allocation band in scripts/check.sh.
 func BenchmarkE15Queueing(b *testing.B) {
 	ins := benchInstance(b, 8, Grid(2))
 	rng := rand.New(rand.NewSource(41))
@@ -512,6 +530,8 @@ func BenchmarkE15Queueing(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	c := EnableTelemetry()
+	defer DisableTelemetry()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunSimWithQueueing(QueueSimConfig{
@@ -521,6 +541,12 @@ func BenchmarkE15Queueing(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		eps := float64(c.Snapshot().Counter("netsim.events")) / secs
+		b.ReportMetric(eps, "events/sec")
+		b.ReportMetric(eps, "events/sec/core")
 	}
 }
 
@@ -594,6 +620,73 @@ func BenchmarkParallelQPP(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParallelNetsim measures the sharded deterministic discrete-event
+// engine (Config.Workers ≥ 1) on all three simulators at workers=1/2/4/8.
+// The workload — 96 clients on an Erdős–Rényi metric, a 3×3 grid quorum
+// system — is sized so one op is tens of thousands of events, enough for
+// the shards to amortize spawn and merge. events/sec/core divides by the
+// worker count, making the scaling efficiency visible directly in the
+// BENCH snapshots; CI gates the workers=1 vs workers=4 wall-clock ratio at
+// ≥2× via benchdiff -speedup (skipped below 4 CPUs).
+func BenchmarkParallelNetsim(b *testing.B) {
+	ins := benchInstance(b, 96, Grid(3))
+	rng := rand.New(rand.NewSource(51))
+	p, err := RandomFeasiblePlacement(ins, rng, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const apc = 400
+	sims := []struct {
+		name string
+		run  func(workers int, seed int64) error
+	}{
+		{"run", func(w int, seed int64) error {
+			_, err := RunSim(SimConfig{
+				Instance: ins, Placement: p, Mode: SimParallel,
+				AccessesPerClient: apc, InterAccessTime: 0.1,
+				Seed: seed, Workers: w,
+			})
+			return err
+		}},
+		{"failures", func(w int, seed int64) error {
+			_, err := RunSimWithFailures(FailureSimConfig{
+				Instance: ins, Placement: p, Mode: SimParallel,
+				NodeFailureProb: 0.1, MaxRetries: 2, RetryPenalty: 0.5,
+				AccessesPerClient: apc, Seed: seed, Workers: w,
+			})
+			return err
+		}},
+		{"queueing", func(w int, seed int64) error {
+			_, err := RunSimWithQueueing(QueueSimConfig{
+				Instance: ins, Placement: p,
+				ArrivalRate: 0.05, ServiceMean: 0.5,
+				AccessesPerClient: apc, Seed: seed, Workers: w,
+			})
+			return err
+		}},
+	}
+	for _, sim := range sims {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("sim=%s/workers=%d", sim.name, w), func(b *testing.B) {
+				c := EnableTelemetry()
+				defer DisableTelemetry()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sim.run(w, int64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					eps := float64(c.Snapshot().Counter("netsim.events")) / secs
+					b.ReportMetric(eps, "events/sec")
+					b.ReportMetric(eps/float64(w), "events/sec/core")
+				}
+			})
+		}
 	}
 }
 

@@ -8,11 +8,20 @@
 // trace-event JSON file loadable in Perfetto, with solver telemetry spans
 // on a separate track when -stats or -trace is also given. All simulations
 // derive their seeds from -seed (fixed default 1), so traces reproduce.
+// -trace-sample takes an integer stride or a preset ("fine" = 1 in 16,
+// "coarse" = 1 in 1024 for multi-million-access runs).
+//
+// -sim-workers threads the sharded deterministic simulator engine through
+// the suite: 0 (default) keeps the legacy sequential engine byte-identical
+// with previous releases; N >= 1 produces output that is bitwise identical
+// for every N (same seed + any worker count => identical stats and
+// traces), so results are comparable across machines of different widths.
 //
 // Usage:
 //
 //	qppeval [-seed N] [-quick] [-csv] [-only E7] [-trace FILE] [-stats]
-//	        [-trace-out t.json] [-trace-sample 100] [-timeseries 0.5]
+//	        [-trace-out t.json] [-trace-sample 100|fine|coarse] [-timeseries 0.5]
+//	        [-sim-workers 4]
 //	        [-heat [-drift-threshold 0.5]]
 //	        [-metrics-addr 127.0.0.1:9464 [-metrics-hold 30s]]
 //
@@ -62,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	only := fs.String("only", "", "run a single experiment by id (e.g. E7)")
 	traceFile := fs.String("trace", "", "write a JSONL telemetry trace (solver spans and counters) to this file")
 	traceOut := fs.String("trace-out", "", "write per-access simulation traces as Chrome trace-event JSON (Perfetto) to this file")
-	traceSample := fs.Int("trace-sample", 1, "with -trace-out: record every k-th access only")
+	traceSample := fs.String("trace-sample", "1", "with -trace-out: record every k-th access only, or a preset: fine (1 in 16), coarse (1 in 1024)")
 	timeseries := fs.Float64("timeseries", 0, "with -trace-out: sample simulator gauges every this many virtual-time units")
 	stats := fs.Bool("stats", false, "print a telemetry summary table to stderr")
 	metricsAddr := fs.String("metrics-addr", "", "serve live metrics (Prometheus /metrics, JSON /metrics.json) on this address while running")
@@ -73,11 +82,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
 	scaleNodes := fs.Int("scale-nodes", 0, "append an E18 row with this many tree nodes (e.g. 100000 for the headline run)")
 	scaleClients := fs.Int("scale-clients", 0, "append an E18 row with this many raw clients (e.g. 1000000)")
+	simWorkers := fs.Int("sim-workers", 0, "simulator worker shards for the experiment suite; 0 = legacy sequential engine, N >= 1 = deterministic sharded engine (identical output for every N)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *driftThreshold != 0 && !*heatOn {
 		return fmt.Errorf("-drift-threshold requires -heat")
+	}
+	if *simWorkers < 0 {
+		return fmt.Errorf("-sim-workers %d, want >= 0", *simWorkers)
 	}
 	if *driftThreshold < 0 || *driftThreshold > 1 {
 		return fmt.Errorf("-drift-threshold %v outside [0,1]", *driftThreshold)
@@ -148,8 +161,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			srv.Close()
 		}()
 	}
+	sampleN, err := qp.ParseSimTraceSample(*traceSample)
+	if err != nil {
+		return err
+	}
 	if *traceOut != "" {
-		rec := qp.NewSimRecorder(0, *traceSample, *timeseries)
+		rec := qp.NewSimRecorder(0, sampleN, *timeseries)
 		qp.SetDefaultSimRecorder(rec)
 		// Registered after the telemetry defer so it runs first (LIFO),
 		// while the collector is still installed and Snapshot() works.
@@ -182,7 +199,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer qp.SetDefaultHeat(nil)
 	}
 
-	s := &eval.Suite{Seed: *seed, Quick: *quick, ScaleNodes: *scaleNodes, ScaleClients: *scaleClients}
+	s := &eval.Suite{Seed: *seed, Quick: *quick, ScaleNodes: *scaleNodes, ScaleClients: *scaleClients, SimWorkers: *simWorkers}
 	ran := 0
 	for _, e := range eval.Experiments() {
 		if *only != "" && e.ID != *only {

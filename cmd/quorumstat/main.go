@@ -15,9 +15,17 @@
 // written as Chrome trace-event JSON loadable in Perfetto
 // (ui.perfetto.dev) or chrome://tracing, together with a plain-text
 // per-node/per-quorum latency-percentile breakdown on stdout. -trace-sample
-// thins the capture to every k-th access; -timeseries adds gauge counter
+// thins the capture to every k-th access, or takes a preset: "fine" (1 in
+// 16) for per-access diagnosis, "coarse" (1 in 1024) to keep exports of
+// multi-million-access runs small; -timeseries adds gauge counter
 // tracks sampled at the given virtual-time interval. Runs are seeded
 // (-seed, default 1), so traces are reproducible.
+//
+// -sim-workers selects the simulator engine: 0 (the default) is the
+// legacy sequential engine, byte-identical with previous releases; N >= 1
+// runs the sharded deterministic engine, whose output is bitwise
+// identical for every N — same seed + any worker count => identical
+// stats, traces and time series, merged in canonical order.
 //
 // With -slo the simulated accesses are additionally folded into rolling
 // virtual-time windows (span -slo-window) tracking p50/p99/p99.9 access
@@ -40,7 +48,8 @@
 //
 //	quorumstat [-p 0.1,0.2,0.3] [-system grid:3] [-sim 200 -nodes 16 -seed 1]
 //	           [-clients 100000] [-landmarks 8]
-//	           [-trace-out t.json] [-trace-sample 10] [-timeseries 0.5]
+//	           [-sim-workers 4]
+//	           [-trace-out t.json] [-trace-sample 10|fine|coarse] [-timeseries 0.5]
 //	           [-slo p99=4,skew=3 [-slo-window 25]]
 //	           [-heat [-drift-threshold 0.2]]
 //	           [-metrics-addr 127.0.0.1:9464 [-metrics-hold 30s]]
@@ -77,8 +86,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	clients := fs.Int("clients", 0, "with -sim: synthesize this many weighted clients, aggregate them into per-node demand rates, and weight placement + simulation by them")
 	landmarks := fs.Int("landmarks", 0, "with -sim: also build a k-landmark sparse metric of the sim network and report its max sampled stretch")
 	seed := fs.Int64("seed", 1, "random seed for -sim (fixed default keeps traces reproducible)")
+	simWorkers := fs.Int("sim-workers", 0, "with -sim: simulator worker shards; 0 = legacy sequential engine, N >= 1 = deterministic sharded engine (identical output for every N)")
 	traceOut := fs.String("trace-out", "", "with -sim: write per-access traces as Chrome trace-event JSON (Perfetto) to this file")
-	traceSample := fs.Int("trace-sample", 1, "with -trace-out: record every k-th access only")
+	traceSample := fs.String("trace-sample", "1", "with -trace-out: record every k-th access only, or a preset: fine (1 in 16), coarse (1 in 1024)")
 	timeseries := fs.Float64("timeseries", 0, "with -trace-out: sample gauge counters every this many virtual-time units")
 	sloSpec := fs.String("slo", "", "with -sim: windowed SLO targets, e.g. p99=4,p999=6,skew=2.5 (exit nonzero on violation)")
 	sloWindow := fs.Float64("slo-window", 25, "with -slo: SLO window span in virtual-time units")
@@ -106,6 +116,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *heatOn && *simN <= 0 {
 		return fmt.Errorf("-heat requires -sim")
 	}
+	if *simWorkers != 0 && *simN <= 0 {
+		return fmt.Errorf("-sim-workers requires -sim")
+	}
+	if *simWorkers < 0 {
+		return fmt.Errorf("-sim-workers %d, want >= 0", *simWorkers)
+	}
 	if *driftThreshold != 0 && !*heatOn {
 		return fmt.Errorf("-drift-threshold requires -heat")
 	}
@@ -122,12 +138,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		systems = []*qp.System{s}
 	}
 
+	sampleN, err := qp.ParseSimTraceSample(*traceSample)
+	if err != nil {
+		return err
+	}
 	var rec *qp.SimRecorder
 	if *traceOut != "" {
 		if *simN <= 0 {
 			return fmt.Errorf("-trace-out requires -sim")
 		}
-		rec = qp.NewSimRecorder(0, *traceSample, *timeseries)
+		rec = qp.NewSimRecorder(0, sampleN, *timeseries)
 	}
 	var sloTargets qp.SimSLOTargets
 	if *sloSpec != "" {
@@ -197,7 +217,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if rec != nil {
 				rec.NextRunLabel(s.Name())
 			}
-			sim, hr, err := simulateSystem(s, *nodes, *simN, *clients, *seed, rec, *heatOn)
+			sim, hr, err := simulateSystem(s, *nodes, *simN, *clients, *simWorkers, *seed, rec, *heatOn)
 			if err != nil {
 				return fmt.Errorf("%s: sim: %v", s.Name(), err)
 			}
@@ -305,7 +325,7 @@ type systemHeat struct {
 // heatOn the run feeds a workload heat sketch and the returned systemHeat
 // carries its drift-vs-plan score, heavy hitters, and the plan-vs-actual
 // delay attribution.
-func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, rec *qp.SimRecorder, heatOn bool) (*simSummary, *systemHeat, error) {
+func simulateSystem(sys *qp.System, nodes, accesses, clients, workers int, seed int64, rec *qp.SimRecorder, heatOn bool) (*simSummary, *systemHeat, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := qp.RandomGeometric(nodes, 0.4, rng)
 	m, err := qp.NewMetricFromGraph(g)
@@ -360,6 +380,7 @@ func simulateSystem(sys *qp.System, nodes, accesses, clients int, seed int64, re
 		Mode:              qp.SimParallel,
 		AccessesPerClient: accesses,
 		Seed:              seed,
+		Workers:           workers,
 		Recorder:          rec,
 		Heat:              ht,
 	})

@@ -82,7 +82,7 @@ func TestRunSim(t *testing.T) {
 		}
 	}
 
-	sim, _, err := simulateSystem(qp.Grid(2), 12, 200, 0, 3, nil, false)
+	sim, _, err := simulateSystem(qp.Grid(2), 12, 200, 0, 0, 3, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +142,11 @@ func TestRunClientsAndLandmarks(t *testing.T) {
 
 	// The aggregated population must actually reach the sim: the digest
 	// differs from the uniform-demand run of the same seed.
-	simU, _, err := simulateSystem(qp.Grid(2), 14, 150, 0, 5, nil, false)
+	simU, _, err := simulateSystem(qp.Grid(2), 14, 150, 0, 0, 5, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	simW, _, err := simulateSystem(qp.Grid(2), 14, 150, 20000, 5, nil, false)
+	simW, _, err := simulateSystem(qp.Grid(2), 14, 150, 20000, 0, 5, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

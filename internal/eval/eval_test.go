@@ -127,6 +127,52 @@ func TestE19DriftLeadsRegression(t *testing.T) {
 	}
 }
 
+// TestE20FlashCrowdParSeq pins the two claims of E20: every epoch's
+// parallel run is bitwise identical to its workers=1 run, and the spike
+// epochs actually move the mean delay (Δmean > 0 while the crowd holds,
+// back near zero — different seed, so not exactly — after recovery).
+// Deterministic per seed.
+func TestE20FlashCrowdParSeq(t *testing.T) {
+	s := &Suite{Seed: 1, Quick: true}
+	tab, err := s.E20FlashCrowd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("E20 has %d epochs, want 5", len(tab.Rows))
+	}
+	const dMeanCol, sameCol = 4, 6
+	for k, row := range tab.Rows {
+		if row[sameCol] != "yes" {
+			t.Errorf("epoch %d: parallel run diverged from workers=1 (par=seq %q)", k, row[sameCol])
+		}
+	}
+	cell := func(row int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][dMeanCol], 64)
+		if err != nil {
+			t.Fatalf("row %d Δmean %q: %v", row, tab.Rows[row][dMeanCol], err)
+		}
+		return v
+	}
+	for k := 1; k <= 2; k++ {
+		if cell(k) <= 0 {
+			t.Errorf("spike epoch %d shows no mean regression: Δmean = %v", k, cell(k))
+		}
+	}
+	// The recovery epoch runs the baseline demand under a fresh seed, so
+	// its Δmean is sampling noise — it must sit well under the spike shift.
+	if spike, rec := cell(1), cell(4); !(abs(rec) < spike/4) {
+		t.Errorf("recovery Δmean %v not well under spike Δmean %v", rec, spike)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 func TestExperimentIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range Experiments() {

@@ -24,6 +24,12 @@ type Suite struct {
 	// without every full suite run paying for it.
 	ScaleNodes   int
 	ScaleClients int
+	// SimWorkers is passed to every discrete-event simulation the
+	// experiments run (netsim Config.Workers): 0 keeps the legacy
+	// sequential engine byte-identical with previous releases; W >= 1 runs
+	// the sharded deterministic engine, whose output is bitwise identical
+	// for every W.
+	SimWorkers int
 }
 
 // trials returns quick or full trial counts.
@@ -62,6 +68,7 @@ func Experiments() []Experiment {
 		{"E17", (*Suite).E17DynamicEpochs},
 		{"E18", (*Suite).E18Scaling},
 		{"E19", (*Suite).E19HeatDrift},
+		{"E20", (*Suite).E20FlashCrowd},
 	}
 }
 

@@ -459,6 +459,7 @@ func (s *Suite) E11Netsim() (*Table, error) {
 				Mode:              mode,
 				AccessesPerClient: accesses,
 				Seed:              s.Seed + 1100,
+				Workers:           s.SimWorkers,
 			})
 			if err != nil {
 				return nil, err

@@ -342,6 +342,15 @@ func (s *Sketch) Merge(o *Sketch) error {
 	return nil
 }
 
+// NewShard returns an empty sketch with this sketch's configuration, the
+// shape Merge requires. Parallel observers (the sharded netsim engine)
+// give each worker a shard and fold them back with Merge after the join;
+// the merge contract above makes the result bitwise identical to
+// single-stream observation.
+func (s *Sketch) NewShard() *Sketch {
+	return New(Options{EpochLen: s.epochLen, HalfLife: s.halfLife, TopK: s.topK})
+}
+
 func addCounts(dst, src []int64) []int64 {
 	dst = grow(dst, len(src)-1)
 	for i, c := range src {

@@ -49,6 +49,12 @@ type FailureConfig struct {
 	// nodes probed by failed attempts count as messages (the load landed).
 	// Nil falls back to the SetDefaultHeat sketch.
 	Heat *heat.Sketch
+	// Workers selects the engine, with the same contract as
+	// Config.Workers: 0 keeps the legacy single-stream engine
+	// byte-identical; W ≥ 1 runs the sharded engine, whose output is
+	// bitwise invariant over W (crash states are drawn from per-client
+	// streams instead of the shared stream).
+	Workers int
 }
 
 // FailureStats is the outcome of a failure-injection run.
@@ -79,6 +85,12 @@ func RunWithFailures(cfg FailureConfig) (*FailureStats, error) {
 	}
 	if cfg.MaxRetries < 0 || cfg.RetryPenalty < 0 {
 		return nil, fmt.Errorf("netsim: negative retry settings")
+	}
+	if err := validateWorkers(cfg.Workers); err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		return runFailuresSharded(cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := ins.M.N()

@@ -74,6 +74,16 @@ type Config struct {
 	// SetDefaultHeat sketch; with neither, observation is off at one nil
 	// check per access.
 	Heat *heat.Sketch
+	// Workers selects the engine. 0 (the default) runs the legacy
+	// single-threaded engine, byte-identical to previous releases. Any
+	// W ≥ 1 runs the sharded engine (parallel.go): clients are
+	// partitioned over W event wheels and results merge in canonical
+	// order, so for a fixed Seed every W ≥ 1 produces bitwise-identical
+	// Stats, traces, SLO windows, time-series samples, and heat sketches
+	// (Workers = 1 is the sharded engine's sequential reference; it
+	// differs from Workers = 0 only in RNG schedule, not in
+	// distribution). Negative values are an error.
+	Workers int
 }
 
 // Stats is the outcome of a simulation run.
@@ -246,6 +256,12 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	if cfg.InterAccessTime < 0 {
 		return nil, fmt.Errorf("netsim: negative InterAccessTime %v", cfg.InterAccessTime)
+	}
+	if err := validateWorkers(cfg.Workers); err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		return runSharded(cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := ins.M.N()

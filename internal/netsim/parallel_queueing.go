@@ -1,0 +1,619 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"quorumplace/internal/heat"
+	"quorumplace/internal/obs"
+)
+
+// Sharded engine for RunQueueing: conservative-window PDES. Unlike the
+// propagation-only simulators, queueing clients interact through the node
+// FIFOs, so the shards cannot run to completion independently. Each shard
+// owns a block of clients and the identically indexed block of nodes;
+// messages between a client and a node in different shards become
+// cross-shard events exchanged at barriers. Workers repeatedly process
+// the window [T, T+L) of virtual time, where T is the minimum pending
+// event time across shards and the lookahead L is the minimum
+// client↔hosting-node distance over cross-shard pairs: an event processed
+// at t ∈ [T, T+L) can only generate cross-shard events at t + D ≥ t + L ≥
+// T + L, outside the window, so every shard already holds all its events
+// below T+L when the window opens and processes them in canonical order.
+
+// pqEvent is an event of the sharded queueing engine. Unlike the legacy
+// queueEvent it has no insertion-order seq: ties at equal virtual time
+// break on the event identity (kind, client, access, node, slot), which
+// is a total order — no two distinct events share all five — and is the
+// same in every execution, which is what makes the windowed runs
+// bitwise-reproducible. kind 3 (response) is new relative to the legacy
+// engine: the response propagation back to the client is an explicit
+// event so it can cross shards, carrying the probe's queue-wait and
+// service time for the client-side trace.
+type pqEvent struct {
+	at        float64
+	wait, svc float64 // kind 3: queue wait and service of the answered message
+	kind      int     // 0 issue, 1 arrival, 2 service done, 3 response
+	client    int
+	access    int
+	node      int
+	slot      int // member slot within the access's quorum
+}
+
+func pqLess(a, b pqEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.client != b.client {
+		return a.client < b.client
+	}
+	if a.access != b.access {
+		return a.access < b.access
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.slot < b.slot
+}
+
+// pqHeap is a value-typed binary min-heap over the canonical event order.
+type pqHeap []pqEvent
+
+func (h *pqHeap) push(e pqEvent) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !pqLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *pqHeap) pop() pqEvent {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && pqLess(q[l], q[m]) {
+			m = l
+		}
+		if r < last && pqLess(q[r], q[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}
+
+// queueLookahead computes the conservative lookahead: the minimum
+// distance, in either direction, between a client and a quorum-hosting
+// node that live in different shards. Only hosting nodes receive or send
+// messages, so the scan is O(n·|hosting|), not O(n²).
+func queueLookahead(cfg *QueueConfig, n, W int) float64 {
+	ins := cfg.Instance
+	hosting := make([]bool, n)
+	for u := 0; u < ins.Sys.Universe(); u++ {
+		hosting[cfg.Placement.Node(u)] = true
+	}
+	L := math.Inf(1)
+	for v := 0; v < n; v++ {
+		sv := shardOfEntity(v, n, W)
+		row := ins.M.Row(v)
+		for h := 0; h < n; h++ {
+			if !hosting[h] || shardOfEntity(h, n, W) == sv {
+				continue
+			}
+			if d := row[h]; d < L {
+				L = d
+			}
+			if d := ins.M.D(h, v); d < L {
+				L = d
+			}
+		}
+	}
+	return L
+}
+
+// queueWorker is one shard of the windowed queueing engine, owning the
+// clients and nodes in [lo, hi).
+type queueWorker struct {
+	cfg         *QueueConfig
+	id          int
+	lo, hi      int
+	n           int
+	W           int
+	cdf         []float64
+	acc         float64
+	serviceMean []float64
+	rec         *Recorder
+	runID       int
+	slo         bool
+	sampleEvery int
+	traceSeed   uint64
+	ht          *heat.Sketch
+	sh          *obs.Shard
+	peers       []*queueWorker
+
+	h            pqHeap
+	clientStream []prng
+	nodeStream   []prng
+	states       []accessState // owned clients × AccessesPerClient
+	inFlight     int
+	accesses     int
+	events       int64
+	lastAt       float64
+
+	// Per-node FIFO state (owned node range only).
+	msgs         []pendingMsg
+	freeMsg      int
+	qHead, qTail []int
+	qLen         []int
+	busy         []bool
+	busyTime     []float64
+	waitPerNode  []float64
+	msgCount     int
+	maxNodeQueue int
+	nodeHits     []int64
+
+	// outbox[d] buffers events destined for shard d, handed over at the
+	// next barrier.
+	outbox [][]pqEvent
+
+	latBuf   []latRec
+	traces   []keyedTrace
+	ts       *tsState
+	tsBuf    []TSample
+	accNodes []int
+}
+
+// owner returns the shard that owns an event: node events (arrival,
+// service) belong to the node's shard, client events (issue, response) to
+// the client's.
+func (w *queueWorker) owner(e *pqEvent) int {
+	if e.kind == 1 || e.kind == 2 {
+		return shardOfEntity(e.node, w.n, w.W)
+	}
+	return shardOfEntity(e.client, w.n, w.W)
+}
+
+// send routes an event to its owning shard: the local heap, or the
+// outbox for delivery at the next barrier.
+func (w *queueWorker) send(e pqEvent) {
+	if d := w.owner(&e); d != w.id {
+		w.outbox[d] = append(w.outbox[d], e)
+		return
+	}
+	w.h.push(e)
+}
+
+// seed precomputes the owned clients' Poisson issue schedules from their
+// private streams and initializes the node service streams.
+func (w *queueWorker) seed() {
+	cfg := w.cfg
+	for i := range w.clientStream {
+		w.clientStream[i] = newPRNG(cfg.Seed, streamAccess, w.lo+i)
+	}
+	for i := range w.nodeStream {
+		w.nodeStream[i] = newPRNG(cfg.Seed, streamService, w.lo+i)
+	}
+	for v := w.lo; v < w.hi; v++ {
+		st := &w.clientStream[v-w.lo]
+		t := 0.0
+		for a := 0; a < cfg.AccessesPerClient; a++ {
+			t += st.ExpFloat64() / cfg.ArrivalRate
+			w.h.push(pqEvent{at: t, kind: 0, client: v, access: a})
+		}
+	}
+	for v := w.lo; v < w.hi; v++ {
+		w.qHead[v-w.lo], w.qTail[v-w.lo] = -1, -1
+	}
+	w.freeMsg = -1
+}
+
+// ingest drains every peer's outbox row for this shard into the local
+// heap. Called inside a barrier phase: peers filled the rows during the
+// previous process phase and will not touch them again until after this
+// phase completes.
+func (w *queueWorker) ingest() {
+	for _, p := range w.peers {
+		if p == w {
+			continue
+		}
+		for _, e := range p.outbox[w.id] {
+			w.h.push(e)
+		}
+	}
+}
+
+// top returns the time of the earliest pending local event, or +Inf.
+func (w *queueWorker) top() float64 {
+	if len(w.h) == 0 {
+		return math.Inf(1)
+	}
+	return w.h[0].at
+}
+
+func (w *queueWorker) allocMsg(m pendingMsg) int {
+	if i := w.freeMsg; i >= 0 {
+		w.freeMsg = w.msgs[i].next
+		w.msgs[i] = m
+		return i
+	}
+	w.msgs = append(w.msgs, m)
+	return len(w.msgs) - 1
+}
+
+func (w *queueWorker) enqueue(v int, m pendingMsg) {
+	m.next = -1
+	i := w.allocMsg(m)
+	r := v - w.lo
+	if w.qTail[r] < 0 {
+		w.qHead[r] = i
+	} else {
+		w.msgs[w.qTail[r]].next = i
+	}
+	w.qTail[r] = i
+	w.qLen[r]++
+}
+
+func (w *queueWorker) dequeue(v int) {
+	r := v - w.lo
+	i := w.qHead[r]
+	w.qHead[r] = w.msgs[i].next
+	if w.qHead[r] < 0 {
+		w.qTail[r] = -1
+	}
+	w.qLen[r]--
+	w.msgs[i].next = w.freeMsg
+	w.freeMsg = i
+}
+
+func (w *queueWorker) startService(v int, now float64) {
+	r := v - w.lo
+	if w.busy[r] || w.qLen[r] == 0 {
+		return
+	}
+	w.busy[r] = true
+	msg := w.msgs[w.qHead[r]]
+	wait := now - msg.arrivedAt
+	w.waitPerNode[r] += wait
+	w.msgCount++
+	svc := 0.0
+	if w.serviceMean[v] > 0 {
+		svc = w.nodeStream[r].ExpFloat64() * w.serviceMean[v]
+	}
+	w.busyTime[r] += svc
+	w.send(pqEvent{at: now + svc, wait: wait, svc: svc, kind: 2,
+		client: msg.client, access: msg.access, node: v, slot: msg.slot})
+}
+
+// fillSample populates one time-series boundary with this shard's share
+// of the gauges (own clients' in-flight/completed counts, own nodes' hit
+// counts and queue depths); boundaries merge additively across shards.
+func (w *queueWorker) fillSample(at float64, s *TSample) {
+	s.InFlight = w.inFlight
+	s.Accesses = w.accesses
+	s.NodeHits = append([]int64(nil), w.nodeHits...)
+	depth := make([]int, w.n)
+	copy(depth[w.lo:w.hi], w.qLen)
+	s.QueueDepth = depth
+}
+
+// process runs every pending local event with at < limit, buffering
+// cross-shard sends. Within the window all of the shard's events below
+// limit are present (the conservative-window invariant), so popping the
+// canonical heap processes them in exactly the order a single global
+// canonical heap would.
+func (w *queueWorker) process(limit float64) {
+	cfg := w.cfg
+	ins := cfg.Instance
+	nQ := ins.Sys.NumQuorums()
+	for len(w.h) > 0 && w.h[0].at < limit {
+		e := w.h.pop()
+		w.events++
+		if w.ts != nil {
+			w.ts.advance(e.at, w.fillSample)
+		}
+		w.lastAt = e.at
+		switch e.kind {
+		case 0: // client issues an access
+			st := &w.states[(e.client-w.lo)*cfg.AccessesPerClient+e.access]
+			cs := &w.clientStream[e.client-w.lo]
+			qi := sort.SearchFloat64s(w.cdf, cs.Float64()*w.acc)
+			if qi >= nQ {
+				qi = nQ - 1
+			}
+			row := ins.M.Row(e.client)
+			q := ins.Sys.Quorum(qi)
+			st.remaining = len(q)
+			st.issuedAt = e.at
+			st.lastResp = 0
+			w.inFlight++
+			if w.rec != nil && shouldTraceDet(w.traceSeed, e.client, e.access, w.sampleEvery) {
+				st.tr = &AccessTrace{Run: w.runID, Client: e.client, Quorum: qi, Start: e.at}
+				st.tr.Probes = make([]ProbeSpan, len(q))
+			}
+			w.accNodes = w.accNodes[:0]
+			for slot, u := range q {
+				node := cfg.Placement.Node(u)
+				if st.tr != nil {
+					st.tr.Probes[slot] = ProbeSpan{
+						Member: u, Node: node, Dispatch: e.at,
+						NetDelay: row[node] + ins.M.D(node, e.client),
+					}
+				}
+				if w.accNodes != nil {
+					w.accNodes = append(w.accNodes, node)
+				}
+				w.send(pqEvent{at: e.at + row[node], kind: 1,
+					client: e.client, access: e.access, node: node, slot: slot})
+			}
+			if w.slo {
+				w.rec.sloNodeHits(w.runID, e.at, w.accNodes)
+			}
+			if w.ht != nil {
+				w.ht.Observe(e.at, e.client, w.accNodes)
+			}
+		case 1: // message arrives at an owned node's queue
+			w.enqueue(e.node, pendingMsg{
+				client: e.client, access: e.access, arrivedAt: e.at, slot: e.slot,
+			})
+			w.nodeHits[e.node]++
+			if w.qLen[e.node-w.lo] > w.maxNodeQueue {
+				w.maxNodeQueue = w.qLen[e.node-w.lo]
+			}
+			w.startService(e.node, e.at)
+		case 2: // service completes; response propagates back to the client
+			w.dequeue(e.node)
+			w.busy[e.node-w.lo] = false
+			w.startService(e.node, e.at)
+			w.send(pqEvent{at: e.at + ins.M.D(e.node, e.client),
+				wait: e.wait, svc: e.svc, kind: 3,
+				client: e.client, access: e.access, node: e.node, slot: e.slot})
+		case 3: // response reaches the client
+			st := &w.states[(e.client-w.lo)*cfg.AccessesPerClient+e.access]
+			st.remaining--
+			if st.tr != nil {
+				p := &st.tr.Probes[e.slot]
+				p.QueueWait = e.wait
+				p.Service = e.svc
+				p.Complete = e.at
+			}
+			if e.at > st.lastResp {
+				st.lastResp = e.at
+			}
+			if st.remaining == 0 {
+				w.accesses++
+				lat := st.lastResp - st.issuedAt
+				w.latBuf = append(w.latBuf, latRec{at: st.lastResp, lat: lat, client: int32(e.client)})
+				w.sh.Observe("netsim.access_latency", lat)
+				if w.slo {
+					w.rec.sloAccess(w.runID, st.lastResp, lat, 0, false, nil)
+				}
+				if st.tr != nil {
+					st.tr.End = st.lastResp
+					st.tr.Latency = lat
+					markStraggler(st.tr)
+					w.traces = append(w.traces, keyedTrace{at: st.lastResp, client: e.client, access: e.access, tr: *st.tr})
+					st.tr = nil
+				}
+				w.inFlight--
+			}
+		}
+	}
+}
+
+// qCmd is one barrier phase instruction from the coordinator.
+type qCmd struct {
+	op    int     // 0 = ingest + report top, 1 = process window
+	limit float64 // window end for op 1
+}
+
+// runQueueingSharded is the Workers > 0 engine behind RunQueueing.
+func runQueueingSharded(cfg QueueConfig) (*QueueStats, error) {
+	ins := cfg.Instance
+	n := ins.M.N()
+	cdf, acc := quorumCDF(ins)
+	serviceMean := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if ins.Cap[v] > 0 {
+			serviceMean[v] = cfg.ServiceMean / ins.Cap[v]
+		}
+	}
+	W := clampWorkers(cfg.Workers, n)
+	L := math.Inf(1)
+	if W > 1 {
+		L = queueLookahead(&cfg, n, W)
+		if L <= 0 {
+			// A zero-distance cross-shard pair admits no safe window. Fall
+			// back to one shard: by partition independence the single-shard
+			// run produces the same bits as any windowed run would.
+			W = 1
+			L = math.Inf(1)
+		}
+	}
+
+	sp := obs.Start("netsim.queueing")
+	defer sp.End()
+
+	rec := recorderFor(cfg.Recorder)
+	runID := 0
+	if rec != nil {
+		runID = rec.beginRun()
+	}
+	slo := rec != nil && rec.sloEnabled()
+	if slo {
+		rec.sloSetNodes(runID, n)
+	}
+	sampleEvery := 1
+	if rec != nil {
+		sampleEvery = rec.sampleEveryN()
+	}
+	ht := heatFor(cfg.Heat)
+	shards := heatShards(ht, W)
+	traceSeed := traceSeedFor(cfg.Seed)
+
+	ws := make([]*queueWorker, W)
+	for i := 0; i < W; i++ {
+		lo, hi := i*n/W, (i+1)*n/W
+		w := &queueWorker{
+			cfg: &cfg, id: i, lo: lo, hi: hi, n: n, W: W,
+			cdf: cdf, acc: acc, serviceMean: serviceMean,
+			rec: rec, runID: runID, slo: slo,
+			sampleEvery: sampleEvery, traceSeed: traceSeed,
+			sh:           obs.NewShard(sp),
+			clientStream: make([]prng, hi-lo),
+			nodeStream:   make([]prng, hi-lo),
+			states:       make([]accessState, (hi-lo)*cfg.AccessesPerClient),
+			qHead:        make([]int, hi-lo),
+			qTail:        make([]int, hi-lo),
+			qLen:         make([]int, hi-lo),
+			busy:         make([]bool, hi-lo),
+			busyTime:     make([]float64, hi-lo),
+			waitPerNode:  make([]float64, hi-lo),
+			nodeHits:     make([]int64, n),
+			outbox:       make([][]pqEvent, W),
+		}
+		if ht != nil {
+			w.ht = shards[i]
+		}
+		if slo || w.ht != nil {
+			w.accNodes = make([]int, 0, 16)
+		}
+		w.ts = newTSStateSink(rec, runID, func(s TSample) { w.tsBuf = append(w.tsBuf, s) })
+		ws[i] = w
+	}
+	for _, w := range ws {
+		w.peers = ws
+	}
+
+	var rounds int64
+	if W == 1 {
+		w := ws[0]
+		w.seed()
+		w.process(math.Inf(1))
+	} else {
+		cmds := make([]chan qCmd, W)
+		acks := make(chan int, W)
+		var wg sync.WaitGroup
+		for i, w := range ws {
+			cmds[i] = make(chan qCmd)
+			wg.Add(1)
+			go func(w *queueWorker, cmd <-chan qCmd) {
+				defer wg.Done()
+				w.seed()
+				for c := range cmd {
+					if c.op == 0 {
+						w.ingest()
+					} else {
+						for d := range w.outbox {
+							w.outbox[d] = w.outbox[d][:0]
+						}
+						w.process(c.limit)
+					}
+					acks <- w.id
+				}
+			}(w, cmds[i])
+		}
+		barrier := func(c qCmd) {
+			for _, ch := range cmds {
+				ch <- c
+			}
+			for range cmds {
+				<-acks
+			}
+		}
+		for {
+			barrier(qCmd{op: 0})
+			T := math.Inf(1)
+			for _, w := range ws {
+				if t := w.top(); t < T {
+					T = t
+				}
+			}
+			if math.IsInf(T, 1) {
+				break
+			}
+			barrier(qCmd{op: 1, limit: T + L})
+			rounds++
+		}
+		for _, ch := range cmds {
+			close(ch)
+		}
+		wg.Wait()
+	}
+	obs.Count("netsim.pdes_rounds", rounds)
+
+	stats := &QueueStats{Utilization: make([]float64, n)}
+	maxAt := 0.0
+	for _, w := range ws {
+		if w.lastAt > maxAt {
+			maxAt = w.lastAt
+		}
+	}
+	latBufs := make([][]latRec, W)
+	traceBufs := make([][]keyedTrace, W)
+	tsBufs := make([][]TSample, W)
+	var msgCount int
+	for i, w := range ws {
+		if w.ts != nil {
+			w.ts.advance(maxAt, w.fillSample)
+		}
+		stats.Accesses += w.accesses
+		msgCount += w.msgCount
+		latBufs[i] = w.latBuf
+		traceBufs[i] = w.traces
+		tsBufs[i] = w.tsBuf
+		w.sh.Count("netsim.events", w.events)
+		w.sh.GaugeMax("netsim.max_queue_depth", float64(w.maxNodeQueue))
+		w.sh.Merge()
+	}
+	stats.Clock = maxAt
+	// Per-node float accumulators fold in node index order — the same fold
+	// for every partition.
+	var waitSum float64
+	for v := 0; v < n; v++ {
+		w := ws[shardOfEntity(v, n, W)]
+		waitSum += w.waitPerNode[v-w.lo]
+	}
+	var scratch Stats
+	latencySum := mergeLatRecs(&scratch, latBufs)
+	if stats.Accesses > 0 {
+		stats.AvgLatency = latencySum / float64(stats.Accesses)
+	}
+	if msgCount > 0 {
+		stats.AvgWait = waitSum / float64(msgCount)
+	}
+	if stats.Clock > 0 {
+		for v := 0; v < n; v++ {
+			w := ws[shardOfEntity(v, n, W)]
+			stats.Utilization[v] = w.busyTime[v-w.lo] / stats.Clock
+		}
+	}
+	if rec != nil {
+		traced := mergeTraces(rec, traceBufs)
+		obs.Count("netsim.traced_accesses", traced)
+		mergeSamples(rec, tsBufs)
+	}
+	if err := mergeHeatShards(ht, shards); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}

@@ -48,6 +48,14 @@ type QueueConfig struct {
 	// its issue time (when the load lands on the node queues). Nil falls
 	// back to the SetDefaultHeat sketch.
 	Heat *heat.Sketch
+	// Workers selects the engine, with the same contract as
+	// Config.Workers: 0 keeps the legacy single-stream engine
+	// byte-identical; W ≥ 1 runs the conservative-window sharded engine
+	// (parallel_queueing.go), whose output is bitwise invariant over W.
+	// Relative to Workers = 0, the sharded schedule models response
+	// propagation as explicit events, so Clock also covers the final
+	// response's flight time.
+	Workers int
 }
 
 // QueueStats is the outcome of a queueing simulation.
@@ -160,6 +168,12 @@ func RunQueueing(cfg QueueConfig) (*QueueStats, error) {
 	}
 	if cfg.ServiceMean < 0 {
 		return nil, fmt.Errorf("netsim: negative ServiceMean %v", cfg.ServiceMean)
+	}
+	if err := validateWorkers(cfg.Workers); err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		return runQueueingSharded(cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := ins.M.N()

@@ -63,6 +63,13 @@ type TSample struct {
 // a capacity.
 const defaultTraceCapacity = 4096
 
+// defaultSeriesCap bounds the time-series sample buffer. Traces already
+// live in a fixed ring, but the series grew one sample per interval
+// boundary for as long as a run lasted — a 10⁷-access run at a fine
+// interval could swamp the Perfetto export. Past the cap new samples are
+// counted as dropped instead of retained, keeping exports bounded.
+const defaultSeriesCap = 1 << 16
+
 // Recorder captures per-access traces and time-series samples from
 // simulation runs into a bounded ring buffer. It is safe for concurrent use
 // and may be shared by several runs (each run gets its own run index).
@@ -72,16 +79,18 @@ type Recorder struct {
 	sampleEvery int
 	tsInterval  float64
 
-	mu        sync.Mutex
-	capacity  int
-	ring      []AccessTrace
-	next      int   // ring write cursor
-	added     int64 // traces ever recorded (incl. overwritten)
-	seen      int64 // accesses considered for sampling
-	runs      int
-	nextLabel string
-	labels    map[int]string
-	series    []TSample
+	mu            sync.Mutex
+	capacity      int
+	ring          []AccessTrace
+	next          int   // ring write cursor
+	added         int64 // traces ever recorded (incl. overwritten)
+	seen          int64 // accesses considered for sampling
+	runs          int
+	nextLabel     string
+	labels        map[int]string
+	series        []TSample
+	seriesCap     int
+	seriesDropped int64
 	// free recycles the Probes backing arrays of overwritten ring entries
 	// back to the simulators (getProbes), so a saturated ring stops
 	// allocating probe slices. Bounded: each overwrite donates one slice and
@@ -112,8 +121,58 @@ func NewRecorder(capacity, sampleEvery int, tsInterval float64) *Recorder {
 		sampleEvery: sampleEvery,
 		tsInterval:  tsInterval,
 		capacity:    capacity,
+		seriesCap:   defaultSeriesCap,
 		labels:      make(map[int]string),
 	}
+}
+
+// SetSeriesCap bounds how many time-series samples the recorder retains
+// (≤ 0 removes the bound). Samples arriving past the cap are dropped and
+// counted; see SeriesDropped.
+func (r *Recorder) SetSeriesCap(max int) {
+	r.mu.Lock()
+	r.seriesCap = max
+	r.mu.Unlock()
+}
+
+// SeriesDropped returns how many time-series samples the cap discarded.
+func (r *Recorder) SeriesDropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesDropped
+}
+
+// sampleEveryN returns the recorder's 1-in-k trace sampling divisor
+// (immutable after construction; the sharded engine folds it into its
+// deterministic sampling hash).
+func (r *Recorder) sampleEveryN() int {
+	return r.sampleEvery
+}
+
+// Trace-sampling presets for -trace-sample flags: named rates for the two
+// regimes operators actually pick — "fine" keeps enough per-access detail
+// to diagnose a placement (1 in 16), "coarse" keeps Perfetto exports of
+// multi-million-access parallel runs small (1 in 1024).
+const (
+	TraceSampleFine   = 16
+	TraceSampleCoarse = 1024
+)
+
+// ParseTraceSample parses a -trace-sample flag value: a positive integer
+// k (trace every k-th access; 1 = all) or a preset name, "fine" (1 in
+// 16) or "coarse" (1 in 1024).
+func ParseTraceSample(s string) (int, error) {
+	switch s {
+	case "fine":
+		return TraceSampleFine, nil
+	case "coarse":
+		return TraceSampleCoarse, nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(s, "%d", &k); err != nil || k < 1 {
+		return 0, fmt.Errorf("netsim: trace sample %q is neither a positive integer nor a preset (fine, coarse)", s)
+	}
+	return k, nil
 }
 
 // NextRunLabel sets the human-readable label attached to the next run that
@@ -189,10 +248,15 @@ func (r *Recorder) getProbes(n int) []ProbeSpan {
 	return s
 }
 
-// addSample appends one time-series sample.
+// addSample appends one time-series sample, or counts it as dropped once
+// the series cap is reached.
 func (r *Recorder) addSample(s TSample) {
 	r.mu.Lock()
-	r.series = append(r.series, s)
+	if r.seriesCap > 0 && len(r.series) >= r.seriesCap {
+		r.seriesDropped++
+	} else {
+		r.series = append(r.series, s)
+	}
 	r.mu.Unlock()
 }
 
@@ -315,6 +379,11 @@ type tsState struct {
 	run      int
 	interval float64
 	next     float64
+	// emit, when non-nil, receives samples instead of rec.addSample. The
+	// sharded engine points it at a worker-local buffer: every worker
+	// walks the identical boundary sequence, so buffered samples merge
+	// boundary-by-boundary after the join (mergeSamples).
+	emit func(TSample)
 	// completion-time min-heap of in-flight accesses (propagation sims,
 	// where completion is not itself an event).
 	done fheap
@@ -327,13 +396,27 @@ func newTSState(rec *Recorder, run int) *tsState {
 	return &tsState{rec: rec, run: run, interval: rec.tsInterval, next: rec.tsInterval}
 }
 
+// newTSStateSink is newTSState with samples routed to emit instead of the
+// recorder's shared series.
+func newTSStateSink(rec *Recorder, run int, emit func(TSample)) *tsState {
+	t := newTSState(rec, run)
+	if t != nil {
+		t.emit = emit
+	}
+	return t
+}
+
 // advance emits samples for every boundary ≤ now; fill populates the
 // per-simulator gauges of the sample (queue depths, in-flight count).
 func (t *tsState) advance(now float64, fill func(at float64, s *TSample)) {
 	for t.next <= now {
 		s := TSample{Run: t.run, At: t.next}
 		fill(t.next, &s)
-		t.rec.addSample(s)
+		if t.emit != nil {
+			t.emit(s)
+		} else {
+			t.rec.addSample(s)
+		}
 		t.next += t.interval
 	}
 }

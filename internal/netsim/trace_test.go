@@ -444,3 +444,57 @@ func TestPercentileCaching(t *testing.T) {
 		t.Fatalf("max after append = %v, want 4", got)
 	}
 }
+
+// TestChromeTracePresetGolden pins the trace output of the "fine" sampling
+// preset under the sharded engine: a seeded Workers=2 run sampled at
+// ParseTraceSample("fine") must export byte-identical Chrome trace JSON to
+// the golden file, and the bytes must not move with the worker count — the
+// deterministic hash-based sampler ties traces to (client, access), not to
+// the shard that simulated them. Regenerate with -update.
+func TestChromeTracePresetGolden(t *testing.T) {
+	every, err := ParseTraceSample("fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if every != TraceSampleFine {
+		t.Fatalf("fine preset = %d, want %d", every, TraceSampleFine)
+	}
+	ins, p := buildInstance(t)
+	export := func(workers int) []byte {
+		rec := NewRecorder(0, every, 0)
+		if _, err := Run(Config{
+			Instance: ins, Placement: p, Mode: Parallel,
+			AccessesPerClient: 64, InterAccessTime: 0.3, Seed: 42,
+			Recorder: rec, Workers: workers,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Traces()) == 0 {
+			t.Fatalf("workers=%d: fine preset sampled no traces", workers)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := export(2)
+	golden := filepath.Join("testdata", "chrometrace_fine_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fine-preset trace differs from golden (len %d vs %d); regenerate with -update if intended",
+			len(got), len(want))
+	}
+	if other := export(5); !bytes.Equal(got, other) {
+		t.Fatalf("fine-preset trace depends on worker count: workers=2 len %d, workers=5 len %d",
+			len(got), len(other))
+	}
+}

@@ -329,6 +329,19 @@ func NewSimRecorder(capacity, sampleEvery int, tsInterval float64) *SimRecorder 
 // simulations buried in call stacks such as the experiment suite.
 func SetDefaultSimRecorder(r *SimRecorder) { netsim.SetDefaultRecorder(r) }
 
+// Trace-sampling presets for -trace-sample flags: "fine" keeps enough
+// per-access detail to diagnose a placement, "coarse" keeps Perfetto
+// exports of multi-million-access parallel runs small.
+const (
+	SimTraceSampleFine   = netsim.TraceSampleFine
+	SimTraceSampleCoarse = netsim.TraceSampleCoarse
+)
+
+// ParseSimTraceSample parses a -trace-sample flag value: a positive
+// integer k (trace every k-th access) or a preset name, "fine" (1 in 16)
+// or "coarse" (1 in 1024).
+func ParseSimTraceSample(s string) (int, error) { return netsim.ParseTraceSample(s) }
+
 // ChromeTrace accumulates events in the Chrome trace-event format that
 // Perfetto (ui.perfetto.dev) and chrome://tracing load; recorder contents
 // and telemetry snapshots can be appended into one file.

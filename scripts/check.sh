@@ -70,9 +70,11 @@ BENCHTIME=0.05s OUT=/tmp/bench_check.json NO_ARCHIVE=1 ./scripts/bench.sh >/dev/
 # iterations at 0.05s benchtime that one-time setup dominates allocs/op,
 # hence its wider band. The pr8 baseline includes the heat-sketch
 # benchmarks, so their allocation profile (Observe: zero per op) is gated
-# here too.
+# here too. BenchmarkE15Queueing enables telemetry as of pr9 (it reports
+# events/sec from the counter plane), which adds the span + run-local
+# histogram allocations on top of the 13-alloc hot loop — hence its band.
 go run ./cmd/benchdiff -ignore-ns -allocs-threshold 0.5 \
-    -allocs-per 'BenchmarkAblationLPScaling/k=5=1.0' \
+    -allocs-per 'BenchmarkAblationLPScaling/k=5=1.0,BenchmarkE15Queueing=1.0' \
     -metric 'p99_delay=0.02,p999_delay=0.02' BENCH_2026-08-07-pr8.json /tmp/bench_check.json
 go run ./cmd/benchdiff -per 'BenchmarkE11NetsimValidation=0.02,BenchmarkE3TotalDelay=0.30' BENCH_2026-08-06.json BENCH_2026-08-06-pr3.json
 go run ./cmd/benchdiff -ignore-ns BENCH_2026-08-06-pr3.json BENCH_2026-08-06-pr4.json
@@ -103,10 +105,26 @@ go run ./cmd/benchdiff -ignore-ns -allocs-per 'BenchmarkMetricBuild=10.0,Benchma
 go run ./cmd/benchdiff -threshold 10 -per 'BenchmarkE11NetsimValidation=0.02' \
     -allocs-per 'BenchmarkAblationLPScaling/k=5=1.0,BenchmarkParallelQPP/workers=2=0.01,BenchmarkParallelQPP/workers=8=0.01' \
     BENCH_2026-08-07-pr7.json BENCH_2026-08-07-pr8.json
+# pr8 -> pr9 shards the simulators (Config.Workers); the sequential
+# Workers=0 paths are untouched, so the fixed-seed delay quantiles must
+# stay inside the bucketing band and disabled-path allocations stay exact.
+# E15Queueing's band covers its newly enabled telemetry (see above); the
+# BenchmarkParallelNetsim family is new in pr9 (noted, not gated).
+go run ./cmd/benchdiff -ignore-ns \
+    -allocs-per 'BenchmarkAblationLPScaling/k=5=1.0,BenchmarkE15Queueing=1.0,BenchmarkParallelQPP/workers=2=0.01,BenchmarkParallelQPP/workers=8=0.01' \
+    -metric 'p99_delay=0.02,p999_delay=0.02' \
+    BENCH_2026-08-07-pr8.json BENCH_2026-08-07-pr9.json
 
-echo "== perf gate (parallel QPP speedup; skipped below 4 CPUs)"
+echo "== perf gate (parallel QPP + netsim speedup; skipped below 4 CPUs)"
 go run ./cmd/benchdiff -min-cpus 4 \
     -speedup 'BenchmarkParallelQPP/workers=1:BenchmarkParallelQPP/workers=4:1.8' \
+    /tmp/bench_check.json
+# The sharded netsim must buy >=2x events/sec at 4 workers on the
+# propagation simulator (the pure-engine path: no failure draws, no
+# queueing windows). Keyed off the snapshot's recorded maxprocs so
+# single-core runners skip the gate instead of failing it.
+go run ./cmd/benchdiff -min-cpus 4 \
+    -speedup 'BenchmarkParallelNetsim/sim=run/workers=1:BenchmarkParallelNetsim/sim=run/workers=4:2.0' \
     /tmp/bench_check.json
 
 echo "== perf gate (client-scaling ratio and tree-DP wall-clock ceiling)"
