@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	qp "quorumplace"
+)
+
+func runQuorumd(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+// TestServerDeterministic pins the replay contract: two server-mode runs
+// with the same flags produce identical stdout (the announced HTTP address
+// goes to stderr precisely so port 0 cannot leak in).
+func TestServerDeterministic(t *testing.T) {
+	args := []string{"-nodes", "10", "-grid", "2", "-ticks", "6", "-accesses", "150", "-seed", "3"}
+	outA, _, err := runQuorumd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, _, err := runQuorumd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outA != outB {
+		t.Fatalf("tick logs differ between identical runs:\n--- A ---\n%s--- B ---\n%s", outA, outB)
+	}
+	if !strings.Contains(outA, "tick") || !strings.Contains(outA, "final:") {
+		t.Fatalf("unexpected output:\n%s", outA)
+	}
+}
+
+// TestServerWithAddr binds the control API during the tick loop and checks
+// the bound address is announced on stderr, not stdout.
+func TestServerWithAddr(t *testing.T) {
+	out, errOut, err := runQuorumd(t,
+		"-nodes", "10", "-grid", "2", "-ticks", "2", "-accesses", "50",
+		"-addr", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "serving control API on http://127.0.0.1:") {
+		t.Fatalf("no address announcement on stderr:\n%s", errOut)
+	}
+	if strings.Contains(out, "127.0.0.1") {
+		t.Fatalf("bound address leaked into stdout:\n%s", out)
+	}
+}
+
+// TestClientFlow runs the client verbs against an in-process daemon.
+func TestClientFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := qp.RandomGeometric(10, 0.6, rng)
+	m, err := qp.NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := qp.Grid(2)
+	caps := make([]float64, 10)
+	for i := range caps {
+		caps[i] = 1.6
+	}
+	ins, err := qp.NewInstance(m, caps, sys, qp.Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := qp.RandomFeasiblePlacement(ins, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := qp.NewDaemon(qp.DaemonConfig{Instance: ins, Initial: initial, Shards: 2, Lambda: 0.5, AlwaysReplan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := d.Serve(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	out, _, err := runQuorumd(t, "-target", base, "-apply")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"seq": 0`) {
+		t.Fatalf("apply output:\n%s", out)
+	}
+	if got := len(d.Ticks()); got != 1 {
+		t.Fatalf("daemon ran %d ticks after -apply, want 1", got)
+	}
+
+	out, _, err = runQuorumd(t, "-target", base, "-set-lambda", "2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lambda set to 2.5") || d.Lambda() != 2.5 {
+		t.Fatalf("set-lambda failed: out=%q lambda=%v", out, d.Lambda())
+	}
+	if _, _, err := runQuorumd(t, "-target", base, "-set-lambda", "-1"); err == nil {
+		t.Fatal("negative -set-lambda accepted")
+	}
+
+	out, _, err = runQuorumd(t, "-target", base, "-inspect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"shards 2", "λ=2.5", "ticks 1", "drift TV"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlagValidation covers the rejection paths of both modes.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-inspect"},         // client verb without target
+		{"-apply"},           //
+		{"-set-lambda", "1"}, //
+		{"-target", "http://x", "-inspect", "-apply"}, // two verbs
+		{"-target", "http://x"},                       // no verb
+		{"-ticks", "0"},                               // bad loop
+		{"-ramp", "1.5"},                              // bad ramp
+		{"-accesses", "-1"},                           //
+		{"-nodes", "3", "-grid", "2"},                 // universe larger than network
+		{"positional"},                                // stray arg
+	}
+	for _, args := range cases {
+		if _, _, err := runQuorumd(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

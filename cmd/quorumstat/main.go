@@ -99,6 +99,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Flags explicitly set on the command line, so dependent flags are
+	// rejected (not silently ignored) even when set to their default value.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["metrics-hold"] && *metricsAddr == "" {
+		return fmt.Errorf("-metrics-hold requires -metrics-addr")
+	}
+	if set["trace-sample"] && *traceOut == "" {
+		return fmt.Errorf("-trace-sample requires -trace-out")
+	}
+	if set["timeseries"] && *traceOut == "" {
+		return fmt.Errorf("-timeseries requires -trace-out")
+	}
+	if set["slo-window"] && *sloSpec == "" {
+		return fmt.Errorf("-slo-window requires -slo")
+	}
 
 	ps, err := parseProbs(*probs)
 	if err != nil {

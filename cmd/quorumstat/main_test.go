@@ -118,6 +118,37 @@ func TestRunBadArgs(t *testing.T) {
 	}
 }
 
+// TestRunDependentFlagsRejected is the regression test for the silent-flag
+// bug: flags that only act alongside another flag used to be ignored when
+// that flag was absent, hiding typos. They must be rejected instead — even
+// when the given value happens to equal the default.
+func TestRunDependentFlagsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"-metrics-hold without -metrics-addr", []string{"-metrics-hold", "5s"}},
+		{"-metrics-hold at default without -metrics-addr", []string{"-metrics-hold", "0s"}},
+		{"-trace-sample without -trace-out", []string{"-sim", "10", "-trace-sample", "fine"}},
+		{"-timeseries without -trace-out", []string{"-sim", "10", "-timeseries", "5"}},
+		{"-slo-window without -slo", []string{"-sim", "10", "-slo-window", "30"}},
+		{"-slo-window at default without -slo", []string{"-sim", "10", "-slo-window", "25"}},
+		{"-drift-threshold without -heat", []string{"-sim", "10", "-drift-threshold", "0.5"}},
+	}
+	for _, tc := range cases {
+		buf.Reset()
+		if err := run(tc.args, &buf, &buf); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	// Sanity: the same flags in their full combinations still work
+	// (covered functionally elsewhere; here just the validation gate).
+	if err := run([]string{"-system", "grid:2", "-p", "0.1"}, &buf, &buf); err != nil {
+		t.Fatalf("plain run broken by flag validation: %v", err)
+	}
+}
+
 // TestRunClientsAndLandmarks drives the demand-aggregation and sparse-metric
 // reporting paths: an aggregated client population changes the simulated
 // latency digest (the placement objective and access mix are reweighted),

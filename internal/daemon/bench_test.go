@@ -1,0 +1,99 @@
+package daemon
+
+import (
+	"math/rand"
+	"testing"
+
+	"quorumplace/internal/graph"
+	"quorumplace/internal/placement"
+	"quorumplace/internal/quorum"
+)
+
+// benchDaemon builds a steady-state daemon over a mid-size instance
+// (universe 16, 32 nodes) with a single shard, so every tick re-solves the
+// full shard LP — the shape both benchmark modes share.
+func benchDaemon(b *testing.B) *Daemon {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	n := 32
+	g := graph.ErdosRenyiConnected(n, 0.25, 1, 4, rng)
+	m, err := graph.NewMetricFromGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := quorum.Majority(16, 9)
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 1.2
+	}
+	ins, err := placement.NewInstance(m, caps, sys, quorum.Uniform(sys.NumQuorums()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial, err := placement.RandomFeasiblePlacement(ins, rng, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := New(Config{
+		Instance:     ins,
+		Initial:      initial,
+		Shards:       1,
+		Lambda:       0.5,
+		AlwaysReplan: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A deterministic hot-spot so the tick has real drift to chew on.
+	for i := 0; i < 64; i++ {
+		d.Observe(0.1*float64(i), i%3, []int{i % 16})
+	}
+	return d
+}
+
+// BenchmarkDaemonTick measures one control-loop tick in steady-state repair
+// mode. mode=cold discards the retained LP basis before every tick (every
+// solve rebuilds the tableau and runs phase 1); mode=warm reuses the basis
+// recorded by the previous tick. The CI speedup gate pins warm ≥ 3× cold.
+func BenchmarkDaemonTick(b *testing.B) {
+	b.Run("mode=cold", func(b *testing.B) {
+		d := benchDaemon(b)
+		if _, err := d.Tick(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.ResetWarm()
+			if _, err := d.Tick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=warm", func(b *testing.B) {
+		d := benchDaemon(b)
+		// Warm-up until the loop reaches steady state: the first tick is
+		// necessarily cold, and a tick that still moves elements changes
+		// the residual capacities enough to force the next solve cold too.
+		warmed := false
+		for i := 0; i < 8 && !warmed; i++ {
+			rec, err := d.Tick()
+			if err != nil {
+				b.Fatal(err)
+			}
+			warmed = rec.Warm
+		}
+		if !warmed {
+			b.Fatal("daemon never reached a warm steady state")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec, err := d.Tick()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rec.Warm {
+				b.Fatal("steady-state tick fell back to cold")
+			}
+		}
+	})
+}

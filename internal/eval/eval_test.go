@@ -166,6 +166,66 @@ func TestE20FlashCrowdParSeq(t *testing.T) {
 	}
 }
 
+// TestE21DaemonDriftRamp pins the control-loop claims of E21: every epoch
+// replays bitwise-identically across two full pipeline copies, the drift
+// alert trips once the ramp holds and arms a re-plan cycle that actually
+// moves elements, warm-started ticks appear within the run, and the
+// simulated tail recovers after the cycle relative to its peak.
+// Deterministic per seed.
+func TestE21DaemonDriftRamp(t *testing.T) {
+	s := &Suite{Seed: 1, Quick: true}
+	tab, err := s.E21DaemonDriftRamp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 6 {
+		t.Fatalf("E21 has %d epochs, want >= 6", len(tab.Rows))
+	}
+	const alertCol, warmCol, movesCol, p99Col, replayCol = 3, 5, 6, 8, 9
+	for k, row := range tab.Rows {
+		if row[replayCol] != "yes" {
+			t.Errorf("epoch %d: pipeline replay diverged (replay %q)", k, row[replayCol])
+		}
+	}
+	cell := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d %q: %v", row, col, tab.Rows[row][col], err)
+		}
+		return v
+	}
+	// The quiet baseline must not re-plan; the ramp must alert and move.
+	if tab.Rows[0][alertCol] != "no" {
+		t.Error("baseline epoch alerted")
+	}
+	var alerted, moved, warmed bool
+	for k := range tab.Rows {
+		alerted = alerted || tab.Rows[k][alertCol] == "yes"
+		moved = moved || cell(k, movesCol) > 0
+		warmed = warmed || tab.Rows[k][warmCol] == "yes"
+	}
+	if !alerted {
+		t.Error("drift alert never tripped on the ramp")
+	}
+	if !moved {
+		t.Error("re-plan cycle never moved an element")
+	}
+	if !warmed {
+		t.Error("no warm-started tick in the run")
+	}
+	// Tail recovery: after the re-plan cycle the hot demand is served
+	// closer than at the alert epoch's peak.
+	var peak float64
+	for k := range tab.Rows {
+		if p := cell(k, p99Col); p > peak {
+			peak = p
+		}
+	}
+	if last := cell(len(tab.Rows)-1, p99Col); last >= peak {
+		t.Errorf("sim p99 never recovered: final %v vs peak %v", last, peak)
+	}
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

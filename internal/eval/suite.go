@@ -69,6 +69,7 @@ func Experiments() []Experiment {
 		{"E18", (*Suite).E18Scaling},
 		{"E19", (*Suite).E19HeatDrift},
 		{"E20", (*Suite).E20FlashCrowd},
+		{"E21", (*Suite).E21DaemonDriftRamp},
 	}
 }
 

@@ -16,7 +16,6 @@ import (
 	"sort"
 
 	"quorumplace/internal/flow"
-	"quorumplace/internal/lp"
 	"quorumplace/internal/obs"
 )
 
@@ -73,44 +72,13 @@ func (ins *Instance) Validate() error {
 func SolveLP(ins *Instance) ([][]float64, float64, error) {
 	sp := obs.Start("gap.lp")
 	defer sp.End()
-	if err := ins.Validate(); err != nil {
+	prob, vars, err := buildLP(ins, nil)
+	if err != nil {
 		return nil, 0, err
 	}
-	m, n := ins.NumMachines(), ins.NumJobs()
-	prob := lp.NewProblem()
-	vars := make([][]int, m)
-	for i := 0; i < m; i++ {
-		vars[i] = make([]int, n)
-		for j := 0; j < n; j++ {
-			vars[i][j] = -1
-			if !math.IsInf(ins.Load[i][j], 1) {
-				vars[i][j] = prob.AddVar(ins.Cost[i][j], fmt.Sprintf("y_%d_%d", i, j))
-			}
-		}
-	}
-	for j := 0; j < n; j++ {
-		var terms []lp.Term
-		for i := 0; i < m; i++ {
-			if vars[i][j] >= 0 {
-				terms = append(terms, lp.Term{Var: vars[i][j], Coef: 1})
-			}
-		}
-		if len(terms) == 0 {
-			return nil, 0, fmt.Errorf("gap: job %d has no allowed machine", j)
-		}
-		prob.AddConstraint(terms, lp.EQ, 1)
-	}
-	for i := 0; i < m; i++ {
-		var terms []lp.Term
-		for j := 0; j < n; j++ {
-			if vars[i][j] >= 0 && ins.Load[i][j] > 0 {
-				terms = append(terms, lp.Term{Var: vars[i][j], Coef: ins.Load[i][j]})
-			}
-		}
-		if len(terms) > 0 {
-			prob.AddConstraint(terms, lp.LE, ins.T[i])
-		}
-	}
+	// The pooled-workspace cold solve: the same construction and pivot
+	// sequence as a fresh Skeleton's first solve, without paying for a
+	// dedicated warm workspace the one-shot path would throw away.
 	sol, err := prob.Solve()
 	if err != nil {
 		return nil, 0, fmt.Errorf("gap: LP relaxation: %w", err)
@@ -120,6 +88,7 @@ func SolveLP(ins *Instance) ([][]float64, float64, error) {
 	if err := prob.VerifySolution(sol, 1e-6); err != nil {
 		return nil, 0, fmt.Errorf("gap: LP relaxation returned an infeasible point: %w", err)
 	}
+	m, n := ins.NumMachines(), ins.NumJobs()
 	y := make([][]float64, m)
 	for i := 0; i < m; i++ {
 		y[i] = make([]float64, n)

@@ -306,6 +306,20 @@ func (s *Sketch) TopNodes(k int) []TopEntry {
 // merge order, except for the sub-capacity TopK regime whose guarantees
 // are documented on TopK.Merge.
 func (s *Sketch) Merge(o *Sketch) error {
+	return s.MergeShifted(o, 0)
+}
+
+// EpochLen returns the resolved virtual-time length of one epoch bucket.
+func (s *Sketch) EpochLen() float64 { return s.epochLen }
+
+// MergeShifted is Merge with o's epoch indices displaced by shift epochs:
+// an observation o recorded in its epoch e lands in s's epoch e+shift.
+// Ingesting sketches produced by simulation runs that each start at
+// virtual time zero (netsim) into a long-lived daemon sketch needs the
+// offset, or every run's epochs would collapse onto the same indices.
+// Totals and heavy-hitter summaries are time-free and merge unchanged, so
+// with shift = 0 the result is bitwise identical to Merge.
+func (s *Sketch) MergeShifted(o *Sketch, shift int64) error {
 	if s == o {
 		return fmt.Errorf("heat: cannot merge a sketch into itself")
 	}
@@ -318,10 +332,10 @@ func (s *Sketch) Merge(o *Sketch) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for e, oc := range o.epochs {
-		c := s.epochs[e]
+		c := s.epochs[e+shift]
 		if c == nil {
 			c = &epochCell{}
-			s.epochs[e] = c
+			s.epochs[e+shift] = c
 		}
 		c.clients = addCounts(c.clients, oc.clients)
 		c.nodes = addCounts(c.nodes, oc.nodes)
@@ -340,6 +354,21 @@ func (s *Sketch) Merge(o *Sketch) error {
 		}
 	}
 	return nil
+}
+
+// MaxEpoch returns the largest epoch index holding observations and whether
+// any epoch exists at all. A daemon ingesting run-local sketches uses it to
+// advance its epoch base between runs.
+func (s *Sketch) MaxEpoch() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max, ok := int64(math.MinInt64), false
+	for e := range s.epochs {
+		if !ok || e > max {
+			max, ok = e, true
+		}
+	}
+	return max, ok
 }
 
 // NewShard returns an empty sketch with this sketch's configuration, the

@@ -1,0 +1,99 @@
+package heat
+
+import (
+	"testing"
+)
+
+// TestMergeShiftedBitwise pins the daemon-ingestion contract: merging a
+// run-local sketch (whose virtual clock started at zero) with an epoch
+// shift must be bitwise identical to having observed the same accesses
+// directly at the shifted times.
+func TestMergeShiftedBitwise(t *testing.T) {
+	opt := Options{EpochLen: 2, HalfLife: 4}
+	type obs struct {
+		at     float64
+		client int
+		nodes  []int
+	}
+	run := []obs{
+		{0.5, 0, []int{1, 2}},
+		{1.5, 1, []int{2}},
+		{3.0, 0, []int{0, 3}},
+		{5.9, 2, []int{1}},
+	}
+	const shiftEpochs = 7
+
+	// Direct observation at shifted times.
+	want := New(opt)
+	for _, o := range run {
+		want.Observe(o.at+shiftEpochs*opt.EpochLen, o.client, o.nodes)
+	}
+
+	// Run-local sketch merged with the shift.
+	local := New(opt)
+	for _, o := range run {
+		local.Observe(o.at, o.client, o.nodes)
+	}
+	got := New(opt)
+	if err := got.MergeShifted(local, shiftEpochs); err != nil {
+		t.Fatal(err)
+	}
+
+	if !got.Equal(want) {
+		t.Fatal("MergeShifted state differs from direct shifted observation")
+	}
+	// And the EWMA view (which depends on epoch indices) agrees too.
+	gr, wr := got.ClientRates(), want.ClientRates()
+	if len(gr) != len(wr) {
+		t.Fatalf("rate lengths differ: %d vs %d", len(gr), len(wr))
+	}
+	for i := range gr {
+		if gr[i] != wr[i] {
+			t.Fatalf("client rate %d differs bitwise: %v vs %v", i, gr[i], wr[i])
+		}
+	}
+}
+
+// TestMergeShiftedZeroIsMerge checks the shift-free case degrades to the
+// plain merge.
+func TestMergeShiftedZeroIsMerge(t *testing.T) {
+	a := New(Options{})
+	a.Observe(0.5, 0, []int{1})
+	a.Observe(1.5, 1, []int{0, 1})
+	viaMerge := New(Options{})
+	if err := viaMerge.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	viaShift := New(Options{})
+	if err := viaShift.MergeShifted(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !viaShift.Equal(viaMerge) {
+		t.Fatal("MergeShifted(o, 0) differs from Merge(o)")
+	}
+}
+
+// TestMergeShiftedValidation mirrors the Merge validation.
+func TestMergeShiftedValidation(t *testing.T) {
+	a := New(Options{})
+	if err := a.MergeShifted(a, 1); err == nil {
+		t.Fatal("self-merge accepted")
+	}
+	if err := a.MergeShifted(New(Options{EpochLen: 2}), 1); err == nil {
+		t.Fatal("incompatible epoch length accepted")
+	}
+}
+
+// TestMaxEpoch checks the epoch-base bookkeeping hook.
+func TestMaxEpoch(t *testing.T) {
+	s := New(Options{EpochLen: 2})
+	if _, ok := s.MaxEpoch(); ok {
+		t.Fatal("empty sketch reported an epoch")
+	}
+	s.Observe(0.5, 0, []int{1}) // epoch 0
+	s.Observe(9.0, 0, []int{1}) // epoch 4
+	max, ok := s.MaxEpoch()
+	if !ok || max != 4 {
+		t.Fatalf("MaxEpoch = %d,%v; want 4,true", max, ok)
+	}
+}

@@ -1,0 +1,200 @@
+// Bitwise clone/re-solve equivalence over generated QPP instances: the
+// daemon's incremental tick re-costs a cloned GAP skeleton with
+// SetCost/SetRHS and re-solves it, and its determinism guarantee rests on
+// that path being bit-for-bit identical to building the edited model from
+// scratch. This external test pins the equivalence on the cold path (the
+// warm path is pinned by objective + feasibility in hot_test.go, since it
+// may legitimately land on a different vertex of the same optimal face).
+package lp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"quorumplace/internal/check"
+	"quorumplace/internal/lp"
+)
+
+// gapShape is the GAP-shaped LP of a check instance: assignment variables
+// y_{v,u} for every capacity-feasible (node, element) pair, one EQ(=1) row
+// per element, one LE(cap) row per node with load.
+type gapShape struct {
+	vars   [][]int // vars[v][u] = variable index, -1 if forbidden
+	capRow []int   // capRow[v] = constraint index of node v's LE row, -1 if none
+	n, k   int
+}
+
+// buildGAP constructs the LP with the given costs and capacities, in a
+// fixed construction order shared by both sides of the bitwise comparison.
+func buildGAP(ci *check.Instance, cost [][]float64, caps []float64) (*lp.Problem, *gapShape) {
+	n := ci.M.N()
+	k := ci.Sys.Universe()
+	p := lp.NewProblem()
+	sh := &gapShape{n: n, k: k}
+	sh.vars = make([][]int, n)
+	for v := 0; v < n; v++ {
+		sh.vars[v] = make([]int, k)
+		for u := 0; u < k; u++ {
+			sh.vars[v][u] = -1
+			if ci.Load(u) <= ci.Cap[v]*(1+1e-9) {
+				sh.vars[v][u] = p.AddVar(cost[v][u], "")
+			}
+		}
+	}
+	for u := 0; u < k; u++ {
+		var terms []lp.Term
+		for v := 0; v < n; v++ {
+			if sh.vars[v][u] >= 0 {
+				terms = append(terms, lp.Term{Var: sh.vars[v][u], Coef: 1})
+			}
+		}
+		p.AddConstraint(terms, lp.EQ, 1)
+	}
+	sh.capRow = make([]int, n)
+	for v := 0; v < n; v++ {
+		sh.capRow[v] = -1
+		var terms []lp.Term
+		for u := 0; u < k; u++ {
+			if sh.vars[v][u] >= 0 && ci.Load(u) > 0 {
+				terms = append(terms, lp.Term{Var: sh.vars[v][u], Coef: ci.Load(u)})
+			}
+		}
+		if len(terms) > 0 {
+			sh.capRow[v] = p.NumConstraints()
+			p.AddConstraint(terms, lp.LE, caps[v])
+		}
+	}
+	return p, sh
+}
+
+func baseCosts(ci *check.Instance) [][]float64 {
+	n, k := ci.M.N(), ci.Sys.Universe()
+	cost := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		cost[v] = make([]float64, k)
+		for u := 0; u < k; u++ {
+			cost[v][u] = ci.Load(u) * ci.M.D(ci.Planted.Node(u), v)
+		}
+	}
+	return cost
+}
+
+// TestCloneResolveBitwise pins the satellite guarantee: for check.Gen
+// instances, a Clone + SetCost/SetRHS re-solve must produce bitwise (==)
+// identical X and Objective to a from-scratch build of the edited model.
+// Both sides execute the same float operations in the same order, so this
+// holds exactly, not merely to tolerance.
+func TestCloneResolveBitwise(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		ci := check.Gen(seed)
+		n, k := ci.M.N(), ci.Sys.Universe()
+		rng := rand.New(rand.NewSource(seed * 101))
+
+		skelProb, sh := buildGAP(ci, baseCosts(ci), ci.Cap)
+		ws := lp.NewWorkspace()
+		if _, err := skelProb.SolveWith(ws); err != nil {
+			t.Fatalf("seed %d: seed solve: %v", seed, err)
+		}
+
+		for edit := 0; edit < 5; edit++ {
+			// Derive the edited model: perturbed costs, loosened caps
+			// (loosening keeps the planted assignment feasible).
+			cost := baseCosts(ci)
+			for v := 0; v < n; v++ {
+				for u := 0; u < k; u++ {
+					cost[v][u] *= 1 + rng.Float64()
+				}
+			}
+			caps := make([]float64, n)
+			for v := range caps {
+				caps[v] = ci.Cap[v] * (1 + rng.Float64())
+			}
+
+			// Side A: clone the skeleton and re-cost it in place.
+			cl := skelProb.Clone()
+			for v := 0; v < n; v++ {
+				for u := 0; u < k; u++ {
+					if sh.vars[v][u] >= 0 {
+						cl.SetCost(sh.vars[v][u], cost[v][u])
+					}
+				}
+				if sh.capRow[v] >= 0 {
+					cl.SetRHS(sh.capRow[v], caps[v])
+				}
+			}
+			solA, err := cl.SolveWith(lp.NewWorkspace())
+			if err != nil {
+				t.Fatalf("seed %d edit %d: clone solve: %v", seed, edit, err)
+			}
+
+			// Side B: build the edited model from scratch.
+			fresh, _ := buildGAP(ci, cost, caps)
+			solB, err := fresh.SolveWith(lp.NewWorkspace())
+			if err != nil {
+				t.Fatalf("seed %d edit %d: fresh solve: %v", seed, edit, err)
+			}
+
+			if solA.Objective != solB.Objective {
+				t.Fatalf("seed %d edit %d: objective differs bitwise: clone %v fresh %v",
+					seed, edit, solA.Objective, solB.Objective)
+			}
+			if len(solA.X) != len(solB.X) {
+				t.Fatalf("seed %d edit %d: var count %d vs %d", seed, edit, len(solA.X), len(solB.X))
+			}
+			for j := range solA.X {
+				if solA.X[j] != solB.X[j] {
+					t.Fatalf("seed %d edit %d: x[%d] differs bitwise: clone %v fresh %v",
+						seed, edit, j, solA.X[j], solB.X[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCloneResolveBitwiseReusedWorkspace repeats the comparison with both
+// sides sharing one reused workspace sequentially: buffer reuse (tab/obj
+// zeroing, candidate truncation) must not perturb any computed value.
+func TestCloneResolveBitwiseReusedWorkspace(t *testing.T) {
+	ci := check.Gen(4)
+	n, k := ci.M.N(), ci.Sys.Universe()
+	rng := rand.New(rand.NewSource(99))
+	ws := lp.NewWorkspace()
+
+	base, sh := buildGAP(ci, baseCosts(ci), ci.Cap)
+	if _, err := base.SolveWith(ws); err != nil {
+		t.Fatal(err)
+	}
+	for edit := 0; edit < 8; edit++ {
+		cost := baseCosts(ci)
+		for v := 0; v < n; v++ {
+			for u := 0; u < k; u++ {
+				cost[v][u] *= 1 + rng.Float64()
+			}
+		}
+		cl := base.Clone()
+		for v := 0; v < n; v++ {
+			for u := 0; u < k; u++ {
+				if sh.vars[v][u] >= 0 {
+					cl.SetCost(sh.vars[v][u], cost[v][u])
+				}
+			}
+		}
+		solA, err := cl.SolveWith(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, _ := buildGAP(ci, cost, ci.Cap)
+		solB, err := fresh.SolveWith(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solA.Objective != solB.Objective {
+			t.Fatalf("edit %d: objective differs bitwise: %v vs %v", edit, solA.Objective, solB.Objective)
+		}
+		for j := range solA.X {
+			if solA.X[j] != solB.X[j] {
+				t.Fatalf("edit %d: x[%d] differs bitwise", edit, j)
+			}
+		}
+	}
+}

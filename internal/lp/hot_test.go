@@ -1,0 +1,373 @@
+package lp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// buildTransport constructs a small transportation LP:
+// minimize Σ c_ij x_ij s.t. Σ_j x_ij ≤ supply_i, Σ_i x_ij ≥ demand_j.
+func buildTransport(costs [][]float64, supply, demand []float64) *Problem {
+	p := NewProblem()
+	vars := make([][]int, len(supply))
+	for i := range supply {
+		vars[i] = make([]int, len(demand))
+		for j := range demand {
+			vars[i][j] = p.AddVar(costs[i][j], "")
+		}
+	}
+	for i, s := range supply {
+		terms := make([]Term, len(demand))
+		for j := range demand {
+			terms[j] = Term{vars[i][j], 1}
+		}
+		p.AddConstraint(terms, LE, s)
+	}
+	for j, d := range demand {
+		terms := make([]Term, len(supply))
+		for i := range supply {
+			terms[i] = Term{vars[i][j], 1}
+		}
+		p.AddConstraint(terms, GE, d)
+	}
+	return p
+}
+
+func transportFixture() *Problem {
+	return buildTransport(
+		[][]float64{{4, 6, 9}, {5, 3, 8}, {7, 4, 2}},
+		[]float64{20, 25, 15},
+		[]float64{10, 18, 12},
+	)
+}
+
+// TestSolveHotCostChange checks that a warm re-solve after SetCost matches a
+// cold solve of an identical problem to solver tolerance, and that the warm
+// path is actually taken.
+func TestSolveHotCostChange(t *testing.T) {
+	p := transportFixture()
+	ws := NewWorkspace()
+	if _, warm, err := p.SolveHot(ws); err != nil || warm {
+		t.Fatalf("first SolveHot: warm=%v err=%v, want cold success", warm, err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 25; iter++ {
+		for v := 0; v < p.NumVars(); v++ {
+			p.SetCost(v, 1+9*rng.Float64())
+		}
+		sol, warm, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatalf("iter %d: SolveHot: %v", iter, err)
+		}
+		if !warm {
+			t.Fatalf("iter %d: cost-only change should stay warm", iter)
+		}
+		cold, err := p.Clone().Solve()
+		if err != nil {
+			t.Fatalf("iter %d: cold solve: %v", iter, err)
+		}
+		if !approxEq(sol.Objective, cold.Objective) {
+			t.Fatalf("iter %d: warm objective %v != cold %v", iter, sol.Objective, cold.Objective)
+		}
+		if err := p.VerifySolution(sol, 1e-6); err != nil {
+			t.Fatalf("iter %d: warm solution infeasible: %v", iter, err)
+		}
+	}
+}
+
+// TestSolveHotRHSChange checks warm re-solves across SetRHS edits on LE and
+// GE rows: objective agreement with a cold solve plus primal feasibility.
+func TestSolveHotRHSChange(t *testing.T) {
+	p := transportFixture()
+	ws := NewWorkspace()
+	if _, _, err := p.SolveHot(ws); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	warmCount := 0
+	for iter := 0; iter < 40; iter++ {
+		// Keep supplies comfortably above demands so the edited problem
+		// stays feasible; perturb both sides.
+		for i := 0; i < 3; i++ {
+			p.SetRHS(i, 18+6*rng.Float64()) // LE supply rows
+		}
+		for j := 0; j < 3; j++ {
+			p.SetRHS(3+j, 6+8*rng.Float64()) // GE demand rows
+		}
+		sol, warm, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatalf("iter %d: SolveHot: %v", iter, err)
+		}
+		if warm {
+			warmCount++
+		}
+		cold, err := p.Clone().Solve()
+		if err != nil {
+			t.Fatalf("iter %d: cold solve: %v", iter, err)
+		}
+		if !approxEq(sol.Objective, cold.Objective) {
+			t.Fatalf("iter %d (warm=%v): objective %v != cold %v", iter, warm, sol.Objective, cold.Objective)
+		}
+		if err := p.VerifySolution(sol, 1e-6); err != nil {
+			t.Fatalf("iter %d: warm solution infeasible: %v", iter, err)
+		}
+	}
+	if warmCount == 0 {
+		t.Fatal("no iteration took the warm path")
+	}
+}
+
+// TestSolveHotFallbacks exercises every cold-fallback trigger.
+func TestSolveHotFallbacks(t *testing.T) {
+	t.Run("different problem", func(t *testing.T) {
+		p := transportFixture()
+		ws := NewWorkspace()
+		if _, _, err := p.SolveHot(ws); err != nil {
+			t.Fatal(err)
+		}
+		q := p.Clone()
+		if _, warm, err := q.SolveHot(ws); err != nil || warm {
+			t.Fatalf("clone must go cold, got warm=%v err=%v", warm, err)
+		}
+	})
+	t.Run("structure change", func(t *testing.T) {
+		p := transportFixture()
+		ws := NewWorkspace()
+		if _, _, err := p.SolveHot(ws); err != nil {
+			t.Fatal(err)
+		}
+		v := p.AddVar(1, "extra")
+		p.AddConstraint([]Term{{v, 1}}, LE, 5)
+		if _, warm, err := p.SolveHot(ws); err != nil || warm {
+			t.Fatalf("grown problem must go cold, got warm=%v err=%v", warm, err)
+		}
+	})
+	t.Run("fixed flags change", func(t *testing.T) {
+		p := transportFixture()
+		ws := NewWorkspace()
+		if _, _, err := p.SolveHot(ws); err != nil {
+			t.Fatal(err)
+		}
+		p.SetFixed(0, true)
+		sol, warm, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			t.Fatal("fixed-flag change must go cold")
+		}
+		if sol.X[0] != 0 {
+			t.Fatalf("fixed variable got value %v", sol.X[0])
+		}
+		// Unchanged flags on the next call stay warm again.
+		if _, warm, err := p.SolveHot(ws); err != nil || !warm {
+			t.Fatalf("re-solve after cold rebuild should be warm, got warm=%v err=%v", warm, err)
+		}
+	})
+	t.Run("EQ rhs change", func(t *testing.T) {
+		p := NewProblem()
+		x := p.AddVar(1, "x")
+		y := p.AddVar(2, "y")
+		p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4)
+		p.AddConstraint([]Term{{x, 1}}, LE, 3)
+		ws := NewWorkspace()
+		if _, _, err := p.SolveHot(ws); err != nil {
+			t.Fatal(err)
+		}
+		p.SetRHS(0, 5)
+		sol, warm, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			t.Fatal("EQ-row rhs change must go cold")
+		}
+		if !approxEq(sol.Objective, 3+2*2) {
+			t.Fatalf("objective %v, want 7", sol.Objective)
+		}
+	})
+	t.Run("rhs sign flip", func(t *testing.T) {
+		p := NewProblem()
+		x := p.AddVar(1, "x")
+		p.AddConstraint([]Term{{x, 1}}, GE, 2)
+		p.AddConstraint([]Term{{x, 1}}, LE, 10)
+		ws := NewWorkspace()
+		if _, _, err := p.SolveHot(ws); err != nil {
+			t.Fatal(err)
+		}
+		p.SetRHS(0, -1) // x ≥ −1: normalization flips the row
+		sol, warm, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			t.Fatal("sign-flipping rhs change must go cold")
+		}
+		if !approxEq(sol.Objective, 0) {
+			t.Fatalf("objective %v, want 0", sol.Objective)
+		}
+	})
+	t.Run("primal infeasible update", func(t *testing.T) {
+		// max x+y with x≤5, y≤5, x+y≤8 puts the basis at x=5, y=3 with
+		// slack s_y=2 basic. Tightening x≤1 forces y to 7 under the
+		// retained basis, driving s_y to −2: primal infeasible, so the
+		// solve must go cold (and still get the right answer, x=1, y=5).
+		p := NewProblem()
+		x := p.AddVar(-1, "x")
+		y := p.AddVar(-1, "y")
+		p.AddConstraint([]Term{{x, 1}}, LE, 5)
+		p.AddConstraint([]Term{{y, 1}}, LE, 5)
+		p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 8)
+		ws := NewWorkspace()
+		sol, _, err := p.SolveHot(ws)
+		if err != nil || !approxEq(sol.Objective, -8) {
+			t.Fatalf("seed solve: obj=%v err=%v", sol.Objective, err)
+		}
+		p.SetRHS(0, 1)
+		sol, warm, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			t.Fatal("basis-infeasible rhs update must go cold")
+		}
+		if !approxEq(sol.Objective, -6) {
+			t.Fatalf("objective %v, want -6", sol.Objective)
+		}
+	})
+	t.Run("redundant row solved cold on rhs change", func(t *testing.T) {
+		// Duplicate equalities leave a redundant row that phase 1 zeroes;
+		// rhs edits must then go cold even on the surviving LE row.
+		p := NewProblem()
+		x := p.AddVar(1, "x")
+		y := p.AddVar(1, "y")
+		p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4)
+		p.AddConstraint([]Term{{x, 2}, {y, 2}}, EQ, 8)
+		p.AddConstraint([]Term{{x, 1}}, LE, 3)
+		ws := NewWorkspace()
+		if _, _, err := p.SolveHot(ws); err != nil {
+			t.Fatal(err)
+		}
+		p.SetRHS(2, 1)
+		sol, warm, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			t.Fatal("rhs change with a dropped redundant row must go cold")
+		}
+		if !approxEq(sol.Objective, 4) {
+			t.Fatalf("objective %v, want 4", sol.Objective)
+		}
+	})
+	t.Run("unbounded invalidates", func(t *testing.T) {
+		p := NewProblem()
+		x := p.AddVar(1, "x")
+		y := p.AddVar(1, "y")
+		p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 2)
+		ws := NewWorkspace()
+		if _, _, err := p.SolveHot(ws); err != nil {
+			t.Fatal(err)
+		}
+		p.SetCost(0, -1)
+		p.SetCost(1, -1)
+		_, warm, err := p.SolveHot(ws)
+		if !errors.Is(err, ErrUnbounded) {
+			t.Fatalf("err=%v, want ErrUnbounded", err)
+		}
+		if !warm {
+			t.Fatal("cost-only change should have attempted the warm path")
+		}
+		// The retained basis is gone; the next call must go cold.
+		p.SetCost(0, 1)
+		p.SetCost(1, 1)
+		if _, warm, err := p.SolveHot(ws); err != nil || warm {
+			t.Fatalf("post-unbounded solve: warm=%v err=%v, want cold success", warm, err)
+		}
+	})
+	t.Run("no constraints", func(t *testing.T) {
+		p := NewProblem()
+		p.AddVar(1, "x")
+		ws := NewWorkspace()
+		for i := 0; i < 2; i++ {
+			sol, warm, err := p.SolveHot(ws)
+			if err != nil || warm {
+				t.Fatalf("call %d: warm=%v err=%v", i, warm, err)
+			}
+			if sol.X[0] != 0 {
+				t.Fatalf("call %d: x=%v", i, sol.X[0])
+			}
+		}
+	})
+}
+
+// TestSolveHotRepeated drives many alternating cost and rhs edits through
+// one workspace, checking against a fresh cold solve every time. This is
+// the access pattern of a quorumd re-planning tick.
+func TestSolveHotRepeated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := transportFixture()
+	ws := NewWorkspace()
+	if _, _, err := p.SolveHot(ws); err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 60; iter++ {
+		switch iter % 3 {
+		case 0:
+			for v := 0; v < p.NumVars(); v++ {
+				p.SetCost(v, 1+9*rng.Float64())
+			}
+		case 1:
+			p.SetRHS(rng.Intn(3), 18+6*rng.Float64())
+		default:
+			p.SetRHS(3+rng.Intn(3), 6+8*rng.Float64())
+		}
+		sol, _, err := p.SolveHot(ws)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		cold, err := p.Clone().Solve()
+		if err != nil {
+			t.Fatalf("iter %d: cold: %v", iter, err)
+		}
+		if !approxEq(sol.Objective, cold.Objective) {
+			t.Fatalf("iter %d: warm %v != cold %v", iter, sol.Objective, cold.Objective)
+		}
+		if err := p.VerifySolution(sol, 1e-6); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+// TestResetWarm checks that ResetWarm forces the next SolveHot cold.
+func TestResetWarm(t *testing.T) {
+	p := transportFixture()
+	ws := NewWorkspace()
+	if _, _, err := p.SolveHot(ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, warm, err := p.SolveHot(ws); err != nil || !warm {
+		t.Fatalf("second solve: warm=%v err=%v, want warm", warm, err)
+	}
+	ws.ResetWarm()
+	if _, warm, err := p.SolveHot(ws); err != nil || warm {
+		t.Fatalf("post-reset solve: warm=%v err=%v, want cold", warm, err)
+	}
+}
+
+// TestSolveHotPooledIsolation checks that the pooled-workspace Solve path
+// can never leave a warm state behind that a later SolveHot would trust.
+func TestSolveHotPooledIsolation(t *testing.T) {
+	p := transportFixture()
+	for i := 0; i < 10; i++ {
+		if _, err := p.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	if ws.warm.valid {
+		t.Fatal("pooled workspace retained a valid warm state")
+	}
+}

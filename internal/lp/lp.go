@@ -23,7 +23,11 @@
 //     a warm solve performs no tableau allocation (Solve draws workspaces
 //     from an internal pool; SolveWith pins an explicit one);
 //   - Clone/SetCost/SetRHS/SetFixed re-cost a built model in place instead
-//     of rebuilding it, sharing the constraint sparsity across solves.
+//     of rebuilding it, sharing the constraint sparsity across solves;
+//   - SolveHot re-solves a re-costed model against the optimal basis the
+//     workspace retains from its previous solve of the same model, skipping
+//     tableau construction and phase 1 entirely (the incremental path of
+//     the quorumd re-planning ticks).
 package lp
 
 import (
@@ -244,6 +248,43 @@ type Workspace struct {
 	cand  []int
 	sx    simplex
 	used  bool
+	warm  warmState
+}
+
+// warmState is the metadata SolveHot needs to re-solve the problem the
+// workspace last solved without rebuilding the tableau. It is recorded at
+// the end of every successful solveSimplex — but only on workspaces that
+// have been through SolveHot, so one-shot Solve/SolveWith callers never pay
+// for snapshots they will throw away — and invalidated at the start of the
+// next build (so a failed build can never leave a stale-but-valid state
+// behind).
+type warmState struct {
+	record   bool     // set by SolveHot: only hot-path workspaces snapshot a basis
+	prob     *Problem // identity of the model the tableau encodes
+	n, m     int
+	stride   int
+	total    int
+	firstArt int
+	// unitCol[i] is the tableau column holding ±B⁻¹eᵢ for constraint row i:
+	// the slack column for LE rows (sign +1), the surplus column for GE rows
+	// (sign −1), and −1 for EQ rows, which carry no unit column through
+	// phase 2 (their artificial column goes stale once width shrinks).
+	unitCol  []int
+	unitSign []float64
+	rhs      []float64 // normalized (non-negative) rhs the tableau was built with
+	neg      []bool    // row i was multiplied by −1 during normalization
+	fixed    []bool    // snapshot of p.fixed at build time (nil = none)
+	clean    bool      // no zeroed redundant rows: every basis entry < firstArt
+	valid    bool
+	scratch  []float64 // candidate rhs column, committed only if feasible
+}
+
+// ResetWarm discards the workspace's retained basis so the next SolveHot
+// falls back to a cold solve. Benchmarks use it to isolate the cold path;
+// it is never required for correctness.
+func (ws *Workspace) ResetWarm() {
+	ws.warm.valid = false
+	ws.warm.prob = nil
 }
 
 // NewWorkspace returns an empty workspace.
@@ -260,6 +301,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	ws := wsPool.Get().(*Workspace)
 	ws.Rec = obs.Rec{} // pooled workspaces must not inherit a stale shard
 	sol, err := p.SolveWith(ws)
+	ws.ResetWarm() // don't pin the Problem (and a false warm hit) in the pool
 	wsPool.Put(ws)
 	return sol, err
 }
@@ -315,6 +357,7 @@ func growI(buf []int, n int) []int {
 
 // solveSimplex builds the tableau into ws and runs both phases.
 func (p *Problem) solveSimplex(ws *Workspace) (*Solution, error) {
+	ws.warm.valid = false // stale until this build completes successfully
 	n := len(p.costs)
 	m := len(p.cons)
 
@@ -454,10 +497,18 @@ func (p *Problem) solveSimplex(ws *Workspace) (*Solution, error) {
 		return &Solution{Status: Unbounded}, ErrUnbounded
 	}
 
+	ws.recordWarm(p, n, m, stride, total, firstArt, kinds)
+	return p.extractSolution(s), nil
+}
+
+// extractSolution reads the structural variable values out of an optimal
+// tableau and recomputes the objective from the original costs.
+func (p *Problem) extractSolution(s *simplex) *Solution {
+	n := len(p.costs)
 	x := make([]float64, n)
-	for i, b := range basis {
+	for i, b := range s.basis {
 		if b < n {
-			x[b] = tab[i*stride+total]
+			x[b] = s.tab[i*s.stride+s.total]
 		}
 	}
 	// Clamp tiny negatives introduced by roundoff.
@@ -470,7 +521,190 @@ func (p *Problem) solveSimplex(ws *Workspace) (*Solution, error) {
 	for j := range x {
 		objVal += p.costs[j] * x[j]
 	}
-	return &Solution{Status: Optimal, Objective: objVal, X: x}, nil
+	return &Solution{Status: Optimal, Objective: objVal, X: x}
+}
+
+// recordWarm snapshots everything SolveHot needs to re-enter phase 2
+// against the optimal basis now sitting in the workspace tableau.
+func (ws *Workspace) recordWarm(p *Problem, n, m, stride, total, firstArt int, kinds []rowKind) {
+	w := &ws.warm
+	if !w.record {
+		return
+	}
+	w.prob, w.n, w.m = p, n, m
+	w.stride, w.total, w.firstArt = stride, total, firstArt
+	w.unitCol = growI(w.unitCol, m)
+	w.unitSign = growF(w.unitSign, m)
+	w.rhs = growF(w.rhs, m)
+	if cap(w.neg) < m {
+		w.neg = make([]bool, m)
+	}
+	w.neg = w.neg[:m]
+	slackAt := n
+	for i, k := range kinds {
+		switch k.rel {
+		case LE:
+			w.unitCol[i], w.unitSign[i] = slackAt, 1
+			slackAt++
+		case GE:
+			w.unitCol[i], w.unitSign[i] = slackAt, -1
+			slackAt++
+		default: // EQ: no live unit column survives into phase 2
+			w.unitCol[i], w.unitSign[i] = -1, 0
+		}
+		w.rhs[i] = k.rhs
+		w.neg[i] = k.neg
+	}
+	if p.fixed == nil {
+		w.fixed = w.fixed[:0]
+	} else {
+		w.fixed = append(w.fixed[:0], p.fixed...)
+	}
+	w.clean = true
+	for _, b := range ws.basis[:m] {
+		if b >= firstArt {
+			// evictArtificials zeroed this redundant row, destroying the
+			// B⁻¹eᵢ columns it carried; rhs warm updates must go cold.
+			w.clean = false
+			break
+		}
+	}
+	w.valid = true
+}
+
+// fixedMatches reports whether p.fixed still equals the build-time snapshot
+// (nil and all-false are equivalent).
+func (w *warmState) fixedMatches(p *Problem) bool {
+	if p.fixed == nil {
+		return len(w.fixed) == 0
+	}
+	if len(w.fixed) == 0 {
+		for _, f := range p.fixed {
+			if f {
+				return false
+			}
+		}
+		return true
+	}
+	if len(w.fixed) != len(p.fixed) {
+		return false
+	}
+	for i, f := range p.fixed {
+		if w.fixed[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveHot solves the problem, reusing the optimal basis the workspace
+// retains from its previous solve of this same Problem value when possible.
+// The returned bool reports whether the warm path was taken.
+//
+// A warm re-solve re-enters phase 2 directly: SetCost changes are priced
+// out against the retained basis, and SetRHS changes are applied to the
+// tableau's rhs column through the live slack/surplus columns (which hold
+// ±B⁻¹eᵢ). It falls back to a full cold solve — identical to SolveWith —
+// whenever the retained basis cannot absorb the edit: a different or
+// structurally changed Problem, changed fixed-variable flags, an EQ-row rhs
+// change, an rhs sign flip under normalization, a redundant row dropped in
+// phase 1, or an update that leaves the basis primal infeasible.
+func (p *Problem) SolveHot(ws *Workspace) (*Solution, bool, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	w := &ws.warm
+	w.record = true
+	if !w.valid || w.prob != p || w.n != len(p.costs) || w.m != len(p.cons) ||
+		len(p.cons) == 0 || !w.fixedMatches(p) {
+		sol, err := p.SolveWith(ws)
+		return sol, false, err
+	}
+	if !ws.applyRHSDeltas(p) {
+		sol, err := p.SolveWith(ws)
+		return sol, false, err
+	}
+
+	sp := ws.Rec.Start("lp.solve_hot")
+	defer sp.End()
+	ws.Rec.Count("lp.solves", 1)
+	ws.Rec.Count("lp.hot_solves", 1)
+	s := &ws.sx
+	s.pivots, s.degens, s.blandActivations, s.pricingScans = 0, 0, 0, 0
+	s.width = w.firstArt
+	s.setCostObjective(p.costs)
+	status := s.run()
+	ws.Rec.Count("lp.pivots", s.pivots)
+	ws.Rec.Count("lp.degenerate_pivots", s.degens)
+	ws.Rec.Count("lp.bland_activations", s.blandActivations)
+	ws.Rec.Count("lp.pricing_scans", s.pricingScans)
+	ws.Rec.Observe("lp.pivots_per_solve", float64(s.pivots))
+	if status == Unbounded {
+		w.valid = false
+		return &Solution{Status: Unbounded}, true, ErrUnbounded
+	}
+	return p.extractSolution(s), true, nil
+}
+
+// applyRHSDeltas folds any SetRHS edits into the tableau's rhs column via
+// the retained ±B⁻¹eᵢ unit columns. It reports false when the edits cannot
+// be absorbed warm (the caller then re-solves cold); the tableau is only
+// mutated on success.
+func (ws *Workspace) applyRHSDeltas(p *Problem) bool {
+	w := &ws.warm
+	s := &ws.sx
+	dirty := false
+	for i := range p.cons {
+		rhs := p.cons[i].rhs
+		if (rhs < 0) != w.neg[i] {
+			return false // normalization sign flipped; row rebuild required
+		}
+		norm := rhs
+		if w.neg[i] {
+			norm = -rhs
+		}
+		if norm == w.rhs[i] {
+			continue
+		}
+		if w.unitCol[i] < 0 || !w.clean {
+			return false // EQ row, or B⁻¹ columns destroyed by a dropped row
+		}
+		if !dirty {
+			w.scratch = growF(w.scratch, w.m)
+			for r := 0; r < w.m; r++ {
+				w.scratch[r] = s.tab[r*w.stride+w.total]
+			}
+			dirty = true
+		}
+		d := norm - w.rhs[i]
+		col, sign := w.unitCol[i], w.unitSign[i]
+		for r := 0; r < w.m; r++ {
+			w.scratch[r] += d * sign * s.tab[r*w.stride+col]
+		}
+	}
+	if !dirty {
+		return true
+	}
+	for r := 0; r < w.m; r++ {
+		v := w.scratch[r]
+		if v < -eps {
+			return false // basis no longer primal feasible; go cold
+		}
+		if v < 0 {
+			w.scratch[r] = 0
+		}
+	}
+	for r := 0; r < w.m; r++ {
+		s.tab[r*w.stride+w.total] = w.scratch[r]
+	}
+	for i := range p.cons {
+		rhs := p.cons[i].rhs
+		if w.neg[i] {
+			rhs = -rhs
+		}
+		w.rhs[i] = rhs
+	}
+	return true
 }
 
 // simplex holds the tableau state shared by the two phases. The tableau is

@@ -119,9 +119,18 @@ func Solve(ins *placement.Instance, oldP placement.Placement, lambda float64) (*
 
 // ParetoSweep solves Plan for each λ and returns the plans in order. Use it
 // to chart the delay/movement frontier after a workload shift.
+//
+// All λ values are validated before any solve runs, so a bad value late in
+// the sweep is rejected up front instead of discarding the plans already
+// computed for the earlier values.
 func ParetoSweep(ins *placement.Instance, oldP placement.Placement, lambdas []float64) ([]*Plan, error) {
 	if len(lambdas) == 0 {
 		return nil, fmt.Errorf("migrate: no lambda values")
+	}
+	for i, l := range lambdas {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return nil, fmt.Errorf("migrate: lambda[%d] = %v must be a finite non-negative value", i, l)
+		}
 	}
 	plans := make([]*Plan, 0, len(lambdas))
 	for _, l := range lambdas {

@@ -3,9 +3,11 @@ package migrate
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"quorumplace/internal/graph"
+	"quorumplace/internal/obs"
 	"quorumplace/internal/placement"
 	"quorumplace/internal/quorum"
 )
@@ -173,5 +175,34 @@ func TestParetoSweepValidation(t *testing.T) {
 	ins, old := buildInstance(t, rng)
 	if _, err := ParetoSweep(ins, old, nil); err == nil {
 		t.Fatal("empty lambda list accepted")
+	}
+}
+
+// TestParetoSweepValidatesUpFront is the regression test for the
+// all-or-nothing sweep bug: an invalid λ late in the list used to be
+// discovered only after solving every earlier λ, throwing that work away.
+// Now the sweep must reject the list before running a single solve.
+func TestParetoSweepValidatesUpFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(317))
+	ins, old := buildInstance(t, rng)
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		col := obs.NewCollector()
+		obs.Enable(col)
+		plans, err := ParetoSweep(ins, old, []float64{0, 1, 2, bad})
+		obs.Disable()
+		if err == nil {
+			t.Fatalf("lambda %v accepted", bad)
+		}
+		if plans != nil {
+			t.Fatalf("lambda %v: got %d plans alongside the error", bad, len(plans))
+		}
+		if !strings.Contains(err.Error(), "lambda[3]") {
+			t.Fatalf("error %q does not name the offending index", err)
+		}
+		// No LP may have been solved before the rejection: the earlier,
+		// valid lambdas must not have been processed and discarded.
+		if n := col.Snapshot().Counter("lp.solves"); n != 0 {
+			t.Fatalf("lambda %v: %d LP solves ran before the sweep was rejected", bad, n)
+		}
 	}
 }

@@ -11,7 +11,9 @@
 package export
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -19,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"quorumplace/internal/obs"
@@ -193,25 +196,55 @@ type Server struct {
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 }
+
+// closeDrainTimeout bounds how long Close waits for in-flight scrapes
+// before hard-closing their connections.
+const closeDrainTimeout = 5 * time.Second
 
 // Serve binds addr (host:port; port 0 picks a free port) and serves the
 // exposition handler until Close. It returns once the listener is bound, so
 // the reported Addr is immediately scrapeable.
 func Serve(addr string, src Source) (*Server, error) {
+	return ServeContext(context.Background(), addr, src)
+}
+
+// ServeContext is Serve tied to a context: when ctx is cancelled the server
+// shuts down gracefully, draining in-flight scrapes (bounded by
+// closeDrainTimeout). Close remains valid — and idempotent — either way.
+func ServeContext(ctx context.Context, addr string, src Source) (*Server, error) {
+	return ServeHandler(ctx, addr, Handler(src))
+}
+
+// ServeHandler is ServeContext with an arbitrary handler, for daemons that
+// mount the exposition routes inside a larger mux.
+func ServeHandler(ctx context.Context, addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("export: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		ln:   ln,
-		srv:  &http.Server{Handler: Handler(src), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
 		done: make(chan struct{}),
 	}
 	go func() {
 		defer close(s.done)
-		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on shutdown
 	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.Close()
+			case <-s.done:
+				// Server closed first; don't leak this watcher.
+			}
+		}()
+	}
 	return s, nil
 }
 
@@ -222,11 +255,31 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the scrape URL of the Prometheus endpoint.
 func (s *Server) URL() string { return "http://" + s.Addr() + "/metrics" }
 
-// Close stops the server and waits for the serve loop to exit.
-func (s *Server) Close() error {
-	err := s.srv.Close()
+// Shutdown stops accepting new scrapes and waits for in-flight ones to
+// complete, up to ctx's deadline; connections still open then are closed
+// hard. It waits for the serve loop to exit and is safe to call
+// concurrently with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Drain window expired (or ctx was already done): sever whatever
+		// is still in flight rather than hang the caller.
+		_ = s.srv.Close()
+	}
 	<-s.done
 	return err
+}
+
+// Close stops the server, draining in-flight scrapes for up to
+// closeDrainTimeout before severing them, and waits for the serve loop to
+// exit. It is idempotent; repeated calls return the first result.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), closeDrainTimeout)
+		defer cancel()
+		s.closeErr = s.Shutdown(ctx)
+	})
+	return s.closeErr
 }
 
 // ValidateText checks that r is syntactically valid Prometheus text

@@ -36,6 +36,7 @@ import (
 	"math/rand"
 
 	"quorumplace/internal/agg"
+	"quorumplace/internal/daemon"
 	"quorumplace/internal/graph"
 	"quorumplace/internal/heat"
 	"quorumplace/internal/migrate"
@@ -510,6 +511,48 @@ func PlanMigration(ins *Instance, oldP Placement, lambda float64) (*MigrationPla
 // MigrationParetoSweep traces the delay/movement frontier over λ values.
 func MigrationParetoSweep(ins *Instance, oldP Placement, lambdas []float64) ([]*MigrationPlan, error) {
 	return migrate.ParetoSweep(ins, oldP, lambdas)
+}
+
+// MigrationPlanner pre-builds the migration LP for a fixed element subset
+// and retains the previous solve's simplex basis, so a repeated re-plan
+// (new demand, λ, or capacities over the same structure) warm-starts
+// instead of solving from scratch. The first solve is bitwise identical to
+// PlanMigration.
+type MigrationPlanner = migrate.Planner
+
+// MigrationShardPlan is the outcome of one MigrationPlanner solve over its
+// element subset.
+type MigrationShardPlan = migrate.ShardPlan
+
+// NewMigrationPlanner builds a warm-capable planner for the given element
+// subset (nil for the full universe).
+func NewMigrationPlanner(ins *Instance, elems []int) (*MigrationPlanner, error) {
+	return migrate.NewPlanner(ins, elems)
+}
+
+// --- placement daemon ---------------------------------------------------------------
+
+// PlacementDaemon is the long-lived placement service: it ingests access
+// observations into a HeatSketch, watches recent drift against the demand
+// the running placement was planned for, and re-plans one shard of the
+// universe per tick through warm-started migration LPs. See cmd/quorumd.
+type PlacementDaemon = daemon.Daemon
+
+// DaemonConfig configures a PlacementDaemon.
+type DaemonConfig = daemon.Config
+
+// DaemonTickRecord is the deterministic log entry of one daemon tick.
+type DaemonTickRecord = daemon.TickRecord
+
+// DaemonMigration is one element move applied by a daemon tick.
+type DaemonMigration = daemon.Migration
+
+// DaemonStatus is the daemon's control-plane summary (GET /status).
+type DaemonStatus = daemon.Status
+
+// NewDaemon validates cfg and builds a placement daemon.
+func NewDaemon(cfg DaemonConfig) (*PlacementDaemon, error) {
+	return daemon.New(cfg)
 }
 
 // --- queueing simulation -----------------------------------------------------------

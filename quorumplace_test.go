@@ -77,6 +77,77 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeDaemon drives the placement-daemon surface through the public
+// API: planner warm re-plan plus a daemon tick cycle under drift.
+func TestFacadeDaemon(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := RandomGeometric(10, 0.6, rng)
+	m, err := NewMetricFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Grid(2)
+	caps := make([]float64, 10)
+	for i := range caps {
+		caps[i] = 1.6
+	}
+	ins, err := NewInstance(m, caps, sys, Uniform(sys.NumQuorums()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := RandomFeasiblePlacement(ins, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := NewMigrationPlanner(ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldPlan, warm, err := pl.Plan(initial, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("first planner solve reported a warm start")
+	}
+	warmPlan, warm, err := pl.Plan(coldPlan.Placement, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("second planner solve did not warm-start")
+	}
+	if warmPlan.AvgDelay <= 0 || coldPlan.AvgDelay <= 0 {
+		t.Fatalf("planner delays: cold %v warm %v", coldPlan.AvgDelay, warmPlan.AvgDelay)
+	}
+
+	d, err := NewDaemon(DaemonConfig{Instance: ins, Initial: initial, Shards: 2, Lambda: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d.Observe(0.1*float64(i), i%2, []int{i % 4})
+	}
+	var alerted bool
+	for i := 0; i < 3; i++ {
+		rec, err := d.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		alerted = alerted || rec.Alerted
+	}
+	if !alerted {
+		t.Fatal("daemon never alerted under a concentrated workload")
+	}
+	if err := ins.Validate(d.Placement()); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Status(); st.Ticks != 3 || st.Shards != 2 {
+		t.Fatalf("daemon status: %+v", st)
+	}
+}
+
 func TestFacadeStrategyHelpers(t *testing.T) {
 	sys := Majority(5, 3)
 	st, load, err := OptimalStrategy(sys)

@@ -18,8 +18,8 @@ BENCHTIME="${BENCHTIME:-0.5s}"
 SUFFIX="${1:-}"
 DATE=$(date -u +%Y-%m-%d)
 OUT="${OUT:-BENCH_${DATE}${SUFFIX}.json}"
-PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallel|BenchmarkSolve|BenchmarkWorkspace|BenchmarkShard|BenchmarkLogHist|BenchmarkScalingClients|BenchmarkMetricBuild|BenchmarkTreeDP|BenchmarkHeat|BenchmarkDrift)}"
-PKGS="${PKGS:-. ./internal/lp ./internal/obs ./internal/heat}"
+PATTERN="${PATTERN:-^(BenchmarkE[0-9]|BenchmarkAblation|BenchmarkTelemetryOverhead|BenchmarkParallel|BenchmarkSolve|BenchmarkWorkspace|BenchmarkShard|BenchmarkLogHist|BenchmarkScalingClients|BenchmarkMetricBuild|BenchmarkTreeDP|BenchmarkHeat|BenchmarkDrift|BenchmarkDaemon)}"
+PKGS="${PKGS:-. ./internal/lp ./internal/obs ./internal/heat ./internal/daemon}"
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 # GOMAXPROCS of this run; benchdiff -min-cpus keys off it so parallel-scaling
 # gates only fire on machines with enough cores for the workers to overlap.
